@@ -1,0 +1,70 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each benchmark registers the rows it measured with the session-scoped
+:func:`figure_report`; a terminal-summary hook prints every figure's rows as
+an aligned table at the end of the run, next to the paper's qualitative
+expectation, so ``pytest benchmarks/ --benchmark-only`` regenerates the
+evaluation section in one go.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+_REPORTS: "OrderedDict[str, dict]" = OrderedDict()
+
+
+class FigureReport:
+    """Collects rows for one paper figure/table."""
+
+    def register(self, figure: str, *, columns: list[str], note: str = ""):
+        entry = _REPORTS.setdefault(
+            figure, {"columns": columns, "rows": [], "note": note}
+        )
+        entry["columns"] = columns
+        if note:
+            entry["note"] = note
+        return entry
+
+    def add_row(self, figure: str, row: list):
+        if figure not in _REPORTS:
+            raise KeyError(f"register figure {figure!r} first")
+        _REPORTS[figure]["rows"].append(row)
+
+
+@pytest.fixture(scope="session")
+def figure_report() -> FigureReport:
+    return FigureReport()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper figure / table reproductions")
+    for figure, entry in _REPORTS.items():
+        tr.write_line("")
+        tr.write_line(f"== {figure} ==")
+        if entry["note"]:
+            tr.write_line(f"   {entry['note']}")
+        columns = entry["columns"]
+        rows = [[_fmt(c) for c in row] for row in entry["rows"]]
+        widths = [
+            max(len(str(columns[i])), *(len(r[i]) for r in rows)) if rows else len(columns[i])
+            for i in range(len(columns))
+        ]
+        tr.write_line(
+            "   " + "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+        )
+        for row in rows:
+            tr.write_line(
+                "   " + "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)

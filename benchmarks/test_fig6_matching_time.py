@@ -1,0 +1,45 @@
+"""E3 — Figure 6: time for adding convergence to matching vs. #processes.
+
+The paper plots ranking time, SCC-detection time and total execution time
+for K = 3..11 (their PC: up to ~65 s at K=11; SCC detection dominates and
+grows steeply).  Same series here; absolute values differ with hardware, the
+shape — SCC-dominated, superlinear growth — must match.
+"""
+
+import pytest
+
+from repro.core import synthesize
+from repro.protocols import matching
+
+FIGURE = "Figure 6: matching — synthesis time vs. #processes"
+SWEEP = [3, 4, 5, 6, 7, 8, 9, 10, 11]
+
+
+@pytest.mark.parametrize("k", SWEEP)
+def test_fig6_matching_time(k, benchmark, figure_report):
+    figure_report.register(
+        FIGURE,
+        columns=["K", "ranking (s)", "SCC detection (s)", "total (s)", "groups added"],
+        note="paper: SCC time dominates; total ~65 s at K=11 on a 2007-era PC",
+    )
+    protocol, invariant = matching(k)
+
+    def synthesize_once():
+        return synthesize(protocol, invariant, max_attempts=4)
+
+    portfolio = benchmark.pedantic(synthesize_once, rounds=1, iterations=1)
+    assert portfolio.success, f"matching K={k} must synthesize"
+    stats = portfolio.result.stats
+    figure_report.add_row(
+        FIGURE,
+        [
+            k,
+            stats.ranking_time,
+            stats.scc_time,
+            stats.total_time,
+            portfolio.result.n_added,
+        ],
+    )
+    # shape assertion at the top end: SCC detection is the dominant cost
+    if k >= 9:
+        assert stats.scc_time > stats.ranking_time

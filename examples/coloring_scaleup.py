@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Scaling the locally-correctable case study (paper Section VI-B + VII).
+
+Three-coloring is the paper's scalability star (they reach 40 processes):
+it is *locally correctable*, so recovery never creates cycles and the
+synthesis cost stays tame.  This script
+
+1. proves local correctability with the analysis module,
+2. sweeps the explicit engine over ring sizes,
+3. runs one instance on the symbolic (BDD) engine — the representation the
+   paper used, and the only one that exists at 3^40 states.
+
+Pass ``--max-k`` to push further (each point prints its timing).
+"""
+
+import argparse
+import time
+
+from repro import add_strong_convergence, check_solution, coloring
+from repro.analysis import analyze_local_correctability, analyze_symmetry
+from repro.dsl.pretty import format_protocol
+from repro.protocols.coloring import coloring_symbolic
+from repro.symbolic import add_strong_convergence_symbolic
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--max-k", type=int, default=11)
+    parser.add_argument("--symbolic-k", type=int, default=8)
+    args = parser.parse_args()
+
+    protocol, invariant = coloring(5)
+    report = analyze_local_correctability(protocol, invariant)
+    print(f"local correctability: {report.locally_correctable}")
+    print(f"  {report.reason}\n")
+
+    print("explicit-engine sweep:")
+    for k in range(5, args.max_k + 1, 2):
+        protocol, invariant = coloring(k)
+        t0 = time.perf_counter()
+        result = add_strong_convergence(protocol, invariant)
+        elapsed = time.perf_counter() - t0
+        assert result.success
+        assert check_solution(protocol, result.protocol, invariant).ok
+        sccs = len(result.stats.scc_sizes)
+        print(
+            f"  K={k:3d}  |S|=3^{k}  {elapsed:7.2f}s  "
+            f"+{result.n_added} groups, {sccs} SCCs encountered"
+        )
+
+    k = 5
+    protocol, invariant = coloring(k)
+    result = add_strong_convergence(protocol, invariant)
+    print(f"\nsynthesized protocol shape at K={k} "
+          f"({analyze_symmetry(result.protocol).describe().splitlines()[0]}):")
+    print(format_protocol(result.protocol, use_relative=False))
+
+    k = args.symbolic_k
+    print(f"\nsymbolic (BDD) engine at K={k} — the paper's representation:")
+    protocol, sp, inv = coloring_symbolic(k)
+    t0 = time.perf_counter()
+    res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+    elapsed = time.perf_counter() - t0
+    assert res.success
+    res.record_space_metrics()
+    print(
+        f"  K={k}: success in {elapsed:.1f}s; "
+        f"program size {res.stats.bdd_nodes['total_program_size']} BDD nodes; "
+        f"manager holds {res.stats.bdd_nodes['manager_nodes']} nodes"
+    )
+
+
+if __name__ == "__main__":
+    main()

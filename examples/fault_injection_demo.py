@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Watching self-stabilization happen: fault injection on the two-ring TR².
+
+The paper's motivation is transient faults — soft errors, bad
+initialisation — perturbing a protocol to an arbitrary state.  This demo
+takes the 8-process two-ring token ring (Section VI-C), synthesizes its
+stabilizing version, then repeatedly corrupts the running protocol and
+watches it recover: the token count spikes after each fault burst and
+returns to exactly one as convergence completes.
+"""
+
+from repro import add_strong_convergence, two_ring
+from repro.faults import FaultModel, RandomDaemon, measure_convergence, run_with_faults
+from repro.protocols.two_ring import token_count_array
+
+
+def main() -> None:
+    protocol, invariant = two_ring()
+    print(f"TR² : {protocol.n_processes} processes, |S| = {protocol.space.size}")
+    print("synthesizing strong convergence (this takes a few seconds) ...")
+    result = add_strong_convergence(protocol, invariant)
+    assert result.success
+    pss = result.protocol
+    print(f"done: +{result.n_added} recovery groups (pass {result.pass_completed})\n")
+
+    tokens = token_count_array(protocol.space)
+    traces = run_with_faults(
+        pss,
+        invariant,
+        fault_model=FaultModel(max_vars=3),
+        n_faults=5,
+        steps_between_faults=400,
+        seed=42,
+        daemon=RandomDaemon(42),
+    )
+    for i, trace in enumerate(traces):
+        start_tokens = int(tokens[trace.states[0]])
+        end_tokens = int(tokens[trace.states[-1]])
+        status = (
+            f"recovered in {trace.steps_to_converge} steps"
+            if trace.converged
+            else "DID NOT RECOVER"
+        )
+        print(
+            f"fault burst {i + 1}: corrupted to "
+            f"{start_tokens} token(s) -> {status} "
+            f"(now {end_tokens} token(s))"
+        )
+        assert trace.converged
+
+    print("\nstatistical convergence from 200 uniformly random states:")
+    stats = measure_convergence(pss, invariant, runs=200, seed=7)
+    print(f"  {stats.summary()}")
+    assert stats.convergence_rate == 1.0
+    print("every run recovered — strong convergence, observed.")
+
+
+if __name__ == "__main__":
+    main()

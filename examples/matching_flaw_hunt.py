@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Flaw hunting in a manually designed protocol (paper Section VI-A).
+
+Re-enacts the paper's surprise discovery: while comparing the synthesized
+maximal-matching protocol against Gouda & Acharya's manually designed one,
+the tool found that the manual protocol has a *non-progress cycle* — it can
+loop outside the legitimate states forever.  This script
+
+1. synthesizes a correct stabilizing matching protocol from scratch,
+2. model-checks the manual protocol and extracts a concrete cycle,
+3. replays the paper's exact witness: from <left,self,left,self,left> the
+   round-robin schedule (P0..P4) twice returns to the start.
+"""
+
+from repro import add_strong_convergence, check_solution, matching
+from repro.dsl.pretty import format_protocol
+from repro.protocols import gouda_acharya_matching, paper_cycle_start_state
+from repro.protocols.gouda_acharya import paper_cycle_schedule
+from repro.protocols.matching import LEFT, SELF
+from repro.verify import analyze_stabilization, extract_cycle, format_cycle, nonprogress_sccs
+
+
+def synthesize_correct_matching() -> None:
+    protocol, invariant = matching(5)
+    result = add_strong_convergence(protocol, invariant)
+    assert result.success
+    assert check_solution(protocol, result.protocol, invariant).ok
+    print("=== synthesized stabilizing matching (K=5), P0's actions ===")
+    from repro.dsl.pretty import process_actions
+
+    for action in process_actions(result.protocol, 0, use_relative=False):
+        print(f"  {action}")
+    print()
+
+
+def hunt_the_flaw() -> None:
+    protocol, invariant = gouda_acharya_matching(5)
+    print("=== manually designed Gouda–Acharya matching (K=5) ===")
+    verdict = analyze_stabilization(protocol, invariant)
+    print(f"verdict: {verdict.describe()}")
+
+    sccs = nonprogress_sccs(protocol, invariant)
+    print(f"non-progress SCCs outside I_MM: {len(sccs)}")
+    cycle = extract_cycle(protocol, sccs[0], invariant)
+    print("one concrete non-progress cycle, found automatically:")
+    print(format_cycle(protocol, cycle))
+    print()
+
+
+def replay_paper_witness() -> None:
+    protocol, invariant = gouda_acharya_matching(5)
+    space = protocol.space
+    state = space.encode(paper_cycle_start_state())
+    start = state
+    print("=== replaying the paper's witness schedule (P0..P4) x 2 ===")
+    for step, proc in enumerate(paper_cycle_schedule()):
+        assert state not in invariant
+        values = list(space.decode(state))
+        values[proc] = LEFT if values[proc] == SELF else SELF
+        nxt = space.encode(values)
+        assert nxt in protocol.successors(state), "not a protocol move!"
+        print(f"step {step:2d}: {space.format_state(state)}  --P{proc}-->")
+        state = nxt
+    assert state == start
+    print(f"         {space.format_state(state)}   == start: cycle closed")
+
+
+def main() -> None:
+    synthesize_correct_matching()
+    hunt_the_flaw()
+    replay_paper_witness()
+
+
+if __name__ == "__main__":
+    main()

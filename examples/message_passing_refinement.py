@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""From shared memory to message passing (paper Section II's refinement story).
+
+The paper synthesizes in the shared-memory model and appeals to known
+correctness-preserving refinements for message passing.  This demo performs
+the cached-neighbour refinement on the *synthesized* stabilizing token ring:
+every process keeps cached copies of its neighbour's variable, writes are
+broadcast over FIFO channels, owners periodically retransmit — and then we
+corrupt everything (owned values, caches, channel contents) and watch the
+distributed system converge anyway.
+"""
+
+import random
+
+from repro import add_strong_convergence, token_ring
+from repro.refinement import MessagePassingSystem, run_message_passing
+
+
+def main() -> None:
+    protocol, invariant = token_ring(k=4, domain=3)
+    result = add_strong_convergence(protocol, invariant)
+    assert result.success
+    pss = result.protocol
+    print(f"synthesized {pss.name}; refining to message passing ...")
+
+    system = MessagePassingSystem(pss, channel_capacity=8)
+    print(
+        f"{len(system.channels)} FIFO channels, "
+        f"{sum(len(c) for c in system.caches)} cached variables\n"
+    )
+
+    system.load_state(invariant.sample())
+    rng = random.Random(2026)
+    for burst in range(1, 6):
+        system.corrupt(rng)  # owned values + caches + channels, all garbage
+        stale = sum(
+            cache[v] != system.values[v]
+            for cache in system.caches
+            for v in cache
+        )
+        in_flight = sum(len(c) for c in system.channels.values())
+        trace = run_message_passing(
+            system, invariant, max_events=30_000, seed=burst
+        )
+        status = (
+            f"legitimate after {trace.events} events"
+            if trace.converged
+            else "DID NOT CONVERGE"
+        )
+        print(
+            f"burst {burst}: {stale} stale cache entries, "
+            f"{in_flight} junk messages -> {status}"
+        )
+        assert trace.converged
+
+    print("\nthe refined synthesized protocol recovers from total corruption —")
+    print("caches repaired by retransmission, token count restored to one.")
+
+    print("\ncontrol: the refined NON-stabilizing token ring gets stuck:")
+    control = MessagePassingSystem(protocol)
+    failures = 0
+    for seed in range(10):
+        control.load_state(0)
+        control.corrupt(random.Random(seed))
+        trace = run_message_passing(control, invariant, max_events=5_000, seed=seed)
+        failures += not trace.converged
+    print(f"  {failures}/10 corrupted runs never recovered (refined deadlocks)")
+
+
+if __name__ == "__main__":
+    main()

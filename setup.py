@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build the editable wheel.  This shim
+keeps the legacy path (``python setup.py develop``) working; ``pip install
+-e .`` falls back to it on pip versions that still support legacy editables.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Protocol analyses: local correctability (Fig. 5) and symmetry (Sec. VIII)."""
+
+from .local import (
+    LocalCorrectabilityReport,
+    analyze_local_correctability,
+    local_projections,
+)
+from .symmetry import (
+    SymmetryReport,
+    analyze_symmetry,
+    local_signature,
+    ring_role_orders,
+)
+
+__all__ = [
+    "LocalCorrectabilityReport",
+    "SymmetryReport",
+    "analyze_local_correctability",
+    "analyze_symmetry",
+    "local_projections",
+    "local_signature",
+    "ring_role_orders",
+]

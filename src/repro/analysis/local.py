@@ -1,0 +1,128 @@
+"""Local-correctability analysis (paper Figure 5 / "Table 1").
+
+The paper classifies its case studies by whether they are *locally
+correctable*: 3-coloring is, matching / token ring / two-ring are not — and
+argues this is why coloring scales so much further (Section VII).
+
+We make the notion checkable.  A specification ``(protocol topology, I)`` is
+
+* **locally decomposable** iff ``I`` equals the conjunction of its
+  projections ``LC_i := ∃(unreadable by P_i). I`` — each process can tell
+  from its own reads whether its share of the invariant holds;
+* **locally correctable** iff it is decomposable and from every state where
+  ``LC_i`` fails, process ``P_i`` has a corrective write — choosable from
+  its *readable view only* — that establishes ``LC_i`` without falsifying
+  any ``LC_j`` that currently holds.
+
+Greedy local correction as in the paper's coloring discussion is then always
+available; protocols like matching fail because the corrective choice of one
+process can invalidate a neighbour's predicate (or no choice exists at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+
+@dataclass(frozen=True)
+class LocalCorrectabilityReport:
+    """Outcome of the analysis, with a human-readable reason."""
+
+    decomposable: bool
+    correctable: bool
+    #: (process, rcode) witnessing a failure, if any
+    witness: tuple[int, int] | None
+    reason: str
+
+    @property
+    def locally_correctable(self) -> bool:
+        return self.decomposable and self.correctable
+
+
+def local_projections(protocol: Protocol, invariant: Predicate) -> list[np.ndarray]:
+    """``LC_i`` as boolean masks: the weakest local predicates implied by I."""
+    out: list[np.ndarray] = []
+    for table in protocol.tables:
+        lc = np.zeros(protocol.space.size, dtype=bool)
+        for rcode in range(table.n_rvals):
+            cylinder = table.sources(rcode)
+            if invariant.mask[cylinder].any():
+                lc[cylinder] = True
+        out.append(lc)
+    return out
+
+
+def analyze_local_correctability(
+    protocol: Protocol, invariant: Predicate
+) -> LocalCorrectabilityReport:
+    """Classify the specification (see module docstring)."""
+    space = protocol.space
+    lcs = local_projections(protocol, invariant)
+    conj = np.ones(space.size, dtype=bool)
+    for lc in lcs:
+        conj &= lc
+    if not np.array_equal(conj, invariant.mask):
+        extra = int((conj & ~invariant.mask).sum())
+        return LocalCorrectabilityReport(
+            decomposable=False,
+            correctable=False,
+            witness=None,
+            reason=(
+                f"I is not the conjunction of its local projections "
+                f"({extra} states satisfy every LC_i but lie outside I): "
+                f"the invariant is inherently global"
+            ),
+        )
+
+    # correctability: every locally-broken process has a safe corrective write
+    for j, table in enumerate(protocol.tables):
+        lc_j = lcs[j]
+        for rcode in range(table.n_rvals):
+            cylinder = table.sources(rcode)
+            if lc_j[cylinder[0]]:
+                continue  # LC_j holds here (it is constant on the cylinder)
+            ok_some_write = False
+            self_w = int(table.self_wcode[rcode])
+            for wcode in range(table.n_wvals):
+                if wcode == self_w:
+                    continue
+                delta = int(table.deltas[rcode, wcode])
+                target = cylinder + delta
+                if not lc_j[target[0]]:
+                    continue  # does not establish LC_j
+                preserved = np.ones(len(cylinder), dtype=bool)
+                for other, lc_other in enumerate(lcs):
+                    if other == j:
+                        continue
+                    preserved &= ~lc_other[cylinder] | lc_other[target]
+                if preserved.all():
+                    ok_some_write = True
+                    break
+            if not ok_some_write:
+                values = table.values_of_rcode(rcode)
+                view = ", ".join(
+                    f"{space.variables[v].name}="
+                    f"{space.variables[v].label(val)}"
+                    for v, val in zip(table.read_vars, values)
+                )
+                return LocalCorrectabilityReport(
+                    decomposable=True,
+                    correctable=False,
+                    witness=(j, rcode),
+                    reason=(
+                        f"process {table.spec.name} cannot correct its local "
+                        f"predicate from view <{view}> without falsifying a "
+                        f"neighbour's predicate (or at all)"
+                    ),
+                )
+    return LocalCorrectabilityReport(
+        decomposable=True,
+        correctable=True,
+        witness=None,
+        reason="every process can always correct its local predicate safely",
+    )

@@ -1,0 +1,114 @@
+"""Symmetry analysis of (synthesized) protocols — paper Section VIII.
+
+STSyn sometimes produces symmetric protocols (token ring, coloring's inner
+processes) and sometimes asymmetric ones (matching), unlike the symmetric
+manual designs.  A protocol is *symmetric* when every process, after mapping
+its readable variables to canonical roles (e.g. left-neighbour / own /
+right-neighbour on a ring), has the same local behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..protocol.protocol import Protocol
+
+#: one local move: (readable values in role order, new written values)
+LocalMove = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def local_signature(
+    protocol: Protocol,
+    process: int,
+    role_order: Sequence[int],
+    groups=None,
+) -> frozenset[LocalMove]:
+    """The process's behaviour, canonicalised by the given role order.
+
+    ``role_order`` lists the process's readable variable indices in role
+    order; the signature maps each group to (readable values in that order,
+    new written values).
+    """
+    table = protocol.tables[process]
+    if sorted(role_order) != list(table.read_vars):
+        raise ValueError(
+            f"role order {role_order} must be a permutation of the read set "
+            f"{table.read_vars} of {table.spec.name!r}"
+        )
+    positions = [table.read_vars.index(v) for v in role_order]
+    moves: set[LocalMove] = set()
+    for rcode, wcode in (groups if groups is not None else protocol.groups[process]):
+        values = table.values_of_rcode(rcode)
+        moves.add(
+            (
+                tuple(values[p] for p in positions),
+                table.values_of_wcode(wcode),
+            )
+        )
+    return frozenset(moves)
+
+
+def ring_role_orders(protocol: Protocol) -> list[tuple[int, ...]]:
+    """Role orders for one-variable-per-process ring topologies.
+
+    Roles are ordered (left neighbour, self, right neighbour) — with the
+    right-neighbour slot absent on unidirectional rings.
+    """
+    k = protocol.n_processes
+    orders = []
+    for j in range(k):
+        own = protocol.topology[j].writes[0]
+        left = protocol.topology[(j - 1) % k].writes[0]
+        right = protocol.topology[(j + 1) % k].writes[0]
+        reads = set(protocol.topology[j].reads)
+        order = [v for v in (left, own, right) if v in reads]
+        if set(order) != reads:
+            raise ValueError(
+                f"process {protocol.topology[j].name!r} reads beyond its ring "
+                f"neighbours; supply role orders explicitly"
+            )
+        orders.append(tuple(order))
+    return orders
+
+
+@dataclass(frozen=True)
+class SymmetryReport:
+    """Partition of processes into behaviour classes."""
+
+    classes: tuple[tuple[str, ...], ...]
+
+    @property
+    def symmetric(self) -> bool:
+        return len(self.classes) == 1
+
+    def describe(self) -> str:
+        if self.symmetric:
+            return "symmetric: all processes share one local behaviour"
+        parts = ["asymmetric:"]
+        for i, members in enumerate(self.classes):
+            parts.append(f"  class {i}: {', '.join(members)}")
+        return "\n".join(parts)
+
+
+def analyze_symmetry(
+    protocol: Protocol,
+    role_orders: Sequence[Sequence[int]] | None = None,
+) -> SymmetryReport:
+    """Group processes by canonical local behaviour."""
+    orders = (
+        [tuple(o) for o in role_orders]
+        if role_orders is not None
+        else ring_role_orders(protocol)
+    )
+    if len(orders) != protocol.n_processes:
+        raise ValueError("one role order per process required")
+    by_signature: dict[frozenset, list[str]] = {}
+    for j in range(protocol.n_processes):
+        sig = local_signature(protocol, j, orders[j])
+        by_signature.setdefault(sig, []).append(protocol.topology[j].name)
+    classes = tuple(
+        tuple(members)
+        for members in sorted(by_signature.values(), key=lambda m: (-len(m), m))
+    )
+    return SymmetryReport(classes=classes)

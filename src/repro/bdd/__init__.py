@@ -1,0 +1,5 @@
+"""From-scratch ROBDD package (the CUDD/GLU stand-in)."""
+
+from .manager import BDD, ONE, ZERO
+
+__all__ = ["BDD", "ONE", "ZERO"]

@@ -1,0 +1,184 @@
+"""STSyn command-line interface.
+
+Examples::
+
+    stsyn synthesize token-ring -k 4 -d 3
+    stsyn synthesize matching -k 7 --print-actions
+    stsyn synthesize coloring -k 20 --engine symbolic
+    stsyn verify token-ring -k 4 -d 3
+    stsyn analyze matching -k 5
+    stsyn rank token-ring -k 4 -d 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _build(args):
+    from . import coloring, matching, token_ring, two_ring
+    from .protocols import gouda_acharya_matching
+
+    if getattr(args, "file", None):
+        from .dsl import compile_protocol
+
+        with open(args.file) as handle:
+            return compile_protocol(handle.read())
+    name = args.protocol
+    if name == "token-ring":
+        return token_ring(args.k or 4, args.domain or 3)
+    if name == "matching":
+        return matching(args.k or 5)
+    if name == "coloring":
+        return coloring(args.k or 5)
+    if name == "two-ring":
+        return two_ring()
+    if name == "gouda-acharya":
+        return gouda_acharya_matching(args.k or 5)
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def _cmd_synthesize(args) -> int:
+    from .core import synthesize
+    from .dsl.pretty import format_protocol
+
+    t0 = time.perf_counter()
+    if args.engine == "symbolic":
+        if args.protocol != "coloring":
+            from .symbolic import SymbolicProtocol, add_strong_convergence_symbolic
+
+            protocol, invariant = _build(args)
+            sp = SymbolicProtocol(protocol)
+            inv = sp.sym.from_predicate(invariant)
+            res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        else:
+            from .protocols.coloring import coloring_symbolic
+            from .symbolic import add_strong_convergence_symbolic
+
+            protocol, sp, inv = coloring_symbolic(args.k or 5)
+            res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        elapsed = time.perf_counter() - t0
+        print(f"success: {res.success} (pass {res.pass_completed}, {elapsed:.2f}s)")
+        print(f"recovery groups added: {res.n_added}")
+        if args.print_actions and res.success:
+            print(format_protocol(res.to_protocol(), added_only=res.added_groups))
+        return 0 if res.success else 1
+
+    protocol, invariant = _build(args)
+    portfolio = synthesize(protocol, invariant)
+    elapsed = time.perf_counter() - t0
+    print(portfolio.summary())
+    print(f"wall time: {elapsed:.2f}s")
+    if args.print_actions and portfolio.success:
+        print("\nsynthesized protocol:")
+        print(format_protocol(portfolio.result.protocol))
+        print("\nadded recovery only:")
+        print(
+            format_protocol(
+                portfolio.result.protocol,
+                added_only=portfolio.result.added_groups,
+            )
+        )
+    return 0 if portfolio.success else 1
+
+
+def _cmd_verify(args) -> int:
+    from .verify import analyze_stabilization
+
+    protocol, invariant = _build(args)
+    verdict = analyze_stabilization(protocol, invariant)
+    print(verdict.describe())
+    return 0 if verdict.strongly_stabilizing else 1
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_local_correctability, analyze_symmetry
+
+    protocol, invariant = _build(args)
+    report = analyze_local_correctability(protocol, invariant)
+    print(f"locally correctable: {report.locally_correctable}")
+    print(f"  {report.reason}")
+    try:
+        print(analyze_symmetry(protocol).describe())
+    except ValueError:
+        print("symmetry: topology is not a simple ring; skipped")
+    return 0
+
+
+def _cmd_rank(args) -> int:
+    from .core import compute_ranks
+
+    protocol, invariant = _build(args)
+    ranking = compute_ranks(protocol, invariant)
+    hist = ranking.rank_histogram()
+    print(f"max rank M = {ranking.max_rank}")
+    for rank in sorted(hist):
+        label = "inf" if rank == -1 else str(rank)
+        print(f"  rank {label:>3}: {hist[rank]} states")
+    print(
+        "stabilizing version exists"
+        if ranking.admits_stabilization()
+        else "NO stabilizing version exists (Theorem IV.1)"
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stsyn",
+        description="STSyn — automated design of convergence (IPDPS 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    protocols = ["token-ring", "matching", "coloring", "two-ring", "gouda-acharya"]
+
+    def add_common(p):
+        p.add_argument(
+            "protocol",
+            choices=protocols,
+            nargs="?",
+            default="token-ring",
+            help="built-in case study (ignored with --file)",
+        )
+        p.add_argument("-k", type=int, default=None, help="number of processes")
+        p.add_argument(
+            "-d", "--domain", type=int, default=None, help="variable domain size"
+        )
+        p.add_argument(
+            "--file",
+            default=None,
+            help="compile the protocol from a .stsyn guarded-command file",
+        )
+
+    p_syn = sub.add_parser("synthesize", help="add strong convergence")
+    add_common(p_syn)
+    p_syn.add_argument(
+        "--engine", choices=["explicit", "symbolic"], default="explicit"
+    )
+    p_syn.add_argument(
+        "--print-actions", action="store_true", help="print guarded commands"
+    )
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_ver = sub.add_parser("verify", help="check stabilization of the input")
+    add_common(p_ver)
+    p_ver.set_defaults(func=_cmd_verify)
+
+    p_ana = sub.add_parser("analyze", help="local correctability and symmetry")
+    add_common(p_ana)
+    p_ana.set_defaults(func=_cmd_analyze)
+
+    p_rank = sub.add_parser("rank", help="ComputeRanks histogram")
+    add_common(p_rank)
+    p_rank.set_defaults(func=_cmd_rank)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

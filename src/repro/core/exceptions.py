@@ -1,0 +1,51 @@
+"""Exceptions raised by the synthesis core."""
+
+from __future__ import annotations
+
+
+class SynthesisError(Exception):
+    """Base class for synthesis problems."""
+
+
+class NotClosedError(SynthesisError):
+    """The given invariant ``I`` is not closed in the input protocol.
+
+    Problem III.1 requires closure as a precondition; the offending
+    transition is reported for diagnosis.
+    """
+
+    def __init__(self, message: str, transition: tuple[int, int] | None = None):
+        super().__init__(message)
+        self.transition = transition
+
+
+class NoStabilizingVersionError(SynthesisError):
+    """``ComputeRanks`` found states with rank ∞.
+
+    By Theorem IV.1 this is a *complete* negative answer: no (weakly or
+    strongly) stabilizing version of the input protocol exists under the
+    given read/write restrictions.
+    """
+
+    def __init__(self, message: str, n_unreachable: int = 0):
+        super().__init__(message)
+        self.n_unreachable = n_unreachable
+
+
+class UnresolvableCycleError(SynthesisError):
+    """The input protocol has a non-progress cycle in ``¬I`` whose transitions
+    have groupmates in ``δp|I`` — removing them would change ``δp|I``, so the
+    heuristic exits (preprocessing step, Section V)."""
+
+
+class HeuristicFailure(SynthesisError):
+    """All three passes completed but deadlock states remain.
+
+    The heuristic is sound but incomplete (Section V, "Comment on
+    completeness"); a stabilizing version may still exist, e.g. under a
+    different recovery schedule.
+    """
+
+    def __init__(self, message: str, remaining_deadlocks: int = 0):
+        super().__init__(message)
+        self.remaining_deadlocks = remaining_deadlocks

@@ -1,0 +1,177 @@
+"""``ComputeRanks`` — the approximation of convergence (Section IV, Fig. 2).
+
+Builds the intermediate protocol ``p_im`` (the input protocol plus *every*
+transition group all of whose sources lie outside ``I``) and computes, by
+backward BFS from ``I`` over ``p_im``, the rank of every state: the length of
+the shortest computation prefix reaching ``I``.  Rank ∞ (stored as ``-1``)
+means no stabilizing version exists at all (Theorem IV.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.stats import SynthesisStats
+from ..protocol.groups import ProcessGroupTable
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+#: rank value used to represent ∞ (no computation prefix reaches I).
+INF_RANK = -1
+
+
+def rvals_intersecting(table: ProcessGroupTable, mask: np.ndarray) -> np.ndarray:
+    """``out[rcode]`` — does any state with readable valuation ``rcode`` satisfy ``mask``?
+
+    Used both for the ``p_im`` construction ("groups whose sources never
+    intersect I") and for constraint C1 ("groups with a groupmate starting in
+    I are ruled out") — the two are the same test because a group's source
+    set is exactly the rcode's cylinder.
+    """
+    out = np.empty(table.n_rvals, dtype=bool)
+    offsets = table.unread_offsets
+    # One vectorised gather per rcode; n_rvals is small (product of readable
+    # domains), so this loop is not a hot spot.
+    for rcode in range(table.n_rvals):
+        out[rcode] = bool(mask[table.bases[rcode] + offsets].any())
+    return out
+
+
+def compute_pim_groups(
+    protocol: Protocol, invariant: Predicate
+) -> list[set[tuple[int, int]]]:
+    """Groups of ``p_im``: ``δp`` plus every candidate group with no source in I."""
+    pim: list[set[tuple[int, int]]] = []
+    for j, table in enumerate(protocol.tables):
+        groups = set(protocol.groups[j])
+        touches_i = rvals_intersecting(table, invariant.mask)
+        for rcode in np.flatnonzero(~touches_i):
+            rcode = int(rcode)
+            self_w = int(table.self_wcode[rcode])
+            for wcode in range(table.n_wvals):
+                if wcode != self_w:
+                    groups.add((rcode, wcode))
+        pim.append(groups)
+    return pim
+
+
+@dataclass
+class RankingResult:
+    """Output of :func:`compute_ranks`.
+
+    ``rank[s]`` is the shortest-prefix distance from ``s`` to ``I`` over
+    ``p_im`` (0 for states in I, :data:`INF_RANK` for unreachable states).
+    """
+
+    protocol: Protocol
+    invariant: Predicate
+    rank: np.ndarray
+    max_rank: int
+    pim_groups: list[set[tuple[int, int]]]
+
+    @property
+    def space(self):
+        return self.protocol.space
+
+    def rank_mask(self, i: int) -> np.ndarray:
+        """Boolean mask of ``Rank[i]`` (``i == 0`` is the invariant itself)."""
+        return self.rank == i
+
+    def rank_predicate(self, i: int) -> Predicate:
+        return Predicate(self.space, self.rank_mask(i))
+
+    @property
+    def infinite_mask(self) -> np.ndarray:
+        return self.rank == INF_RANK
+
+    @property
+    def n_infinite(self) -> int:
+        return int(self.infinite_mask.sum())
+
+    def admits_stabilization(self) -> bool:
+        """Theorem IV.1: a stabilizing version exists iff no state has rank ∞."""
+        return self.n_infinite == 0
+
+    def pim_protocol(self) -> Protocol:
+        """``p_im`` as a protocol (the weakly stabilizing candidate)."""
+        return self.protocol.with_groups(
+            self.pim_groups, name=f"{self.protocol.name}_pim"
+        )
+
+    def rank_histogram(self) -> dict[int, int]:
+        """Number of states per rank (∞ included under :data:`INF_RANK`)."""
+        out: dict[int, int] = {}
+        values, counts = np.unique(self.rank, return_counts=True)
+        for v, c in zip(values.tolist(), counts.tolist()):
+            out[int(v)] = int(c)
+        return out
+
+
+def compute_ranks(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    pim_groups: Sequence[set[tuple[int, int]]] | None = None,
+    stats: SynthesisStats | None = None,
+) -> RankingResult:
+    """Backward-BFS ranking of all states over ``p_im`` (paper Fig. 2).
+
+    Level-synchronised: iteration ``i`` discovers exactly ``Rank[i]``.  Each
+    level scans every ``p_im`` group once with pure array operations —
+    sources of a group are ``base + unread_offsets`` and its targets are a
+    constant stride away, so no per-state Python work happens.
+    """
+    stats = stats if stats is not None else SynthesisStats()
+    with stats.timer("ranking"):
+        if pim_groups is None:
+            pim_list = compute_pim_groups(protocol, invariant)
+        else:
+            pim_list = [set(g) for g in pim_groups]
+
+        space = protocol.space
+        rank = np.full(space.size, INF_RANK, dtype=np.int32)
+        rank[invariant.mask] = 0
+        frontier = invariant.mask.copy()
+
+        # Flatten (table, rcode, delta-per-wcode) once; grouping by rcode lets
+        # each level reuse the source array across the rcode's wcodes.
+        flat: list[tuple[ProcessGroupTable, int, list[int]]] = []
+        for j, gs in enumerate(pim_list):
+            table = protocol.tables[j]
+            by_rcode: dict[int, list[int]] = {}
+            for rcode, wcode in gs:
+                by_rcode.setdefault(rcode, []).append(wcode)
+            for rcode, wcodes in sorted(by_rcode.items()):
+                flat.append((table, rcode, sorted(wcodes)))
+
+        level = 0
+        while True:
+            level += 1
+            new_mask = np.zeros(space.size, dtype=bool)
+            found = False
+            for table, rcode, wcodes in flat:
+                src = table.bases[rcode] + table.unread_offsets
+                unexplored = rank[src] == INF_RANK
+                if not unexplored.any():
+                    continue
+                for wcode in wcodes:
+                    dst = src + table.deltas[rcode, wcode]
+                    hit = src[unexplored & frontier[dst]]
+                    if len(hit):
+                        new_mask[hit] = True
+                        found = True
+            if not found:
+                break
+            rank[new_mask] = level
+            frontier = new_mask
+        max_rank = level - 1
+    return RankingResult(
+        protocol=protocol,
+        invariant=invariant,
+        rank=rank,
+        max_rank=max_rank,
+        pim_groups=pim_list,
+    )

@@ -1,0 +1,71 @@
+"""Synthesis result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.stats import SynthesisStats
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .ranking import RankingResult
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one strong-convergence heuristic run (one schedule).
+
+    ``success`` implies the returned ``protocol`` is correct by construction;
+    the synthesizer additionally re-verifies it with the independent model
+    checker unless asked not to.
+    """
+
+    success: bool
+    protocol: Protocol
+    invariant: Predicate
+    ranking: RankingResult
+    stats: SynthesisStats
+    schedule: tuple[int, ...]
+    #: groups added for recovery, per process
+    added_groups: list[set[tuple[int, int]]]
+    #: original groups removed during preprocessing cycle elimination
+    removed_groups: list[set[tuple[int, int]]]
+    #: 0 = resolved in preprocessing, else the pass (1-3) that finished
+    pass_completed: int
+    #: deadlock states remaining on failure
+    remaining_deadlocks: Predicate | None = None
+    verified: bool = False
+
+    @property
+    def n_added(self) -> int:
+        return sum(len(g) for g in self.added_groups)
+
+    @property
+    def n_removed(self) -> int:
+        return sum(len(g) for g in self.removed_groups)
+
+    def added_group_ids(self) -> list[tuple[int, int, int]]:
+        return [
+            (j, r, w)
+            for j, gs in enumerate(self.added_groups)
+            for (r, w) in sorted(gs)
+        ]
+
+    def summary(self) -> str:
+        space = self.protocol.space
+        lines = [
+            f"protocol          : {self.protocol.name}",
+            f"state space       : {space.size} states, "
+            f"{self.protocol.n_processes} processes",
+            f"outcome           : "
+            + ("SUCCESS" if self.success else "FAILURE"),
+            f"pass completed    : {self.pass_completed}",
+            f"recovery groups   : +{self.n_added} added, "
+            f"-{self.n_removed} removed",
+            f"max rank (M)      : {self.ranking.max_rank}",
+        ]
+        if self.remaining_deadlocks is not None and not self.success:
+            lines.append(
+                f"remaining deadlocks: {self.remaining_deadlocks.count()}"
+            )
+        lines.append(self.stats.summary())
+        return "\n".join(lines)

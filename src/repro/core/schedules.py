@@ -1,0 +1,69 @@
+"""Recovery schedules (Section V / Figure 1).
+
+From an illegitimate state, the success of convergence depends on the order
+in which processes are given the chance to add recovery — the *recovery
+schedule*.  The lightweight method instantiates one heuristic run per
+schedule (potentially on separate machines); this module provides schedule
+generators, and :mod:`repro.parallel` fans runs out over them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Sequence
+
+Schedule = tuple[int, ...]
+
+
+def paper_default_schedule(k: int) -> Schedule:
+    """The paper's TR schedule ``(P1, ..., P_{K-1}, P0)``."""
+    if k < 1:
+        raise ValueError("need at least one process")
+    return tuple(range(1, k)) + (0,)
+
+
+def identity_schedule(k: int) -> Schedule:
+    return tuple(range(k))
+
+
+def reversed_schedule(k: int) -> Schedule:
+    return tuple(range(k - 1, -1, -1))
+
+
+def rotation_schedules(k: int) -> list[Schedule]:
+    """All K rotations of the identity schedule."""
+    base = list(range(k))
+    return [tuple(base[i:] + base[:i]) for i in range(k)]
+
+
+def all_schedules(k: int) -> Iterator[Schedule]:
+    """Every permutation — K! of them; use only for small K."""
+    return itertools.permutations(range(k))
+
+
+def random_schedules(k: int, count: int, *, seed: int = 0) -> list[Schedule]:
+    """``count`` distinct pseudo-random schedules (deterministic per seed)."""
+    rng = random.Random(seed)
+    seen: set[Schedule] = set()
+    out: list[Schedule] = []
+    attempts = 0
+    while len(out) < count and attempts < count * 50:
+        attempts += 1
+        perm = list(range(k))
+        rng.shuffle(perm)
+        schedule = tuple(perm)
+        if schedule not in seen:
+            seen.add(schedule)
+            out.append(schedule)
+    return out
+
+
+def validate_schedule(schedule: Sequence[int], k: int) -> Schedule:
+    """Check the schedule is a permutation of ``0..k-1``."""
+    schedule = tuple(schedule)
+    if sorted(schedule) != list(range(k)):
+        raise ValueError(
+            f"schedule {schedule} is not a permutation of 0..{k - 1}"
+        )
+    return schedule

@@ -1,0 +1,149 @@
+"""STSyn driver: a portfolio of heuristic instances (paper Figure 1).
+
+From one illegitimate state several recovery schedules may lead to a
+solution; the lightweight method instantiates one heuristic run per schedule
+(the paper suggests one machine per schedule).  Our driver generalises the
+portfolio to (schedule × cycle-resolution mode) configurations, runs them
+until the first verified success, and reports the best failure otherwise.
+:mod:`repro.parallel` fans the same portfolio out over worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .exceptions import HeuristicFailure
+from .heuristic import HeuristicOptions, add_strong_convergence
+from .result import SynthesisResult
+from .schedules import Schedule, paper_default_schedule, rotation_schedules
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """One portfolio entry: a schedule plus heuristic options."""
+
+    schedule: Schedule
+    options: HeuristicOptions
+
+    def describe(self) -> str:
+        return (
+            f"schedule={self.schedule} "
+            f"mode={self.options.cycle_resolution_mode}"
+        )
+
+
+def default_portfolio(
+    k: int,
+    *,
+    schedules: Sequence[Schedule] | None = None,
+    modes: Sequence[str] = ("batch", "sequential"),
+    base_options: HeuristicOptions | None = None,
+) -> list[SynthesisConfig]:
+    """The default configuration portfolio.
+
+    Modes vary fastest (the cheap re-run), then schedules: the paper's
+    default schedule first, then the remaining rotations.
+    """
+    base = base_options or HeuristicOptions()
+    if schedules is None:
+        first = paper_default_schedule(k)
+        rest = [s for s in rotation_schedules(k) if s != first]
+        schedules = [first, *rest]
+    return [
+        SynthesisConfig(tuple(s), replace(base, cycle_resolution_mode=m))
+        for s in schedules
+        for m in modes
+    ]
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio run: the winner plus every attempted config."""
+
+    result: SynthesisResult
+    config: SynthesisConfig
+    attempts: list[tuple[SynthesisConfig, bool, int]]
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    def summary(self) -> str:
+        lines = [
+            f"portfolio attempts: {len(self.attempts)}",
+            f"winning config    : {self.config.describe()}"
+            if self.success
+            else "no configuration succeeded",
+        ]
+        lines.append(self.result.summary())
+        return "\n".join(lines)
+
+
+def synthesize(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    configs: Iterable[SynthesisConfig] | None = None,
+    max_attempts: int | None = None,
+    verify: bool = True,
+    raise_on_failure: bool = False,
+) -> PortfolioResult:
+    """Run heuristic instances until one produces a verified solution.
+
+    ``verify`` re-checks every claimed success with the independent model
+    checker (:func:`repro.verify.check_solution`) — "correct by construction"
+    is nice, "correct by construction *and* checked" is nicer.  The failure
+    result returned when the whole portfolio fails is the attempt with the
+    fewest remaining deadlock states.
+    """
+    from ..verify.stabilization import check_solution
+
+    config_list = (
+        list(configs)
+        if configs is not None
+        else default_portfolio(protocol.n_processes)
+    )
+    if max_attempts is not None:
+        config_list = config_list[:max_attempts]
+    if not config_list:
+        raise ValueError("empty portfolio")
+
+    attempts: list[tuple[SynthesisConfig, bool, int]] = []
+    best: tuple[int, SynthesisResult, SynthesisConfig] | None = None
+    for config in config_list:
+        result = add_strong_convergence(
+            protocol,
+            invariant,
+            schedule=config.schedule,
+            options=replace(config.options, raise_on_failure=False),
+        )
+        if result.success and verify:
+            check = check_solution(protocol, result.protocol, invariant)
+            result.verified = check.ok
+            if not check.ok:  # pragma: no cover - soundness bug guard
+                raise AssertionError(
+                    f"heuristic claimed success but verification failed: "
+                    f"{check} under {config.describe()}"
+                )
+        remaining = (
+            0
+            if result.success
+            else result.remaining_deadlocks.count()
+        )
+        attempts.append((config, result.success, remaining))
+        if result.success:
+            return PortfolioResult(result=result, config=config, attempts=attempts)
+        if best is None or remaining < best[0]:
+            best = (remaining, result, config)
+
+    assert best is not None
+    if raise_on_failure:
+        raise HeuristicFailure(
+            f"all {len(attempts)} portfolio configurations failed for "
+            f"{protocol.name!r}; best left {best[0]} deadlocks",
+            remaining_deadlocks=best[0],
+        )
+    return PortfolioResult(result=best[1], config=best[2], attempts=attempts)

@@ -1,0 +1,93 @@
+"""Sound and complete synthesis of *weak* convergence (Theorem IV.1).
+
+``p_im`` — the input protocol plus all groups entirely outside I — is weakly
+stabilizing iff every state has a finite rank.  This module packages that
+fact as a synthesis routine, plus a minimisation pass that prunes groups a
+weakly-converging protocol does not need (the paper returns ``p_im`` as-is;
+pruning is our quality-of-life extension, clearly flagged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.stats import SynthesisStats
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .exceptions import NoStabilizingVersionError, NotClosedError
+from .ranking import RankingResult, compute_ranks
+
+
+def check_closure(protocol: Protocol, invariant: Predicate) -> None:
+    """Raise :class:`NotClosedError` unless ``I`` is closed in the protocol."""
+    mask = invariant.mask
+    for gid in protocol.iter_group_ids():
+        src, dst = protocol.group_pairs(gid)
+        escaping = mask[src] & ~mask[dst]
+        if escaping.any():
+            pos = int(np.argmax(escaping))
+            s0, s1 = int(src[pos]), int(dst[pos])
+            space = protocol.space
+            raise NotClosedError(
+                f"I is not closed in {protocol.name!r}: transition "
+                f"{space.format_state(s0)} -> {space.format_state(s1)} "
+                f"(group {gid}) leaves I",
+                transition=(s0, s1),
+            )
+
+
+@dataclass
+class WeakSynthesisResult:
+    """A weakly stabilizing protocol together with its ranking evidence."""
+
+    protocol: Protocol
+    ranking: RankingResult
+    stats: SynthesisStats
+
+
+def synthesize_weak(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    minimize: bool = False,
+    stats: SynthesisStats | None = None,
+) -> WeakSynthesisResult:
+    """Add weak convergence to ``I`` — sound and complete.
+
+    Raises :class:`NoStabilizingVersionError` when states with rank ∞ exist
+    (then *no* stabilizing version exists, weak or strong).  With
+    ``minimize`` the result keeps, per state, only groups that contain at
+    least one rank-decreasing transition, yielding a much smaller — still
+    weakly converging — protocol (extension; the paper returns ``p_im``).
+    """
+    stats = stats if stats is not None else SynthesisStats()
+    with stats.timer("total"):
+        check_closure(protocol, invariant)
+        ranking = compute_ranks(protocol, invariant, stats=stats)
+        if not ranking.admits_stabilization():
+            raise NoStabilizingVersionError(
+                f"{ranking.n_infinite} states cannot reach I under any "
+                f"read/write-respecting recovery; no stabilizing version of "
+                f"{protocol.name!r} exists (Theorem IV.1)",
+                n_unreachable=ranking.n_infinite,
+            )
+        if not minimize:
+            result = ranking.pim_protocol()
+        else:
+            rank = ranking.rank
+            kept: list[set[tuple[int, int]]] = []
+            for j, gs in enumerate(ranking.pim_groups):
+                table = protocol.tables[j]
+                keep: set[tuple[int, int]] = set(protocol.groups[j])
+                for rcode, wcode in gs:
+                    if (rcode, wcode) in keep:
+                        continue
+                    src, dst = table.pairs(rcode, wcode)
+                    decreasing = (rank[src] > 0) & (rank[dst] == rank[src] - 1)
+                    if decreasing.any():
+                        keep.add((rcode, wcode))
+                kept.append(keep)
+            result = protocol.with_groups(kept, name=f"{protocol.name}_weak")
+    return WeakSynthesisResult(protocol=result, ranking=ranking, stats=stats)

@@ -1,0 +1,23 @@
+"""Guarded-command DSL: parser, compiler, minimiser and pretty-printer."""
+
+from .ast import ProtocolDecl
+from .eval import CompileError, compile_protocol, eval_expr
+from .lexer import LexError, tokenize
+from .minimize import minimize_cover
+from .parser import ParseError, parse_protocol
+from .pretty import GuardedCommand, format_protocol, process_actions
+
+__all__ = [
+    "CompileError",
+    "GuardedCommand",
+    "LexError",
+    "ParseError",
+    "ProtocolDecl",
+    "compile_protocol",
+    "eval_expr",
+    "format_protocol",
+    "minimize_cover",
+    "parse_protocol",
+    "process_actions",
+    "tokenize",
+]

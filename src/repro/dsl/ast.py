@@ -1,0 +1,104 @@
+"""AST for the guarded-commands protocol language.
+
+The textual front-end mirrors how the paper writes protocols: variable
+declarations with finite domains, per-process read/write sets, guarded
+commands ``guard -> assignments``, and a global invariant expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable reference or a domain-label constant."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-' | '!'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * % == != < <= > >= & |
+    left: Expr
+    right: Expr
+
+
+# ----------------------------------------------------------------------
+# declarations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Domain:
+    """Either a numeric range ``lo..hi`` or a label set ``{a, b, c}``."""
+
+    size: int
+    labels: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    names: tuple[str, ...]
+    domain: Domain
+
+
+@dataclass(frozen=True)
+class Assignment:
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ActionDecl:
+    label: str
+    guard: Expr
+    assignments: tuple[Assignment, ...]
+
+
+@dataclass(frozen=True)
+class ProcessDecl:
+    name: str
+    reads: tuple[str, ...]
+    writes: tuple[str, ...]
+    actions: tuple[ActionDecl, ...]
+
+
+@dataclass(frozen=True)
+class ProtocolDecl:
+    """A whole parsed protocol file."""
+
+    name: str
+    variables: tuple[VarDecl, ...]
+    processes: tuple[ProcessDecl, ...]
+    invariant: Expr
+
+    def variable_names(self) -> list[str]:
+        return [n for decl in self.variables for n in decl.names]
+
+
+def free_names(expr: Expr) -> frozenset[str]:
+    """All identifiers referenced by an expression."""
+    if isinstance(expr, Name):
+        return frozenset((expr.ident,))
+    if isinstance(expr, UnaryOp):
+        return free_names(expr.operand)
+    if isinstance(expr, BinOp):
+        return free_names(expr.left) | free_names(expr.right)
+    return frozenset()

@@ -1,0 +1,220 @@
+"""Evaluate and compile parsed protocol files.
+
+The same AST evaluator serves two purposes: scalar evaluation of guards and
+statements over a process's local environment (during action compilation)
+and vectorised evaluation of the invariant over numpy per-variable arrays
+(to build the Predicate in one shot).  numpy's logical functions accept
+plain Python ints/bools too, so one code path covers both.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..protocol.actions import Action
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from ..protocol.state_space import StateSpace
+from ..protocol.topology import ProcessSpec, Topology
+from ..protocol.variables import Variable
+from .ast import (
+    BinOp,
+    Expr,
+    IntLit,
+    Name,
+    ProcessDecl,
+    ProtocolDecl,
+    UnaryOp,
+    free_names,
+)
+
+
+class CompileError(ValueError):
+    """Semantic error in a parsed protocol file."""
+
+
+def eval_expr(expr: Expr, env: Mapping[str, object]):
+    """Evaluate over an environment of ints / numpy arrays / constants."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Name):
+        try:
+            return env[expr.ident]
+        except KeyError:
+            raise CompileError(f"unknown identifier {expr.ident!r}") from None
+    if isinstance(expr, UnaryOp):
+        value = eval_expr(expr.operand, env)
+        if expr.op == "-":
+            return -value
+        return np.logical_not(value)
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, env)
+        right = eval_expr(expr.right, env)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "%":
+            return left % right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "&":
+            return np.logical_and(left, right)
+        if op == "|":
+            return np.logical_or(left, right)
+    raise CompileError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+
+def _label_constants(decl: ProtocolDecl) -> dict[str, int]:
+    """Global constants from labelled domains (``left = 0`` etc.)."""
+    constants: dict[str, int] = {}
+    var_names = set(decl.variable_names())
+    for var_decl in decl.variables:
+        if var_decl.domain.labels is None:
+            continue
+        for value, label in enumerate(var_decl.domain.labels):
+            if label in var_names:
+                raise CompileError(
+                    f"domain label {label!r} collides with a variable name"
+                )
+            if label in constants and constants[label] != value:
+                raise CompileError(
+                    f"domain label {label!r} bound to conflicting values"
+                )
+            constants[label] = value
+    return constants
+
+
+def build_state_space(decl: ProtocolDecl) -> StateSpace:
+    variables = []
+    for var_decl in decl.variables:
+        for name in var_decl.names:
+            variables.append(
+                Variable(name, var_decl.domain.size, var_decl.domain.labels)
+            )
+    return StateSpace(variables)
+
+
+def _check_scope(
+    what: str, expr: Expr, allowed: set[str], constants: set[str]
+) -> None:
+    unknown = free_names(expr) - allowed - constants
+    if unknown:
+        raise CompileError(f"{what} references out-of-scope names {sorted(unknown)}")
+
+
+def _compile_process(
+    proc: ProcessDecl,
+    constants: dict[str, int],
+) -> list[Action]:
+    reads = set(proc.reads)
+    const_names = set(constants)
+    actions: list[Action] = []
+    for action in proc.actions:
+        _check_scope(
+            f"guard of {action.label!r} (process {proc.name!r} reads only "
+            f"{sorted(reads)})",
+            action.guard,
+            reads,
+            const_names,
+        )
+        for assignment in action.assignments:
+            if assignment.target not in proc.writes:
+                raise CompileError(
+                    f"action {action.label!r} assigns to {assignment.target!r}, "
+                    f"which {proc.name!r} cannot write"
+                )
+            _check_scope(
+                f"assignment in {action.label!r}",
+                assignment.value,
+                reads,
+                const_names,
+            )
+
+        def guard(env, _g=action.guard, _c=constants):
+            return bool(eval_expr(_g, {**_c, **env}))
+
+        def statement(env, _assigns=action.assignments, _c=constants):
+            scope = {**_c, **env}
+            return {
+                a.target: int(eval_expr(a.value, scope)) for a in _assigns
+            }
+
+        actions.append(
+            Action(
+                process=proc.name,
+                guard=guard,
+                statement=statement,
+                label=action.label,
+            )
+        )
+    return actions
+
+
+def compile_protocol(
+    source_or_ast: str | ProtocolDecl,
+    *,
+    allow_self_loops: bool = False,
+) -> tuple[Protocol, Predicate]:
+    """Compile a protocol file (text or parsed AST) to ``(Protocol, invariant)``."""
+    from .parser import parse_protocol
+
+    decl = (
+        parse_protocol(source_or_ast)
+        if isinstance(source_or_ast, str)
+        else source_or_ast
+    )
+    space = build_state_space(decl)
+    constants = _label_constants(decl)
+    name_set = set(decl.variable_names())
+
+    specs = []
+    actions: list[Action] = []
+    for proc in decl.processes:
+        for n in (*proc.reads, *proc.writes):
+            if n not in name_set:
+                raise CompileError(
+                    f"process {proc.name!r} mentions unknown variable {n!r}"
+                )
+        specs.append(
+            ProcessSpec(
+                proc.name,
+                tuple(space.index_of(n) for n in proc.reads),
+                tuple(space.index_of(n) for n in proc.writes),
+            )
+        )
+        actions.extend(_compile_process(proc, constants))
+    topology = Topology(tuple(specs))
+
+    protocol = Protocol.from_actions(
+        space,
+        topology,
+        actions,
+        name=decl.name,
+        allow_self_loops=allow_self_loops,
+    )
+
+    _check_scope("invariant", decl.invariant, name_set, set(constants))
+    arrays = space.named_var_arrays()
+    mask = np.asarray(
+        eval_expr(decl.invariant, {**constants, **arrays}), dtype=bool
+    )
+    if mask.shape != (space.size,):
+        mask = np.broadcast_to(mask, (space.size,)).copy()
+    invariant = Predicate(space, mask)
+    return protocol, invariant

@@ -1,0 +1,90 @@
+"""Tokenizer for the protocol language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+KEYWORDS = {
+    "protocol",
+    "var",
+    "process",
+    "reads",
+    "writes",
+    "action",
+    "invariant",
+}
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"(#|//)[^\n]*"),
+    ("ARROW", r"->"),
+    ("ASSIGN", r":="),
+    ("DOTDOT", r"\.\."),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("LT", r"<"),
+    ("GT", r">"),
+    ("NOT", r"!"),
+    ("AND", r"&&?"),
+    ("OR", r"\|\|?"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("PERCENT", r"%"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("INT", r"\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("NEWLINE", r"\n"),
+    ("WS", r"[ \t\r]+"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pat})" for name, pat in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(ValueError):
+    """Unrecognised input character."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a protocol file; comments and whitespace are dropped."""
+    out: list[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _MASTER.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise LexError(
+                f"unexpected character {source[pos]!r} at line {line}, "
+                f"column {column}"
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            if kind == "IDENT" and text in KEYWORDS:
+                kind = text.upper()
+            out.append(Token(kind, text, line, pos - line_start + 1))
+        pos = match.end()
+    out.append(Token("EOF", "", line, pos - line_start + 1))
+    return out

@@ -1,0 +1,154 @@
+"""Two-level minimisation of guards over finite-domain variables.
+
+Synthesized recovery comes out of the heuristic as sets of ``(rcode, wcode)``
+groups — one minterm per readable valuation.  To print paper-style actions
+(``m4=left ∧ m0=self ∧ m1=right -> m0 := self``) the minterms of each
+assignment are merged into a small cover of *multi-valued cubes* (a cube
+allows a set of values per variable), Quine–McCluskey style: repeatedly merge
+cubes that differ in a single variable, then greedily pick a minimal
+irredundant cover of the original minterms.
+
+Domains here are tiny (2-5 values, 2-5 readable variables), so the simple
+O(n²)-per-round merging is nowhere near a bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: a cube: one frozenset of allowed values per variable
+Cube = tuple[frozenset[int], ...]
+
+
+def minterm_to_cube(values: Sequence[int]) -> Cube:
+    return tuple(frozenset((v,)) for v in values)
+
+
+def cube_covers(cube: Cube, minterm: Sequence[int]) -> bool:
+    return all(v in allowed for v, allowed in zip(minterm, cube))
+
+
+def _try_merge(a: Cube, b: Cube) -> Cube | None:
+    """Merge two cubes that agree everywhere except one position."""
+    diff = -1
+    for i, (sa, sb) in enumerate(zip(a, b)):
+        if sa != sb:
+            if diff >= 0:
+                return None
+            diff = i
+    if diff < 0:
+        return a  # identical
+    merged = list(a)
+    merged[diff] = a[diff] | b[diff]
+    return tuple(merged)
+
+
+def expand_cubes(minterms: Iterable[Sequence[int]]) -> set[Cube]:
+    """All maximal cubes obtainable by pairwise merging (the prime cubes of
+    the merge closure)."""
+    current: set[Cube] = {minterm_to_cube(m) for m in minterms}
+    while True:
+        merged_any = False
+        next_gen: set[Cube] = set()
+        used: set[Cube] = set()
+        cubes = sorted(current, key=lambda c: tuple(sorted(map(sorted, c))))
+        for i, a in enumerate(cubes):
+            for b in cubes[i + 1 :]:
+                m = _try_merge(a, b)
+                if m is not None and m != a and m != b:
+                    next_gen.add(m)
+                    used.add(a)
+                    used.add(b)
+                    merged_any = True
+        if not merged_any:
+            return current
+        current = (current - used) | next_gen
+
+
+def minimize_cover(
+    minterms: Sequence[Sequence[int]], domains: Sequence[int] | None = None
+) -> list[Cube]:
+    """A small irredundant cover of ``minterms`` by multi-valued cubes.
+
+    Greedy set cover over the merge-closure cubes: pick the cube covering the
+    most uncovered minterms, prefer larger (more general) cubes on ties.
+    Sound and complete w.r.t. the minterm set: the union of returned cubes
+    covers exactly the merge-closure of the minterms, which equals the
+    minterm set itself (merging never adds points outside the input since a
+    merged cube's points are a subset of the union of its parents' points —
+    *not* true in general for multi-valued merge, so covered points are
+    re-checked against the input set below).
+    """
+    minterm_set = {tuple(m) for m in minterms}
+    if not minterm_set:
+        return []
+    cubes = expand_cubes(minterm_set)
+    # Multi-valued merging can overshoot (a ∪ b on one axis may admit points
+    # that were never minterms when other cubes were involved) — keep only
+    # cubes that stay inside the minterm set.
+    sound = [c for c in cubes if _points_within(c, minterm_set)]
+    uncovered = set(minterm_set)
+    cover: list[Cube] = []
+    while uncovered:
+        best = max(
+            sound,
+            key=lambda c: (
+                sum(1 for m in uncovered if cube_covers(c, m)),
+                _cube_volume(c),
+            ),
+        )
+        gained = {m for m in uncovered if cube_covers(best, m)}
+        if not gained:  # pragma: no cover - cannot happen: minterm cubes exist
+            raise AssertionError("cover construction stalled")
+        uncovered -= gained
+        cover.append(best)
+    return cover
+
+
+def _cube_volume(cube: Cube) -> int:
+    out = 1
+    for s in cube:
+        out *= len(s)
+    return out
+
+
+def _points_within(cube: Cube, minterm_set: set[tuple[int, ...]]) -> bool:
+    """Does every point of the cube belong to the minterm set?"""
+
+    def rec(i: int, acc: list[int]) -> bool:
+        if i == len(cube):
+            return tuple(acc) in minterm_set
+        for v in cube[i]:
+            acc.append(v)
+            ok = rec(i + 1, acc)
+            acc.pop()
+            if not ok:
+                return False
+        return True
+
+    return rec(0, [])
+
+
+def cube_to_str(
+    cube: Cube,
+    var_names: Sequence[str],
+    domains: Sequence[int],
+    value_label=None,
+) -> str:
+    """Render a cube as a conjunction; full-domain variables are elided."""
+    label = value_label or (lambda var, v: str(v))
+    parts: list[str] = []
+    for i, allowed in enumerate(cube):
+        d = domains[i]
+        if len(allowed) == d:
+            continue
+        if len(allowed) == 1:
+            (v,) = allowed
+            parts.append(f"{var_names[i]} = {label(i, v)}")
+        elif len(allowed) == d - 1:
+            (v,) = set(range(d)) - allowed
+            parts.append(f"{var_names[i]} != {label(i, v)}")
+        else:
+            vals = " | ".join(label(i, v) for v in sorted(allowed))
+            parts.append(f"{var_names[i]} in {{{vals}}}")
+    return " & ".join(parts) if parts else "true"

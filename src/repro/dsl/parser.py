@@ -1,0 +1,244 @@
+"""Recursive-descent parser for the protocol language.
+
+Grammar (EBNF-ish)::
+
+    file       = "protocol" IDENT { vardecl | procdecl } "invariant" expr
+    vardecl    = "var" names ":" domain
+    names      = IDENT { "," IDENT }
+    domain     = INT ".." INT | "{" IDENT { "," IDENT } "}"
+    procdecl   = "process" IDENT "reads" names "writes" names { action }
+    action     = "action" [ IDENT ":" ] expr "->" assign { "," assign }
+    assign     = IDENT ":=" expr
+    expr       = orexpr
+    orexpr     = andexpr { "|" andexpr }
+    andexpr    = notexpr { "&" notexpr }
+    notexpr    = "!" notexpr | cmpexpr
+    cmpexpr    = addexpr [ ("=="|"!="|"<"|"<="|">"|">=") addexpr ]
+    addexpr    = mulexpr { ("+"|"-") mulexpr }
+    mulexpr    = unary { ("*"|"%") unary }
+    unary      = "-" unary | atom
+    atom       = INT | IDENT | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ActionDecl,
+    Assignment,
+    BinOp,
+    Domain,
+    Expr,
+    IntLit,
+    Name,
+    ProcessDecl,
+    ProtocolDecl,
+    UnaryOp,
+    VarDecl,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Syntax error with location information."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"{message} at line {token.line}, column {token.column} "
+            f"(found {token.kind} {token.text!r})"
+        )
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, *kinds: str) -> bool:
+        return self.current.kind in kinds
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if not self.at(kind):
+            raise ParseError(f"expected {kind}", self.current)
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def parse_file(self) -> ProtocolDecl:
+        self.expect("PROTOCOL")
+        name = self.expect("IDENT").text
+        variables: list[VarDecl] = []
+        processes: list[ProcessDecl] = []
+        invariant: Expr | None = None
+        while not self.at("EOF"):
+            if self.at("VAR"):
+                variables.append(self.parse_vardecl())
+            elif self.at("PROCESS"):
+                processes.append(self.parse_procdecl())
+            elif self.at("INVARIANT"):
+                self.advance()
+                if invariant is not None:
+                    raise ParseError("duplicate invariant", self.current)
+                invariant = self.parse_expr()
+            else:
+                raise ParseError(
+                    "expected 'var', 'process' or 'invariant'", self.current
+                )
+        if invariant is None:
+            raise ParseError("missing invariant declaration", self.current)
+        if not variables:
+            raise ParseError("no variables declared", self.current)
+        if not processes:
+            raise ParseError("no processes declared", self.current)
+        return ProtocolDecl(
+            name=name,
+            variables=tuple(variables),
+            processes=tuple(processes),
+            invariant=invariant,
+        )
+
+    def parse_names(self) -> tuple[str, ...]:
+        names = [self.expect("IDENT").text]
+        while self.at("COMMA"):
+            self.advance()
+            names.append(self.expect("IDENT").text)
+        return tuple(names)
+
+    def parse_vardecl(self) -> VarDecl:
+        self.expect("VAR")
+        names = self.parse_names()
+        self.expect("COLON")
+        if self.at("INT"):
+            lo = int(self.advance().text)
+            self.expect("DOTDOT")
+            hi = int(self.expect("INT").text)
+            if lo != 0:
+                raise ParseError("domains must start at 0", self.current)
+            if hi < lo:
+                raise ParseError("empty domain", self.current)
+            return VarDecl(names, Domain(size=hi - lo + 1))
+        self.expect("LBRACE")
+        labels = [self.expect("IDENT").text]
+        while self.at("COMMA"):
+            self.advance()
+            labels.append(self.expect("IDENT").text)
+        self.expect("RBRACE")
+        return VarDecl(names, Domain(size=len(labels), labels=tuple(labels)))
+
+    def parse_procdecl(self) -> ProcessDecl:
+        self.expect("PROCESS")
+        name = self.expect("IDENT").text
+        self.expect("READS")
+        reads = self.parse_names()
+        self.expect("WRITES")
+        writes = self.parse_names()
+        actions: list[ActionDecl] = []
+        while self.at("ACTION"):
+            actions.append(self.parse_action(f"{name}.A{len(actions)}"))
+        return ProcessDecl(
+            name=name, reads=reads, writes=writes, actions=tuple(actions)
+        )
+
+    def parse_action(self, default_label: str) -> ActionDecl:
+        self.expect("ACTION")
+        label = default_label
+        if self.at("IDENT") and self.tokens[self.pos + 1].kind == "COLON":
+            label = self.advance().text
+            self.advance()  # colon
+        guard = self.parse_expr()
+        self.expect("ARROW")
+        assignments = [self.parse_assignment()]
+        while self.at("COMMA"):
+            self.advance()
+            assignments.append(self.parse_assignment())
+        return ActionDecl(label=label, guard=guard, assignments=tuple(assignments))
+
+    def parse_assignment(self) -> Assignment:
+        target = self.expect("IDENT").text
+        self.expect("ASSIGN")
+        return Assignment(target=target, value=self.parse_expr())
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at("OR"):
+            self.advance()
+            left = BinOp("|", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.at("AND"):
+            self.advance()
+            left = BinOp("&", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.at("NOT"):
+            self.advance()
+            return UnaryOp("!", self.parse_not())
+        return self.parse_cmp()
+
+    _CMP = {"EQ": "==", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        if self.current.kind in self._CMP:
+            op = self._CMP[self.advance().kind]
+            return BinOp(op, left, self.parse_add())
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.at("PLUS", "MINUS"):
+            op = "+" if self.advance().kind == "PLUS" else "-"
+            left = BinOp(op, left, self.parse_mul())
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while self.at("STAR", "PERCENT"):
+            op = "*" if self.advance().kind == "STAR" else "%"
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.at("MINUS"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        if self.at("INT"):
+            return IntLit(int(self.advance().text))
+        if self.at("IDENT"):
+            return Name(self.advance().text)
+        if self.at("LPAREN"):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        raise ParseError("expected expression", self.current)
+
+
+def parse_protocol(source: str) -> ProtocolDecl:
+    """Parse a protocol file into its AST."""
+    return Parser(tokenize(source)).parse_file()

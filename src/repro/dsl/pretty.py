@@ -1,0 +1,202 @@
+"""Pretty-print protocols back into Dijkstra guarded commands.
+
+Turns group sets into the action style the paper prints: per process, the
+``(rcode, wcode)`` groups are first fitted against *relative* assignment
+patterns (``x_j := x_{j-1} + c  (mod d)`` — how Dijkstra's token ring reads),
+and remaining groups are emitted as constant assignments with two-level
+minimised guards (how the paper prints its synthesized matching protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..protocol.protocol import Protocol
+from .minimize import cube_to_str, minimize_cover
+
+
+@dataclass(frozen=True)
+class GuardedCommand:
+    """One printable action of one process."""
+
+    process: str
+    guard: str
+    statement: str
+
+    def __str__(self) -> str:
+        return f"{self.guard}  -->  {self.statement}"
+
+
+def _relative_patterns(table, groups):
+    """Partition single-writer groups by relative pattern ``w := read_v + c``.
+
+    Returns ``(pattern_buckets, leftovers)`` where ``pattern_buckets`` maps
+    ``(read_pos, offset)`` to the rcodes it explains.  Only useful when the
+    process writes exactly one variable.
+    """
+    if len(table.write_vars) != 1:
+        return {}, list(groups)
+    w_var = table.write_vars[0]
+    d = int(table.w_radices[0])
+    by_rcode: dict[int, int] = {}
+    for rcode, wcode in groups:
+        by_rcode[rcode] = wcode  # one target per rcode per pattern bucket
+    buckets: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    leftovers: list[tuple[int, int]] = []
+    for rcode, wcode in sorted(groups):
+        rvals = table.values_of_rcode(rcode)
+        wval = table.values_of_wcode(wcode)[0]
+        placed = False
+        for pos, rv in enumerate(rvals):
+            if table.read_vars[pos] == w_var:
+                continue  # w := w + c is a rotation, rarely the intent
+            if rv >= d:
+                continue
+            offset = (wval - rv) % d
+            buckets.setdefault((pos, offset), []).append((rcode, wcode))
+            placed = True
+        if not placed:
+            leftovers.append((rcode, wcode))
+    return buckets, leftovers
+
+
+def _relational_guard(
+    table, minterms: list[tuple[int, ...]], read_names: Sequence[str]
+) -> str | None:
+    """Recognise guards that are exactly one relational atom.
+
+    Checks whether the minterm set equals ``{r : r[p] == r[q] + c (mod d)}``
+    or its complement for some variable pair — so Dijkstra's
+    ``x1 != x0 -> x1 := x0`` prints in its native form rather than as a
+    disjunction of value cubes.
+    """
+    n = len(table.read_vars)
+    mset = {tuple(m) for m in minterms}
+    universe = [table.values_of_rcode(r) for r in range(table.n_rvals)]
+    max_d = max(int(r) for r in table.r_radices)
+    # smallest offsets first, so "x1 = x0 + 1" is preferred over the
+    # equivalent "x0 = x1 + 2 (mod 3)" — the form the paper prints
+    for c in range(max_d):
+        for p in range(n):
+            dp = int(table.r_radices[p])
+            if c >= dp:
+                continue
+            for q in range(n):
+                if p == q or int(table.r_radices[q]) != dp:
+                    continue
+                atom = {r for r in universe if r[p] == (r[q] + c) % dp}
+                suffix = "" if c == 0 else f" + {c} (mod {dp})"
+                if mset == atom:
+                    return f"{read_names[p]} = {read_names[q]}{suffix}"
+                if mset == set(universe) - atom:
+                    return f"{read_names[p]} != {read_names[q]}{suffix}"
+    return None
+
+
+def process_actions(
+    protocol: Protocol,
+    process: int,
+    groups: Iterable[tuple[int, int]] | None = None,
+    *,
+    use_relative: bool = True,
+) -> list[GuardedCommand]:
+    """Guarded commands describing the given groups of one process."""
+    table = protocol.tables[process]
+    space = protocol.space
+    name = protocol.topology[process].name
+    groups = set(groups if groups is not None else protocol.groups[process])
+    if not groups:
+        return []
+    read_names = [space.variables[v].name for v in table.read_vars]
+    domains = [int(r) for r in table.r_radices]
+
+    def label(pos: int, value: int) -> str:
+        return space.variables[table.read_vars[pos]].label(value)
+
+    out: list[GuardedCommand] = []
+    remaining = set(groups)
+
+    if use_relative and len(table.write_vars) == 1:
+        w_name = space.variables[table.write_vars[0]].name
+        d = int(table.w_radices[0])
+        while remaining:
+            buckets, _ = _relative_patterns(table, remaining)
+            # keep only buckets that explain >= 2 groups and beat constants
+            buckets = {
+                key: [g for g in gs if g in remaining]
+                for key, gs in buckets.items()
+            }
+            buckets = {k: v for k, v in buckets.items() if len(v) >= 2}
+            if not buckets:
+                break
+            (pos, offset), covered = max(
+                buckets.items(), key=lambda kv: (len(kv[1]), -kv[0][1])
+            )
+            minterms = [table.values_of_rcode(r) for r, _ in sorted(covered)]
+            guard = _relational_guard(table, minterms, read_names)
+            if guard is None:
+                cover = minimize_cover(minterms, domains)
+                guard = " | ".join(
+                    f"({cube_to_str(c, read_names, domains, label)})"
+                    if len(cover) > 1
+                    else cube_to_str(c, read_names, domains, label)
+                    for c in cover
+                )
+            src = read_names[pos]
+            if offset == 0:
+                stmt = f"{w_name} := {src}"
+            else:
+                shown = offset if offset <= d - offset else offset - d
+                op = "+" if shown > 0 else "-"
+                stmt = f"{w_name} := {src} {op} {abs(shown)} (mod {d})"
+            out.append(GuardedCommand(name, guard, stmt))
+            remaining -= set(covered)
+
+    # constant assignments for whatever is left, grouped by target wcode
+    by_wcode: dict[int, list[int]] = {}
+    for rcode, wcode in sorted(remaining):
+        by_wcode.setdefault(wcode, []).append(rcode)
+    for wcode, rcodes in sorted(by_wcode.items()):
+        minterms = [table.values_of_rcode(r) for r in rcodes]
+        guard = _relational_guard(table, minterms, read_names)
+        if guard is None:
+            cover = minimize_cover(minterms, domains)
+            guard = " | ".join(
+                f"({cube_to_str(c, read_names, domains, label)})"
+                if len(cover) > 1
+                else cube_to_str(c, read_names, domains, label)
+                for c in cover
+            )
+        wvals = table.values_of_wcode(wcode)
+        stmt = ", ".join(
+            f"{space.variables[v].name} := {space.variables[v].label(val)}"
+            for v, val in zip(table.write_vars, wvals)
+        )
+        out.append(GuardedCommand(name, guard, stmt))
+    return out
+
+
+def format_protocol(
+    protocol: Protocol,
+    *,
+    added_only: Sequence[Iterable[tuple[int, int]]] | None = None,
+    use_relative: bool = True,
+) -> str:
+    """Render a whole protocol (or just its added recovery) as actions."""
+    lines: list[str] = []
+    for j in range(protocol.n_processes):
+        groups = (
+            added_only[j] if added_only is not None else protocol.groups[j]
+        )
+        actions = process_actions(
+            protocol, j, groups, use_relative=use_relative
+        )
+        pname = protocol.topology[j].name
+        if not actions:
+            lines.append(f"{pname}: (no actions)")
+            continue
+        lines.append(f"{pname}:")
+        for action in actions:
+            lines.append(f"  {action}")
+    return "\n".join(lines)

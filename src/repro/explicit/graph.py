@@ -1,0 +1,148 @@
+"""Group-collection views for the explicit engine.
+
+Synthesis manipulates *collections of groups* rather than raw edge lists;
+a :class:`TransitionView` iterates the vectorised ``(src, dst)`` arrays of
+such a collection without materialising the full edge list (which for the
+larger sweeps would not fit comfortably in memory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..protocol.groups import GroupId, ProcessGroupTable
+from ..protocol.protocol import Protocol
+from ..protocol.state_space import STATE_DTYPE
+
+
+class TransitionView:
+    """An iterable of ``(src, dst)`` arrays over a set of transition groups."""
+
+    def __init__(
+        self,
+        tables: Sequence[ProcessGroupTable],
+        group_ids: Iterable[GroupId],
+    ):
+        self.tables = tables
+        self.group_ids: list[GroupId] = list(group_ids)
+
+    @classmethod
+    def of_protocol(
+        cls, protocol: Protocol, extra: Iterable[GroupId] = ()
+    ) -> "TransitionView":
+        gids = list(protocol.iter_group_ids())
+        gids.extend(extra)
+        return cls(protocol.tables, gids)
+
+    @classmethod
+    def of_groups(
+        cls,
+        tables: Sequence[ProcessGroupTable],
+        groups: Sequence[Iterable[tuple[int, int]]],
+        extra: Iterable[GroupId] = (),
+    ) -> "TransitionView":
+        gids: list[GroupId] = [
+            (j, r, w) for j, gs in enumerate(groups) for (r, w) in gs
+        ]
+        gids.extend(extra)
+        return cls(tables, gids)
+
+    def __len__(self) -> int:
+        return len(self.group_ids)
+
+    def pairs(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield the ``(src, dst)`` arrays of each group."""
+        for j, rcode, wcode in self.group_ids:
+            yield self.tables[j].pairs(rcode, wcode)
+
+    def pairs_with_ids(
+        self,
+    ) -> Iterator[tuple[GroupId, np.ndarray, np.ndarray]]:
+        for gid in self.group_ids:
+            j, rcode, wcode = gid
+            src, dst = self.tables[j].pairs(rcode, wcode)
+            yield gid, src, dst
+
+    def edge_arrays(
+        self, within: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialised edge list, optionally restricted to ``within`` endpoints."""
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        for src, dst in self.pairs():
+            if within is not None:
+                keep = within[src] & within[dst]
+                src, dst = src[keep], dst[keep]
+            if len(src):
+                srcs.append(src)
+                dsts.append(dst)
+        if not srcs:
+            empty = np.empty(0, dtype=STATE_DTYPE)
+            return empty, empty
+        return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def forward_reachable(
+    view: TransitionView,
+    start: np.ndarray,
+    size: int,
+    within: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean mask of states reachable from ``start`` (mask or index array).
+
+    ``within`` restricts traversal to transitions with both endpoints inside
+    the mask; start states outside ``within`` are dropped.
+    """
+    visited = np.zeros(size, dtype=bool)
+    if start.dtype == np.bool_:
+        visited |= start
+    else:
+        visited[start] = True
+    if within is not None:
+        visited &= within
+    frontier = visited.copy()
+    while frontier.any():
+        new = np.zeros(size, dtype=bool)
+        for src, dst in view.pairs():
+            sel = frontier[src]
+            if within is not None:
+                sel &= within[dst]
+            hit = dst[sel]
+            if len(hit):
+                new[hit] = True
+        new &= ~visited
+        visited |= new
+        frontier = new
+    return visited
+
+
+def backward_reachable(
+    view: TransitionView,
+    target: np.ndarray,
+    size: int,
+    within: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean mask of states that can reach ``target`` (mask or index array)."""
+    visited = np.zeros(size, dtype=bool)
+    if target.dtype == np.bool_:
+        visited |= target
+    else:
+        visited[target] = True
+    if within is not None:
+        visited &= within
+    frontier = visited.copy()
+    while frontier.any():
+        new = np.zeros(size, dtype=bool)
+        for src, dst in view.pairs():
+            sel = frontier[dst]
+            if within is not None:
+                sel &= within[src]
+            hit = src[sel]
+            if len(hit):
+                new[hit] = True
+        new &= ~visited
+        visited |= new
+        frontier = new
+    return visited

@@ -1,0 +1,26 @@
+"""Transient faults, daemons and the execution simulator."""
+
+from .daemons import AdversarialDaemon, Daemon, RandomDaemon, RoundRobinDaemon
+from .injection import FaultModel, random_state, random_states
+from .simulator import (
+    ConvergenceStats,
+    Trace,
+    measure_convergence,
+    run,
+    run_with_faults,
+)
+
+__all__ = [
+    "AdversarialDaemon",
+    "ConvergenceStats",
+    "Daemon",
+    "FaultModel",
+    "RandomDaemon",
+    "RoundRobinDaemon",
+    "Trace",
+    "measure_convergence",
+    "random_state",
+    "random_states",
+    "run",
+    "run_with_faults",
+]

@@ -1,0 +1,97 @@
+"""Execution daemons (schedulers).
+
+A computation of a protocol is an interleaving of enabled actions
+(Section II).  Who gets to move is decided by a *daemon*; the classic
+self-stabilization literature distinguishes the central daemon (one enabled
+process fires per step — the model this paper uses), randomized daemons and
+round-robin-style fair daemons.  These drive the simulator and the empirical
+convergence experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..protocol.groups import GroupId
+from ..protocol.protocol import Protocol
+
+
+class Daemon(ABC):
+    """Chooses which enabled transition fires at each step."""
+
+    @abstractmethod
+    def choose(self, protocol: Protocol, state: int, enabled: list[GroupId]) -> GroupId:
+        """Pick one of the enabled groups (``enabled`` is non-empty)."""
+
+    def reset(self) -> None:  # pragma: no cover - default no-op
+        """Forget scheduling state before a fresh run."""
+
+
+class RandomDaemon(Daemon):
+    """Uniformly random central daemon (deterministic per seed)."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, protocol, state, enabled):
+        return self._rng.choice(enabled)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class RoundRobinDaemon(Daemon):
+    """Cycles through processes; a process fires only when enabled.
+
+    Within a process, ties between several enabled groups are broken by the
+    lowest ``(rcode, wcode)`` — deterministic, which makes executions
+    replayable (the Gouda–Acharya cycle replay uses exactly this shape).
+    """
+
+    def __init__(self, order: Sequence[int] | None = None):
+        self._order = list(order) if order is not None else None
+        self._pos = 0
+
+    def choose(self, protocol, state, enabled):
+        order = self._order if self._order is not None else list(
+            range(protocol.n_processes)
+        )
+        by_proc: dict[int, list[GroupId]] = {}
+        for gid in enabled:
+            by_proc.setdefault(gid[0], []).append(gid)
+        for _ in range(len(order)):
+            proc = order[self._pos % len(order)]
+            self._pos += 1
+            if proc in by_proc:
+                return min(by_proc[proc])
+        # no process in the order is enabled (cannot happen: enabled != [])
+        return min(enabled)
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+class AdversarialDaemon(Daemon):
+    """Prefers moves that stay *outside* the invariant — a worst-case daemon
+    for probing convergence (it seeks non-progress behaviour)."""
+
+    def __init__(self, invariant_mask, seed: int = 0):
+        self._mask = invariant_mask
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, protocol, state, enabled):
+        bad = []
+        for gid in enabled:
+            j, rcode, wcode = gid
+            target = int(state + protocol.tables[j].deltas[rcode, wcode])
+            if not self._mask[target]:
+                bad.append(gid)
+        pool = bad if bad else enabled
+        return self._rng.choice(pool)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,49 @@
+"""Transient-fault injection.
+
+Transient faults (the paper's motivation: soft errors, loss of coordination,
+bad initialisation) perturb variables to arbitrary values but stop occurring
+— modelled as state corruption events applied to a running protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from ..protocol.state_space import StateSpace
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """How a transient fault corrupts a state.
+
+    ``max_vars`` variables (chosen uniformly) are set to uniformly random
+    values from their domains.  ``max_vars=None`` corrupts every variable —
+    a fully arbitrary restart, the adversary self-stabilization defends
+    against.
+    """
+
+    max_vars: int | None = None
+
+    def corrupt(self, space: StateSpace, state: int, rng: random.Random) -> int:
+        values = list(space.decode(state))
+        n = space.n_vars
+        count = n if self.max_vars is None else min(self.max_vars, n)
+        victims = rng.sample(range(n), count)
+        for v in victims:
+            values[v] = rng.randrange(space.variables[v].domain_size)
+        return space.encode(values)
+
+
+def random_state(space: StateSpace, rng: random.Random) -> int:
+    """A uniformly random state (what an arbitrary transient burst leaves)."""
+    values = [
+        rng.randrange(v.domain_size) for v in space.variables
+    ]
+    return space.encode(values)
+
+
+def random_states(
+    space: StateSpace, count: int, *, seed: int = 0
+) -> list[int]:
+    rng = random.Random(seed)
+    return [random_state(space, rng) for _ in range(count)]

@@ -1,0 +1,168 @@
+"""Execution simulator: run protocols under daemons, inject faults, measure
+empirical convergence.
+
+The paper's correctness claims are verified exactly by :mod:`repro.verify`;
+the simulator complements them with *observable* behaviour — recovery-time
+distributions, token traces, before/after fault demonstrations — used by the
+examples and as a statistical cross-check in the test suite (a strongly
+stabilizing protocol must converge on every simulated run).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .daemons import Daemon, RandomDaemon
+from .injection import FaultModel, random_state
+
+
+@dataclass
+class Trace:
+    """One simulated execution."""
+
+    states: list[int]
+    processes: list[int]  # acting process per step (len == len(states) - 1)
+    converged: bool
+    steps_to_converge: int | None
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def run(
+    protocol: Protocol,
+    start: int,
+    *,
+    invariant: Predicate | None = None,
+    daemon: Daemon | None = None,
+    max_steps: int = 10_000,
+    stop_on_convergence: bool = True,
+) -> Trace:
+    """Execute from ``start`` until convergence, deadlock or ``max_steps``.
+
+    Convergence means *reaching* the invariant; with
+    ``stop_on_convergence=False`` the run continues inside it (useful for
+    observing closure, e.g. the circulating token).
+    """
+    daemon = daemon if daemon is not None else RandomDaemon()
+    states = [start]
+    processes: list[int] = []
+    converged = invariant is not None and start in invariant
+    steps_to_converge = 0 if converged else None
+    state = start
+    for step in range(max_steps):
+        if converged and stop_on_convergence:
+            break
+        enabled = protocol.enabled_groups(state)
+        if not enabled:
+            break
+        gid = daemon.choose(protocol, state, enabled)
+        j, rcode, wcode = gid
+        state = int(state + protocol.tables[j].deltas[rcode, wcode])
+        states.append(state)
+        processes.append(j)
+        if not converged and invariant is not None and state in invariant:
+            converged = True
+            steps_to_converge = step + 1
+    return Trace(
+        states=states,
+        processes=processes,
+        converged=converged,
+        steps_to_converge=steps_to_converge,
+    )
+
+
+@dataclass
+class ConvergenceStats:
+    """Aggregate of many fault-recovery runs."""
+
+    runs: int
+    converged: int
+    steps: list[int] = field(default_factory=list)
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged / self.runs if self.runs else 0.0
+
+    @property
+    def mean_steps(self) -> float:
+        return sum(self.steps) / len(self.steps) if self.steps else 0.0
+
+    @property
+    def max_steps(self) -> int:
+        return max(self.steps) if self.steps else 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.converged}/{self.runs} runs converged "
+            f"(mean {self.mean_steps:.1f} steps, worst {self.max_steps})"
+        )
+
+
+def measure_convergence(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    runs: int = 100,
+    seed: int = 0,
+    daemon_factory: Callable[[int], Daemon] | None = None,
+    max_steps: int = 10_000,
+) -> ConvergenceStats:
+    """Drop the protocol into ``runs`` random states and let it recover."""
+    rng = random.Random(seed)
+    stats = ConvergenceStats(runs=runs, converged=0)
+    for r in range(runs):
+        start = random_state(protocol.space, rng)
+        daemon = (
+            daemon_factory(r) if daemon_factory is not None else RandomDaemon(seed=r)
+        )
+        trace = run(
+            protocol,
+            start,
+            invariant=invariant,
+            daemon=daemon,
+            max_steps=max_steps,
+        )
+        if trace.converged:
+            stats.converged += 1
+            stats.steps.append(trace.steps_to_converge or 0)
+    return stats
+
+
+def run_with_faults(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    fault_model: FaultModel | None = None,
+    n_faults: int = 3,
+    steps_between_faults: int = 200,
+    seed: int = 0,
+    daemon: Daemon | None = None,
+) -> list[Trace]:
+    """Alternate fault bursts and recovery phases; one trace per phase.
+
+    Starts inside the invariant, corrupts the state, lets the protocol
+    recover, repeats — the full closure-and-convergence story of a
+    self-stabilizing protocol in one experiment.
+    """
+    fault_model = fault_model or FaultModel()
+    rng = random.Random(seed)
+    daemon = daemon if daemon is not None else RandomDaemon(seed)
+    state = invariant.sample()
+    traces: list[Trace] = []
+    for _ in range(n_faults):
+        state = fault_model.corrupt(protocol.space, state, rng)
+        trace = run(
+            protocol,
+            state,
+            invariant=invariant,
+            daemon=daemon,
+            max_steps=steps_between_faults,
+        )
+        traces.append(trace)
+        state = trace.states[-1]
+    return traces

@@ -1,0 +1,6 @@
+"""Instrumentation: phase timers, counters and report rendering."""
+
+from .reporting import ResultTable, format_value, render_tables
+from .stats import SynthesisStats
+
+__all__ = ["ResultTable", "SynthesisStats", "format_value", "render_tables"]

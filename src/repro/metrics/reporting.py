@@ -1,0 +1,82 @@
+"""Rendering experiment results: aligned text tables and CSV export.
+
+The benchmark harness prints one table per paper figure; this module holds
+the reusable pieces — a tiny column-typed table with text/CSV/markdown
+rendering — so results can also be exported for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of measurement rows."""
+
+    title: str
+    columns: Sequence[str]
+    note: str = ""
+    rows: list[list] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells; table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        cells = [[format_value(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        if self.note:
+            lines.append(f"   {self.note}")
+        lines.append(
+            "   " + "  ".join(str(c).rjust(w) for c, w in zip(self.columns, widths))
+        )
+        for row in cells:
+            lines.append("   " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        lines = [
+            "| " + " | ".join(str(c) for c in self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(format_value(c) for c in row) + " |"
+            )
+        return "\n".join(lines)
+
+    def write_csv(self, path) -> None:
+        with open(path, "w", newline="") as handle:
+            handle.write(self.to_csv())
+
+
+def render_tables(tables: Iterable[ResultTable]) -> str:
+    return "\n\n".join(t.to_text() for t in tables)

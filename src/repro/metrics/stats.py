@@ -1,0 +1,102 @@
+"""Phase timers and counters.
+
+The paper's evaluation (Section VII) reports *ranking time*, *SCC-detection
+time* and *total execution time* per synthesis run, plus space in BDD nodes.
+:class:`SynthesisStats` collects exactly those series so that the benchmark
+harness can print figure rows straight from a run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SynthesisStats:
+    """Timers (seconds) and counters accumulated during one synthesis run."""
+
+    timers: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    #: sizes (in states) of every cyclic SCC encountered during cycle resolution
+    scc_sizes: list[int] = field(default_factory=list)
+    #: sizes (in BDD nodes) of the same SCCs — symbolic engine only; this is
+    #: the unit of the paper's "Average SCC Size" space figures
+    scc_bdd_sizes: list[int] = field(default_factory=list)
+    #: BDD node counts, filled in by the symbolic engine / space reporting
+    bdd_nodes: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = self.timers.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def bump(self, name: str, by: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def record_sccs(
+        self, sizes: list[int], bdd_sizes: list[int] | None = None
+    ) -> None:
+        self.scc_sizes.extend(sizes)
+        if bdd_sizes is not None:
+            self.scc_bdd_sizes.extend(bdd_sizes)
+        self.bump("scc_detections")
+
+    @property
+    def average_scc_bdd_size(self) -> float:
+        if not self.scc_bdd_sizes:
+            return 0.0
+        return sum(self.scc_bdd_sizes) / len(self.scc_bdd_sizes)
+
+    # ------------------------------------------------------------------
+    # the paper's reported quantities
+    # ------------------------------------------------------------------
+    @property
+    def ranking_time(self) -> float:
+        return self.timers.get("ranking", 0.0)
+
+    @property
+    def scc_time(self) -> float:
+        return self.timers.get("scc", 0.0)
+
+    @property
+    def total_time(self) -> float:
+        return self.timers.get("total", 0.0)
+
+    @property
+    def average_scc_size(self) -> float:
+        if not self.scc_sizes:
+            return 0.0
+        return sum(self.scc_sizes) / len(self.scc_sizes)
+
+    def merge(self, other: "SynthesisStats") -> None:
+        for k, v in other.timers.items():
+            self.timers[k] = self.timers.get(k, 0.0) + v
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        self.scc_sizes.extend(other.scc_sizes)
+        self.bdd_nodes.update(other.bdd_nodes)
+
+    def summary(self) -> str:
+        lines = [
+            f"ranking time      : {self.ranking_time:.4f} s",
+            f"SCC detection time: {self.scc_time:.4f} s",
+            f"total time        : {self.total_time:.4f} s",
+        ]
+        if self.scc_sizes:
+            lines.append(
+                f"SCCs encountered  : {len(self.scc_sizes)} "
+                f"(avg size {self.average_scc_size:.1f} states)"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"{name:<18}: {value}")
+        for name, value in sorted(self.bdd_nodes.items()):
+            lines.append(f"bdd[{name}]: {value} nodes")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Multi-process portfolio synthesis (one heuristic instance per worker)."""
+
+from .pool import ParallelOutcome, synthesize_parallel
+
+__all__ = ["ParallelOutcome", "synthesize_parallel"]

@@ -1,0 +1,102 @@
+"""Parallel portfolio synthesis (paper Figure 1).
+
+"For each schedule, we can instantiate one instance of our heuristic on a
+separate machine" — here, on worker *processes* via ``multiprocessing``.
+Workers race over the configuration portfolio; the first verified success
+wins and the rest are cancelled.
+
+Protocols are rebuilt inside each worker from a picklable spec (a builder
+callable plus arguments) rather than shipping numpy-heavy objects through
+pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.heuristic import HeuristicOptions
+from ..core.synthesizer import SynthesisConfig, default_portfolio
+from ..metrics.stats import SynthesisStats
+
+#: builder: () -> (protocol, invariant); must be a picklable top-level callable
+Builder = Callable[[], tuple]
+
+
+@dataclass
+class ParallelOutcome:
+    """Result of one worker: enough to reconstruct the winning protocol."""
+
+    config: SynthesisConfig
+    success: bool
+    pss_groups: list[set[tuple[int, int]]] | None
+    remaining_deadlocks: int
+    timers: dict[str, float]
+
+
+def _worker(args) -> ParallelOutcome:
+    builder, builder_args, config = args
+    protocol, invariant = builder(*builder_args)
+    from ..core.heuristic import add_strong_convergence
+    from ..verify.stabilization import check_solution
+
+    stats = SynthesisStats()
+    result = add_strong_convergence(
+        protocol,
+        invariant,
+        schedule=config.schedule,
+        options=config.options,
+        stats=stats,
+    )
+    success = result.success
+    if success:
+        success = check_solution(protocol, result.protocol, invariant).ok
+    return ParallelOutcome(
+        config=config,
+        success=success,
+        pss_groups=[set(g) for g in result.protocol.groups] if success else None,
+        remaining_deadlocks=(
+            0 if success else result.remaining_deadlocks.count()
+        ),
+        timers=dict(stats.timers),
+    )
+
+
+def synthesize_parallel(
+    builder: Builder,
+    builder_args: tuple = (),
+    *,
+    configs: Sequence[SynthesisConfig] | None = None,
+    n_workers: int | None = None,
+    base_options: HeuristicOptions | None = None,
+) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
+    """Race the portfolio across worker processes.
+
+    Returns ``(winner_or_best, all_completed_outcomes)``.  Workers that were
+    still running when a success arrived are not awaited (``imap_unordered``
+    short-circuit), mirroring "first machine to find a solution wins".
+    """
+    protocol, _ = builder(*builder_args)
+    config_list = (
+        list(configs)
+        if configs is not None
+        else default_portfolio(protocol.n_processes, base_options=base_options)
+    )
+    if not config_list:
+        raise ValueError("empty portfolio")
+    n_workers = n_workers or min(len(config_list), mp.cpu_count())
+    jobs = [(builder, builder_args, c) for c in config_list]
+    completed: list[ParallelOutcome] = []
+    winner: ParallelOutcome | None = None
+    ctx = mp.get_context("fork")
+    with ctx.Pool(processes=n_workers) as pool:
+        for outcome in pool.imap_unordered(_worker, jobs):
+            completed.append(outcome)
+            if outcome.success:
+                winner = outcome
+                pool.terminate()
+                break
+    if winner is None:
+        winner = min(completed, key=lambda o: o.remaining_deadlocks)
+    return winner, completed

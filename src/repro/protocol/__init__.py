@@ -1,0 +1,43 @@
+"""Protocol-model substrate: variables, states, predicates, groups, protocols."""
+
+from .actions import Action, ActionCompileError, assign, choose, guard_expr
+from .groups import GroupId, GroupInfo, ProcessGroupTable, build_group_tables
+from .predicate import Predicate, conjunction, disjunction, local_conjunction
+from .protocol import Protocol
+from .state_space import STATE_DTYPE, StateSpace
+from .topology import (
+    ProcessSpec,
+    Topology,
+    general_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+)
+from .variables import Variable, make_variables
+
+__all__ = [
+    "Action",
+    "ActionCompileError",
+    "GroupId",
+    "GroupInfo",
+    "Predicate",
+    "ProcessGroupTable",
+    "ProcessSpec",
+    "Protocol",
+    "STATE_DTYPE",
+    "StateSpace",
+    "Topology",
+    "Variable",
+    "assign",
+    "build_group_tables",
+    "choose",
+    "conjunction",
+    "disjunction",
+    "general_topology",
+    "guard_expr",
+    "line_topology",
+    "local_conjunction",
+    "make_variables",
+    "ring_topology",
+    "star_topology",
+]

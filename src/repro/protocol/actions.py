@@ -1,0 +1,137 @@
+"""Guarded-command actions.
+
+The paper uses Dijkstra's guarded commands ``grd -> stmt`` as shorthand for
+sets of transitions.  An :class:`Action` is evaluated over the *local* view
+of its process (the readable variables only), which guarantees by
+construction that the resulting transition set is a union of groups — the
+well-formedness the distribution model demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .groups import ProcessGroupTable
+
+#: A local environment: readable variable name -> value.
+Env = Mapping[str, int]
+#: A statement result: new values for (a subset of) the written variables.
+Update = Mapping[str, int]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One guarded command of one process.
+
+    ``guard`` receives the local environment (readable variables only) and
+    returns whether the action is enabled.  ``statement`` returns either a
+    single update or a list of updates (a nondeterministic action, like the
+    coloring protocol's ``other(x, y)``).  Updates may mention only written
+    variables; unmentioned written variables keep their value.
+    """
+
+    process: str
+    guard: Callable[[Env], bool]
+    statement: Callable[[Env], Update | Sequence[Update]]
+    label: str = ""
+
+    def updates(self, env: Env) -> list[Update]:
+        """Normalised list of updates produced by the statement at ``env``."""
+        result = self.statement(env)
+        if isinstance(result, Mapping):
+            return [result]
+        return list(result)
+
+
+class ActionCompileError(ValueError):
+    """An action is ill-formed w.r.t. its process's read/write sets."""
+
+
+def compile_actions(
+    table: ProcessGroupTable,
+    actions: Iterable[Action],
+    *,
+    allow_self_loops: bool = False,
+) -> set[tuple[int, int]]:
+    """Compile a process's guarded commands into a set of ``(rcode, wcode)`` groups.
+
+    Every readable valuation is enumerated; for each enabled action the
+    statement yields the new written values.  Self-loop results (statement
+    changes nothing) are rejected unless ``allow_self_loops`` — in which case
+    they are silently dropped, since the group model cannot represent them
+    and a stutter adds no behaviour under maximality.
+    """
+    space = table.space
+    read_names = [space.variables[v].name for v in table.read_vars]
+    write_names = [space.variables[v].name for v in table.write_vars]
+    write_set = set(write_names)
+    groups: set[tuple[int, int]] = set()
+    for rcode in range(table.n_rvals):
+        values = table.values_of_rcode(rcode)
+        env = dict(zip(read_names, values))
+        for action in actions:
+            if not action.guard(env):
+                continue
+            for update in action.updates(env):
+                bad = set(update) - write_set
+                if bad:
+                    raise ActionCompileError(
+                        f"action {action.label or action.process!r} writes "
+                        f"non-writable variable(s) {sorted(bad)}"
+                    )
+                new_values = [
+                    int(update.get(name, env[name])) for name in write_names
+                ]
+                for name, val in zip(write_names, new_values):
+                    dom = space.var(name).domain_size
+                    if not 0 <= val < dom:
+                        raise ActionCompileError(
+                            f"action {action.label or action.process!r} assigns "
+                            f"{name}:={val} outside domain [0,{dom})"
+                        )
+                wcode = table.wcode_of_values(new_values)
+                if table.is_self_loop(rcode, wcode):
+                    if allow_self_loops:
+                        continue
+                    raise ActionCompileError(
+                        f"action {action.label or action.process!r} produces a "
+                        f"self-loop at local state {dict(env)} (use "
+                        f"allow_self_loops=True to drop such transitions)"
+                    )
+                groups.add((rcode, wcode))
+    return groups
+
+
+def guard_expr(expr: Callable[..., bool]) -> Callable[[Env], bool]:
+    """Adapt ``lambda x0, x1: ...`` style guards to the Env calling convention."""
+
+    def wrapper(env: Env) -> bool:
+        return bool(expr(**env))
+
+    return wrapper
+
+
+def assign(**updates_from: Callable[..., int] | int) -> Callable[[Env], Update]:
+    """Build a statement from keyword assignments.
+
+    Values may be constants or callables over the local environment, e.g.
+    ``assign(x1=lambda x0, **_: (x0 - 1) % 3)``.
+    """
+
+    def statement(env: Env) -> Update:
+        out: dict[str, int] = {}
+        for name, rhs in updates_from.items():
+            out[name] = int(rhs(**env)) if callable(rhs) else int(rhs)
+        return out
+
+    return statement
+
+
+def choose(*statements: Callable[[Env], Update]) -> Callable[[Env], list[Update]]:
+    """Nondeterministic composition of statements (union of their updates)."""
+
+    def statement(env: Env) -> list[Update]:
+        return [s(env) for s in statements]
+
+    return statement

@@ -1,0 +1,178 @@
+"""State predicates as numpy boolean masks.
+
+A state predicate (Section II) is any subset of the state space.  In the
+explicit engine it is a boolean array of length ``|Sp|``; set algebra is
+array algebra.  Construction helpers evaluate Python expressions over the
+vectorised per-variable value arrays so that arbitrary Boolean expressions
+over variables are evaluated for the whole space at once (no per-state
+Python loop), per the repo's vectorise-the-hot-path rule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .state_space import STATE_DTYPE, StateSpace
+
+
+class Predicate:
+    """An immutable subset of a :class:`StateSpace`."""
+
+    __slots__ = ("space", "mask")
+
+    def __init__(self, space: StateSpace, mask: np.ndarray):
+        if mask.shape != (space.size,) or mask.dtype != np.bool_:
+            raise ValueError("mask must be a bool array over the whole space")
+        self.space = space
+        self.mask = mask
+        self.mask.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, space: StateSpace) -> "Predicate":
+        return cls(space, np.zeros(space.size, dtype=bool))
+
+    @classmethod
+    def universe(cls, space: StateSpace) -> "Predicate":
+        return cls(space, np.ones(space.size, dtype=bool))
+
+    @classmethod
+    def from_states(cls, space: StateSpace, states: Iterable[int]) -> "Predicate":
+        mask = np.zeros(space.size, dtype=bool)
+        idx = np.fromiter(states, dtype=STATE_DTYPE)
+        if idx.size:
+            mask[idx] = True
+        return cls(space, mask)
+
+    @classmethod
+    def from_expr(
+        cls,
+        space: StateSpace,
+        expr: Callable[..., np.ndarray],
+    ) -> "Predicate":
+        """Build from a vectorised expression over named variable arrays.
+
+        ``expr`` receives keyword arguments — one numpy array per protocol
+        variable, named after the variable — and must return a boolean array,
+        e.g. ``lambda x0, x1, **_: x0 == x1``.
+        """
+        arrays = space.named_var_arrays()
+        mask = np.asarray(expr(**arrays), dtype=bool)
+        if mask.shape != (space.size,):
+            mask = np.broadcast_to(mask, (space.size,)).copy()
+        return cls(space, mask)
+
+    @classmethod
+    def from_state_fn(
+        cls, space: StateSpace, fn: Callable[[tuple[int, ...]], bool]
+    ) -> "Predicate":
+        """Build from a per-state Python function (small spaces / tests only)."""
+        mask = np.fromiter(
+            (fn(space.decode(s)) for s in range(space.size)),
+            dtype=bool,
+            count=space.size,
+        )
+        return cls(space, mask)
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def _check(self, other: "Predicate") -> None:
+        if other.space is not self.space:
+            raise ValueError("predicates over different state spaces")
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask & other.mask)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask | other.mask)
+
+    def __sub__(self, other: "Predicate") -> "Predicate":
+        self._check(other)
+        return Predicate(self.space, self.mask & ~other.mask)
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(self.space, ~self.mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.space is other.space and bool(np.array_equal(self.mask, other.mask))
+
+    def __hash__(self) -> int:  # predicates are mask-immutable
+        return hash((id(self.space), self.mask.tobytes()))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, state: int) -> bool:
+        return bool(self.mask[state])
+
+    def __bool__(self) -> bool:
+        return bool(self.mask.any())
+
+    def is_empty(self) -> bool:
+        return not self.mask.any()
+
+    def count(self) -> int:
+        return int(self.mask.sum())
+
+    def states(self) -> np.ndarray:
+        """Array of member state indices (ascending)."""
+        return np.flatnonzero(self.mask).astype(STATE_DTYPE)
+
+    def iter_states(self) -> Iterator[int]:
+        return iter(int(s) for s in np.flatnonzero(self.mask))
+
+    def issubset(self, other: "Predicate") -> bool:
+        self._check(other)
+        return not (self.mask & ~other.mask).any()
+
+    def sample(self) -> int:
+        """Any member state; raises ``ValueError`` on the empty predicate."""
+        idx = int(np.argmax(self.mask))
+        if not self.mask[idx]:
+            raise ValueError("sample() on empty predicate")
+        return idx
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Predicate({self.count()}/{self.space.size} states)"
+
+
+def conjunction(parts: Sequence[Predicate]) -> Predicate:
+    """Intersection of one or more predicates over the same space."""
+    if not parts:
+        raise ValueError("conjunction of zero predicates")
+    mask = parts[0].mask.copy()
+    for p in parts[1:]:
+        mask &= p.mask
+    return Predicate(parts[0].space, mask)
+
+
+def disjunction(parts: Sequence[Predicate]) -> Predicate:
+    """Union of one or more predicates over the same space."""
+    if not parts:
+        raise ValueError("disjunction of zero predicates")
+    mask = parts[0].mask.copy()
+    for p in parts[1:]:
+        mask |= p.mask
+    return Predicate(parts[0].space, mask)
+
+
+def local_conjunction(
+    space: StateSpace,
+    local_exprs: Mapping[int, Callable[..., np.ndarray]] | Sequence[Callable[..., np.ndarray]],
+) -> Predicate:
+    """Predicate ``forall i: LC_i`` from per-process local expressions.
+
+    Convenience for invariants in the ``I = ∀i : LC_i`` shape used by the
+    matching and coloring case studies (Section VI).
+    """
+    exprs = list(local_exprs.values()) if isinstance(local_exprs, Mapping) else list(local_exprs)
+    return conjunction([Predicate.from_expr(space, e) for e in exprs])

@@ -1,0 +1,247 @@
+"""The protocol object: state space + topology + transition groups.
+
+A protocol ``p = (Vp, δp, Πp, Tp)`` (Section II).  ``δp`` is stored as one
+set of ``(rcode, wcode)`` group ids per process — the canonical, group-closed
+representation both synthesis engines operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .actions import Action, compile_actions
+from .groups import GroupId, GroupInfo, ProcessGroupTable, build_group_tables
+from .predicate import Predicate
+from .state_space import STATE_DTYPE, StateSpace
+from .topology import Topology
+
+
+class Protocol:
+    """A finite-state shared-memory protocol under read/write restrictions."""
+
+    def __init__(
+        self,
+        space: StateSpace,
+        topology: Topology,
+        groups: Sequence[Iterable[tuple[int, int]]] | None = None,
+        *,
+        name: str = "protocol",
+        tables: Sequence[ProcessGroupTable] | None = None,
+    ):
+        topology.validate(space)
+        self.space = space
+        self.topology = topology
+        self.name = name
+        self.tables: list[ProcessGroupTable] = (
+            list(tables)
+            if tables is not None
+            else build_group_tables(space, list(topology))
+        )
+        k = len(topology)
+        if groups is None:
+            self.groups: list[set[tuple[int, int]]] = [set() for _ in range(k)]
+        else:
+            if len(groups) != k:
+                raise ValueError("one group set per process required")
+            self.groups = [set(g) for g in groups]
+        for j, gs in enumerate(self.groups):
+            table = self.tables[j]
+            for rcode, wcode in gs:
+                if not (0 <= rcode < table.n_rvals and 0 <= wcode < table.n_wvals):
+                    raise ValueError(f"group ({j},{rcode},{wcode}) out of range")
+                if table.is_self_loop(rcode, wcode):
+                    raise ValueError(
+                        f"group ({j},{rcode},{wcode}) is a pure self-loop"
+                    )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_actions(
+        cls,
+        space: StateSpace,
+        topology: Topology,
+        actions: Sequence[Action],
+        *,
+        name: str = "protocol",
+        allow_self_loops: bool = False,
+    ) -> "Protocol":
+        """Compile guarded commands (grouped by process name) into a protocol."""
+        tables = build_group_tables(space, list(topology))
+        by_process: dict[str, list[Action]] = {}
+        for a in actions:
+            by_process.setdefault(a.process, []).append(a)
+        known = {p.name for p in topology}
+        unknown = set(by_process) - known
+        if unknown:
+            raise ValueError(f"actions for unknown processes: {sorted(unknown)}")
+        groups = [
+            compile_actions(
+                tables[j],
+                by_process.get(topology[j].name, []),
+                allow_self_loops=allow_self_loops,
+            )
+            for j in range(len(topology))
+        ]
+        return cls(space, topology, groups, name=name, tables=tables)
+
+    @classmethod
+    def empty(
+        cls, space: StateSpace, topology: Topology, *, name: str = "protocol"
+    ) -> "Protocol":
+        """A protocol with no transitions (matching/coloring start this way)."""
+        return cls(space, topology, None, name=name)
+
+    def copy(self, *, name: str | None = None) -> "Protocol":
+        return Protocol(
+            self.space,
+            self.topology,
+            [set(g) for g in self.groups],
+            name=name or self.name,
+            tables=self.tables,
+        )
+
+    def with_groups(
+        self, groups: Sequence[Iterable[tuple[int, int]]], *, name: str | None = None
+    ) -> "Protocol":
+        """A sibling protocol over the same space/topology with different δp."""
+        return Protocol(
+            self.space, self.topology, groups, name=name or self.name, tables=self.tables
+        )
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        return len(self.topology)
+
+    def n_groups(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    def n_transitions(self) -> int:
+        return sum(
+            len(g) * self.tables[j].group_size for j, g in enumerate(self.groups)
+        )
+
+    def iter_group_ids(self) -> Iterator[GroupId]:
+        for j, gs in enumerate(self.groups):
+            for rcode, wcode in sorted(gs):
+                yield (j, rcode, wcode)
+
+    def group_pairs(self, gid: GroupId) -> tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` arrays of a group."""
+        j, rcode, wcode = gid
+        return self.tables[j].pairs(rcode, wcode)
+
+    def group_info(self, gid: GroupId) -> GroupInfo:
+        j, rcode, wcode = gid
+        return self.tables[j].group_info(rcode, wcode)
+
+    def has_group(self, gid: GroupId) -> bool:
+        j, rcode, wcode = gid
+        return (rcode, wcode) in self.groups[j]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Protocol):
+            return NotImplemented
+        return (
+            self.space is other.space
+            and self.topology == other.topology
+            and self.groups == other.groups
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (id(self.space), self.topology, tuple(frozenset(g) for g in self.groups))
+        )
+
+    # ------------------------------------------------------------------
+    # execution-facing queries (simulator, verification)
+    # ------------------------------------------------------------------
+    def enabled_groups(self, state: int) -> list[GroupId]:
+        """Groups with a transition out of ``state``."""
+        out: list[GroupId] = []
+        for j, gs in enumerate(self.groups):
+            table = self.tables[j]
+            rcode = table.rcode_of_state(state)
+            for wcode in range(table.n_wvals):
+                if (rcode, wcode) in gs:
+                    out.append((j, rcode, wcode))
+        return out
+
+    def successors(self, state: int) -> list[int]:
+        """Target states of all transitions out of ``state``."""
+        out = []
+        for j, rcode, wcode in self.enabled_groups(state):
+            out.append(int(state + self.tables[j].deltas[rcode, wcode]))
+        return out
+
+    def is_enabled(self, state: int, process: int) -> bool:
+        table = self.tables[process]
+        rcode = table.rcode_of_state(state)
+        return any((rcode, w) in self.groups[process] for w in range(table.n_wvals))
+
+    # ------------------------------------------------------------------
+    # bulk / vectorised views
+    # ------------------------------------------------------------------
+    def out_counts(self) -> np.ndarray:
+        """``out[s]`` = number of transitions leaving state ``s``."""
+        out = np.zeros(self.space.size, dtype=np.int32)
+        for gid in self.iter_group_ids():
+            src, _ = self.group_pairs(gid)
+            out[src] += 1  # sources within one group are distinct states
+        return out
+
+    def deadlock_predicate(self, invariant: Predicate) -> Predicate:
+        """States in ``¬I`` with no outgoing transition (Proposition II.1)."""
+        return Predicate(self.space, (self.out_counts() == 0) & ~invariant.mask)
+
+    def edge_arrays(
+        self, within: Predicate | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated ``(src, dst)`` over all groups, optionally restricted.
+
+        ``within`` restricts to transitions with *both* endpoints in the
+        predicate (the ``δp|X`` projection of Section II).
+        """
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        for gid in self.iter_group_ids():
+            src, dst = self.group_pairs(gid)
+            if within is not None:
+                keep = within.mask[src] & within.mask[dst]
+                src, dst = src[keep], dst[keep]
+            if len(src):
+                srcs.append(src)
+                dsts.append(dst)
+        if not srcs:
+            empty = np.empty(0, dtype=STATE_DTYPE)
+            return empty, empty
+        return np.concatenate(srcs), np.concatenate(dsts)
+
+    def transition_set(self) -> set[tuple[int, int]]:
+        """All transitions as a Python set of pairs (small spaces / tests only)."""
+        out: set[tuple[int, int]] = set()
+        for gid in self.iter_group_ids():
+            src, dst = self.group_pairs(gid)
+            out.update(zip(src.tolist(), dst.tolist()))
+        return out
+
+    def restricted_transition_set(self, within: Predicate) -> set[tuple[int, int]]:
+        """``δp|within`` as a set of pairs (small spaces / tests only)."""
+        out: set[tuple[int, int]] = set()
+        for gid in self.iter_group_ids():
+            src, dst = self.group_pairs(gid)
+            keep = within.mask[src] & within.mask[dst]
+            out.update(zip(src[keep].tolist(), dst[keep].tolist()))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Protocol({self.name!r}, |S|={self.space.size}, "
+            f"K={self.n_processes}, groups={self.n_groups()})"
+        )

@@ -1,0 +1,164 @@
+"""Distribution model: processes with read/write restrictions.
+
+The paper (Section II) models topology as per-process read sets ``r_j`` and
+write sets ``w_j`` with ``w_j ⊆ r_j``.  These restrictions induce the
+*transition groups* that the synthesis heuristic manipulates atomically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .state_space import StateSpace
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One process: which variables it may read and write.
+
+    ``reads`` and ``writes`` are tuples of variable *indices* into the
+    protocol's state space, kept sorted for canonicality.
+    """
+
+    name: str
+    reads: tuple[int, ...]
+    writes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", tuple(sorted(set(self.reads))))
+        object.__setattr__(self, "writes", tuple(sorted(set(self.writes))))
+        if not self.writes:
+            raise ValueError(f"process {self.name!r} writes nothing")
+        if not set(self.writes) <= set(self.reads):
+            raise ValueError(
+                f"process {self.name!r}: write set must be a subset of read set "
+                f"(w_j ⊆ r_j)"
+            )
+
+    def unreadable(self, n_vars: int) -> tuple[int, ...]:
+        """Indices of variables this process cannot read."""
+        readable = set(self.reads)
+        return tuple(i for i in range(n_vars) if i not in readable)
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The full distribution model of a protocol: one spec per process."""
+
+    processes: tuple[ProcessSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.processes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate process names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def __iter__(self):
+        return iter(self.processes)
+
+    def __getitem__(self, i: int) -> ProcessSpec:
+        return self.processes[i]
+
+    def validate(self, space: StateSpace) -> None:
+        """Check all variable indices are in range and every variable has a writer."""
+        n = space.n_vars
+        written: set[int] = set()
+        for p in self.processes:
+            for v in p.reads:
+                if not 0 <= v < n:
+                    raise ValueError(f"process {p.name!r} reads unknown variable {v}")
+            written.update(p.writes)
+        # A variable nobody writes is a constant; legal but usually a spec bug,
+        # so we only validate index ranges here and leave policy to callers.
+
+    def index_of(self, name: str) -> int:
+        for i, p in enumerate(self.processes):
+            if p.name == name:
+                return i
+        raise KeyError(name)
+
+
+def ring_topology(
+    space: StateSpace,
+    var_of_process: Sequence[int],
+    *,
+    read_left: bool = True,
+    read_right: bool = False,
+    names: Sequence[str] | None = None,
+) -> Topology:
+    """Unidirectional/bidirectional ring over one variable per process.
+
+    ``var_of_process[i]`` is the variable owned (written) by process ``i``.
+    With ``read_left`` process ``i`` also reads the variable of process
+    ``i-1`` (mod K); with ``read_right``, of process ``i+1`` (mod K).  The
+    token-ring protocol uses ``read_left`` only; matching and coloring use
+    both directions.
+    """
+    k = len(var_of_process)
+    if k < 2:
+        raise ValueError("a ring needs at least 2 processes")
+    specs = []
+    for i in range(k):
+        reads = {var_of_process[i]}
+        if read_left:
+            reads.add(var_of_process[(i - 1) % k])
+        if read_right:
+            reads.add(var_of_process[(i + 1) % k])
+        name = names[i] if names is not None else f"P{i}"
+        specs.append(ProcessSpec(name, tuple(reads), (var_of_process[i],)))
+    return Topology(tuple(specs))
+
+
+def line_topology(
+    space: StateSpace,
+    var_of_process: Sequence[int],
+    *,
+    names: Sequence[str] | None = None,
+) -> Topology:
+    """Bidirectional line (non-circular chain) over one variable per process."""
+    k = len(var_of_process)
+    if k < 2:
+        raise ValueError("a line needs at least 2 processes")
+    specs = []
+    for i in range(k):
+        reads = {var_of_process[i]}
+        if i > 0:
+            reads.add(var_of_process[i - 1])
+        if i < k - 1:
+            reads.add(var_of_process[i + 1])
+        name = names[i] if names is not None else f"P{i}"
+        specs.append(ProcessSpec(name, tuple(reads), (var_of_process[i],)))
+    return Topology(tuple(specs))
+
+
+def star_topology(
+    space: StateSpace,
+    center_var: int,
+    leaf_vars: Sequence[int],
+    *,
+    names: Sequence[str] | None = None,
+) -> Topology:
+    """Star: the centre reads every leaf; each leaf reads the centre."""
+    specs = [
+        ProcessSpec(
+            names[0] if names else "C",
+            (center_var, *leaf_vars),
+            (center_var,),
+        )
+    ]
+    for i, v in enumerate(leaf_vars):
+        name = names[i + 1] if names else f"L{i}"
+        specs.append(ProcessSpec(name, (v, center_var), (v,)))
+    return Topology(tuple(specs))
+
+
+def general_topology(
+    specs: Iterable[tuple[str, Iterable[int], Iterable[int]]]
+) -> Topology:
+    """Build a topology from raw ``(name, reads, writes)`` triples."""
+    return Topology(
+        tuple(ProcessSpec(name, tuple(reads), tuple(writes)) for name, reads, writes in specs)
+    )

@@ -1,0 +1,70 @@
+"""Finite-domain protocol variables.
+
+A protocol (Section II of the paper) is defined over a finite set of
+variables, each with a finite non-empty domain.  Domains are modelled as
+``range(domain_size)``; symbolic value labels (e.g. ``left/right/self`` for
+the maximal-matching protocol) may be attached for pretty-printing without
+affecting semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A finite-domain variable.
+
+    Attributes
+    ----------
+    name:
+        Unique variable name, e.g. ``"x0"``.
+    domain_size:
+        Number of values; the domain is ``0 .. domain_size - 1``.
+    labels:
+        Optional human-readable labels for the domain values (used only for
+        display).  When given, ``len(labels) == domain_size``.
+    """
+
+    name: str
+    domain_size: int
+    labels: tuple[str, ...] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.domain_size < 1:
+            raise ValueError(f"variable {self.name!r}: empty domain")
+        if self.labels is not None and len(self.labels) != self.domain_size:
+            raise ValueError(
+                f"variable {self.name!r}: {len(self.labels)} labels for "
+                f"domain of size {self.domain_size}"
+            )
+
+    def label(self, value: int) -> str:
+        """Human-readable form of ``value`` in this variable's domain."""
+        if not 0 <= value < self.domain_size:
+            raise ValueError(f"{value} outside domain of {self.name!r}")
+        if self.labels is not None:
+            return self.labels[value]
+        return str(value)
+
+    def value_of_label(self, label: str) -> int:
+        """Inverse of :meth:`label`; also accepts decimal strings."""
+        if self.labels is not None and label in self.labels:
+            return self.labels.index(label)
+        value = int(label)
+        if not 0 <= value < self.domain_size:
+            raise ValueError(f"{label!r} outside domain of {self.name!r}")
+        return value
+
+
+def make_variables(
+    prefix: str,
+    count: int,
+    domain_size: int,
+    labels: Sequence[str] | None = None,
+) -> list[Variable]:
+    """Create ``count`` homogeneous variables ``prefix0 .. prefix{count-1}``."""
+    lab = tuple(labels) if labels is not None else None
+    return [Variable(f"{prefix}{i}", domain_size, lab) for i in range(count)]

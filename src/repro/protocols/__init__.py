@@ -1,0 +1,49 @@
+"""Case-study protocol library (paper Section VI)."""
+
+from .coloring import coloring, coloring_invariant, coloring_space
+from .graph_coloring import (
+    graph_coloring,
+    line_coloring,
+    max_propagation,
+    tree_coloring,
+)
+from .gouda_acharya import gouda_acharya_matching, paper_cycle_start_state
+from .matching import (
+    LEFT,
+    RIGHT,
+    SELF,
+    matching,
+    matching_invariant,
+    matching_space,
+)
+from .token_ring import (
+    dijkstra_stabilizing_token_ring,
+    token_ring,
+    token_ring_invariant,
+    token_ring_space,
+)
+from .two_ring import two_ring, two_ring_space
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "SELF",
+    "coloring",
+    "coloring_invariant",
+    "coloring_space",
+    "dijkstra_stabilizing_token_ring",
+    "gouda_acharya_matching",
+    "graph_coloring",
+    "line_coloring",
+    "max_propagation",
+    "matching",
+    "matching_invariant",
+    "matching_space",
+    "paper_cycle_start_state",
+    "token_ring",
+    "tree_coloring",
+    "token_ring_invariant",
+    "token_ring_space",
+    "two_ring",
+    "two_ring_space",
+]

@@ -1,0 +1,125 @@
+"""Gouda & Acharya's manually designed maximal-matching protocol.
+
+Section VI-A of the paper reports that while comparing STSyn's synthesized
+matching protocol against the manually designed one of Gouda and Acharya
+(SSS 2009), the authors discovered the manual protocol contains a
+non-progress cycle starting from ``<left, self, left, self, left>`` with the
+schedule ``(P0, P1, P2, P3, P4)`` repeated twice — a design flaw that had
+gone unnoticed.
+
+The IPDPS text prints the four symmetric actions with ``=`` in every guard,
+but that transcription is not even *closed* in ``I_MM`` (e.g. rule 3 with
+``m_{i-1} = left`` fires inside the invariant), so it cannot be the protocol
+the authors analysed.  Reading the pointing guards as ``≠`` —
+
+    m_i = left  ∧ m_{i-1} = left   ->  m_i := self
+    m_i = right ∧ m_{i+1} = right  ->  m_i := self
+    m_i = self  ∧ m_{i-1} ≠ left   ->  m_i := left
+    m_i = self  ∧ m_{i+1} ≠ right  ->  m_i := right
+
+— yields a protocol that is closed and silent in ``I_MM`` *and* exhibits
+exactly the paper's witness: from ``<left,self,left,self,left>`` the
+round-robin schedule ``(P0..P4)²`` is a 10-step non-progress cycle (the test
+suite replays it step by step).  This ``"published"`` variant is the
+default.  Two alternatives are kept for the record:
+
+* ``"literal"`` — the ``=``-everywhere transcription (has cycles too, but is
+  not closed in ``I_MM``);
+* ``"strict"`` — pointing guards read as the *matched* trigger
+  (``m_{i-1} = right`` / ``m_{i+1} = left``), which our checker shows to be
+  cycle-free at K=5: tightening the guards is the natural repair of the flaw.
+"""
+
+from __future__ import annotations
+
+from ..protocol import Action, Predicate, Protocol, ring_topology
+from .matching import LEFT, RIGHT, SELF, matching_invariant, matching_space
+
+VARIANTS = ("published", "literal", "strict")
+
+
+def _point_guards(variant: str) -> tuple:
+    """(left-trigger predicate, right-trigger predicate) on the neighbour value."""
+    if variant == "published":
+        return (lambda ml: ml != LEFT), (lambda mr: mr != RIGHT)
+    if variant == "literal":
+        return (lambda ml: ml == LEFT), (lambda mr: mr == RIGHT)
+    if variant == "strict":
+        return (lambda ml: ml == RIGHT), (lambda mr: mr == LEFT)
+    raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+
+
+def _actions(k: int, variant: str) -> list[Action]:
+    left_trigger, right_trigger = _point_guards(variant)
+    actions: list[Action] = []
+    for i in range(k):
+        mi = f"m{i}"
+        ml = f"m{(i - 1) % k}"
+        mr = f"m{(i + 1) % k}"
+        actions.append(
+            Action(
+                process=f"P{i}",
+                guard=lambda env, mi=mi, ml=ml: env[mi] == LEFT and env[ml] == LEFT,
+                statement=lambda env, mi=mi: {mi: SELF},
+                label=f"GA{i}.retract_left",
+            )
+        )
+        actions.append(
+            Action(
+                process=f"P{i}",
+                guard=lambda env, mi=mi, mr=mr: env[mi] == RIGHT
+                and env[mr] == RIGHT,
+                statement=lambda env, mi=mi: {mi: SELF},
+                label=f"GA{i}.retract_right",
+            )
+        )
+        actions.append(
+            Action(
+                process=f"P{i}",
+                guard=lambda env, mi=mi, ml=ml, t=left_trigger: env[mi] == SELF
+                and t(env[ml]),
+                statement=lambda env, mi=mi: {mi: LEFT},
+                label=f"GA{i}.point_left",
+            )
+        )
+        actions.append(
+            Action(
+                process=f"P{i}",
+                guard=lambda env, mi=mi, mr=mr, t=right_trigger: env[mi] == SELF
+                and t(env[mr]),
+                statement=lambda env, mi=mi: {mi: RIGHT},
+                label=f"GA{i}.point_right",
+            )
+        )
+    return actions
+
+
+def gouda_acharya_matching(
+    k: int = 5, *, variant: str = "published"
+) -> tuple[Protocol, Predicate]:
+    """The manual MM protocol and ``I_MM`` (see module docstring for variants)."""
+    if k < 3:
+        raise ValueError("matching on a ring needs K >= 3")
+    space = matching_space(k)
+    topology = ring_topology(space, list(range(k)), read_left=True, read_right=True)
+    protocol = Protocol.from_actions(
+        space,
+        topology,
+        _actions(k, variant),
+        name=f"gouda_acharya_{variant}_k{k}",
+    )
+    return protocol, matching_invariant(space, k)
+
+
+def paper_cycle_start_state(k: int = 5) -> list[int]:
+    """``<left, self, left, self, left>`` — the paper's cycle witness (K=5)."""
+    if k != 5:
+        raise ValueError("the paper's witness state is for K = 5")
+    return [LEFT, SELF, LEFT, SELF, LEFT]
+
+
+def paper_cycle_schedule(k: int = 5) -> list[int]:
+    """The paper's cycle schedule: ``(P0, ..., P4)`` repeated twice."""
+    if k != 5:
+        raise ValueError("the paper's witness schedule is for K = 5")
+    return list(range(5)) * 2

@@ -1,0 +1,143 @@
+"""Graph colouring on arbitrary topologies (extension beyond the paper).
+
+The paper's three-coloring case study lives on a ring; the method itself
+only needs read/write restrictions, so this module generalises the case
+study to any (undirected) graph — trees, lines, stars, or anything built
+with networkx.  Process ``i`` owns colour ``c_i``, reads all neighbours, and
+the invariant is a proper colouring.  With ``colors >= maxdegree + 1`` the
+specification stays locally correctable, so the heuristic scales the same
+way it does on the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from ..protocol import (
+    Predicate,
+    ProcessSpec,
+    Protocol,
+    StateSpace,
+    Topology,
+    conjunction,
+    make_variables,
+)
+
+
+def _normalize_graph(graph: nx.Graph) -> tuple[list[Hashable], dict[Hashable, int]]:
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    return nodes, index
+
+
+def graph_coloring(
+    graph: nx.Graph, colors: int | None = None
+) -> tuple[Protocol, Predicate]:
+    """The (empty) colouring protocol and its invariant for ``graph``.
+
+    ``colors`` defaults to ``max degree + 1`` — always enough for greedy
+    local correction (and for any graph at all, by Brooks-adjacent
+    reasoning), which keeps the instance locally correctable.
+    """
+    if graph.number_of_nodes() < 2:
+        raise ValueError("colouring needs at least two nodes")
+    if any(u == v for u, v in graph.edges()):
+        raise ValueError("self-loops make proper colouring impossible")
+    nodes, index = _normalize_graph(graph)
+    max_degree = max(dict(graph.degree()).values())
+    if colors is None:
+        colors = max_degree + 1
+    if colors < 2:
+        raise ValueError("need at least two colours")
+
+    space = StateSpace(make_variables("c", len(nodes), colors))
+    specs = []
+    for node in nodes:
+        i = index[node]
+        reads = (i, *(index[m] for m in graph.neighbors(node)))
+        specs.append(ProcessSpec(f"P{i}", reads, (i,)))
+    topology = Topology(tuple(specs))
+    protocol = Protocol.empty(
+        space, topology, name=f"graph_coloring_n{len(nodes)}_c{colors}"
+    )
+
+    def edge_differs(a: int, b: int):
+        return lambda **vs: vs[f"c{a}"] != vs[f"c{b}"]
+
+    parts = [
+        Predicate.from_expr(space, edge_differs(index[u], index[v]))
+        for u, v in graph.edges()
+    ]
+    return protocol, conjunction(parts)
+
+
+def line_coloring(n: int, colors: int = 3) -> tuple[Protocol, Predicate]:
+    """Colouring on a path graph.
+
+    A path is 2-colourable, but with only 2 colours the specification is not
+    locally correctable (a middle node flanked by differently-coloured
+    neighbours has no safe move) and the heuristic fails on it even though a
+    weakly stabilizing version exists — a concrete witness of the heuristic's
+    documented incompleteness (Section V), exercised in the test suite.  The
+    default of 3 colours restores local correctability.
+    """
+    return graph_coloring(nx.path_graph(n), colors)
+
+
+def tree_coloring(
+    branching: int = 2, height: int = 2, colors: int | None = None
+) -> tuple[Protocol, Predicate]:
+    """Colouring on a balanced tree."""
+    return graph_coloring(nx.balanced_tree(branching, height), colors)
+
+
+def max_propagation(
+    graph: nx.Graph, domain: int = 4
+) -> tuple[Protocol, Predicate]:
+    """The classic self-stabilizing *maximum propagation* exercise.
+
+    Every node owns ``v_i``; the legitimate states are "all nodes hold equal
+    values" (closed: no action is enabled there).  The *non-stabilizing*
+    input protocol is deliberately weak gossip — a node adopts a neighbour's
+    value only when it is exactly one larger (``v_j == v_i + 1``), so states
+    with larger gaps deadlock and synthesis must invent the remaining
+    recovery, making this a genuine exercise on an arbitrary graph.
+    """
+    from ..protocol.actions import Action
+
+    if graph.number_of_nodes() < 2:
+        raise ValueError("need at least two nodes")
+    nodes, index = _normalize_graph(graph)
+    space = StateSpace(make_variables("v", len(nodes), domain))
+    specs = []
+    actions = []
+    for node in nodes:
+        i = index[node]
+        neighbor_idx = [index[m] for m in graph.neighbors(node)]
+        reads = (i, *neighbor_idx)
+        specs.append(ProcessSpec(f"P{i}", reads, (i,)))
+        for j in neighbor_idx:
+            actions.append(
+                Action(
+                    process=f"P{i}",
+                    guard=lambda env, i=i, j=j: env[f"v{j}"] == env[f"v{i}"] + 1,
+                    statement=lambda env, i=i, j=j: {f"v{i}": env[f"v{j}"]},
+                    label=f"copy_{j}_to_{i}",
+                )
+            )
+    topology = Topology(tuple(specs))
+    protocol = Protocol.from_actions(
+        space, topology, actions, name=f"max_prop_n{len(nodes)}_d{domain}"
+    )
+
+    def all_equal(**vs):
+        names = sorted(vs)
+        mask = vs[names[0]] == vs[names[0]]
+        for a, b in zip(names, names[1:]):
+            mask = mask & (vs[a] == vs[b])
+        return mask
+
+    invariant = Predicate.from_expr(space, all_equal)
+    return protocol, invariant

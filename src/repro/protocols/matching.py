@@ -1,0 +1,67 @@
+"""Maximal Matching on a bidirectional ring (paper Section VI-A).
+
+K processes on a ring; each owns ``m_i`` with domain ``{left, right, self}``
+and reads both neighbours.  Two neighbours are matched iff they point at
+each other.  The *non-stabilizing input protocol is empty* — synthesis must
+invent the whole protocol — and the target invariant is
+
+    I_MM = forall i:  (m_i = left  => m_{i-1} = right)
+                    ∧ (m_i = right => m_{i+1} = left)
+                    ∧ (m_i = self  => m_{i-1} = left ∧ m_{i+1} = right)
+
+The synthesized protocol must additionally be *silent* in ``I_MM``, which
+holds automatically here: the input protocol has no transitions inside I and
+recovery groups never start in I (constraint C1).
+
+:mod:`repro.protocols.gouda_acharya` contains the manually designed protocol
+whose non-progress cycle the paper's tool exposed.
+"""
+
+from __future__ import annotations
+
+from ..protocol import (
+    Predicate,
+    Protocol,
+    StateSpace,
+    local_conjunction,
+    make_variables,
+    ring_topology,
+)
+
+#: domain encoding for ``m_i``
+LEFT, RIGHT, SELF = 0, 1, 2
+M_LABELS = ("left", "right", "self")
+
+
+def matching_space(k: int) -> StateSpace:
+    return StateSpace(make_variables("m", k, 3, labels=M_LABELS))
+
+
+def matching_invariant(space: StateSpace, k: int) -> Predicate:
+    """``I_MM`` as the conjunction of the per-process local predicates."""
+
+    def lc(i: int):
+        def expr(**vs):
+            m = vs[f"m{i}"]
+            ml = vs[f"m{(i - 1) % k}"]
+            mr = vs[f"m{(i + 1) % k}"]
+            c_left = (m != LEFT) | (ml == RIGHT)
+            c_right = (m != RIGHT) | (mr == LEFT)
+            c_self = (m != SELF) | ((ml == LEFT) & (mr == RIGHT))
+            return c_left & c_right & c_self
+
+        return expr
+
+    return local_conjunction(space, [lc(i) for i in range(k)])
+
+
+def matching(k: int = 5) -> tuple[Protocol, Predicate]:
+    """The (empty) non-stabilizing MM protocol and ``I_MM``."""
+    if k < 3:
+        raise ValueError("matching on a ring needs K >= 3")
+    space = matching_space(k)
+    topology = ring_topology(
+        space, list(range(k)), read_left=True, read_right=True
+    )
+    protocol = Protocol.empty(space, topology, name=f"matching_k{k}")
+    return protocol, matching_invariant(space, k)

@@ -1,0 +1,157 @@
+"""Dijkstra's token ring (paper Section II running example).
+
+The non-stabilizing Token Ring protocol has K processes on a unidirectional
+ring, each owning an integer variable ``x_j`` with domain ``{0..D-1}``:
+
+* ``A0``:  ``x0 == x_{K-1}           -> x0 := x_{K-1} + 1  (mod D)``
+* ``Aj``:  ``x_j + 1 == x_{j-1}      -> x_j := x_{j-1}``        (1 <= j < K)
+
+``P_j`` (j >= 1) holds a token iff ``x_j + 1 == x_{j-1}``; ``P0`` holds a
+token iff ``x0 == x_{K-1}``.  The legitimate states ``S1`` are those with
+exactly one token.  The paper uses K=4, D=3 in the walkthrough and scales to
+K=5, D=5 in the evaluation (Figs. 10-11 fix D=4).
+
+:func:`dijkstra_stabilizing_token_ring` builds Dijkstra's classic manually
+designed stabilizing version (``x_j != x_{j-1} -> x_j := x_{j-1}``), the
+protocol the heuristic re-discovers in pass 2 (Section V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..protocol import (
+    Action,
+    Predicate,
+    Protocol,
+    StateSpace,
+    Topology,
+    make_variables,
+    ring_topology,
+)
+
+
+def _token_masks(space: StateSpace, k: int, domain: int) -> list[np.ndarray]:
+    """``masks[j][s]`` — does process ``j`` hold a token in state ``s``?"""
+    xs = [space.var_array(j) for j in range(k)]
+    masks = [xs[0] == xs[k - 1]]
+    for j in range(1, k):
+        masks.append((xs[j] + 1) % domain == xs[j - 1])
+    return masks
+
+
+def token_count_array(space: StateSpace, k: int, domain: int) -> np.ndarray:
+    """Number of tokens per state (used by invariants and tests)."""
+    total = np.zeros(space.size, dtype=np.int16)
+    for mask in _token_masks(space, k, domain):
+        total += mask
+    return total
+
+
+def token_ring_space(k: int, domain: int) -> StateSpace:
+    return StateSpace(make_variables("x", k, domain))
+
+
+def token_ring_invariant(space: StateSpace, k: int, domain: int) -> Predicate:
+    """``S1``: the paper's legitimate states (Section II).
+
+    Generalising the explicit K=4 disjunction in the paper, ``S1`` contains
+    exactly the states of the form
+
+        x = (w, ..., w)                        (P0 holds the token), or
+        x = (w, ..., w, w-1, ..., w-1)         (step at j: P_j holds the token)
+
+    with arithmetic mod D.  Every member has exactly one token (the converse
+    fails — see the test suite), and ``S1`` is closed under the protocol: it
+    is the fault-free reachable closure of the all-equal states.
+    """
+    xs = [space.var_array(j) for j in range(k)]
+    mask = np.zeros(space.size, dtype=bool)
+    for w in range(domain):
+        prev = (w - 1) % domain
+        # j = split position: x_0..x_{j-1} == w, x_j..x_{k-1} == w-1;
+        # j == k is the all-equal configuration.
+        suffix_ok = np.ones(space.size, dtype=bool)  # vacuous for j = k
+        for j in range(k, 0, -1):
+            if j < k:
+                suffix_ok &= xs[j] == prev
+            prefix_ok = np.ones(space.size, dtype=bool)
+            for i in range(j):
+                prefix_ok &= xs[i] == w
+            mask |= prefix_ok & suffix_ok
+    return Predicate(space, mask)
+
+
+def _topology(space: StateSpace, k: int) -> Topology:
+    # P_j reads x_{j-1} and x_j, writes x_j; unidirectional ring.
+    return ring_topology(space, list(range(k)), read_left=True, read_right=False)
+
+
+def token_ring(k: int = 4, domain: int = 3) -> tuple[Protocol, Predicate]:
+    """The non-stabilizing TR protocol and its invariant ``S1``."""
+    if k < 2:
+        raise ValueError("token ring needs K >= 2")
+    if domain < 2:
+        raise ValueError("token ring needs |D| >= 2")
+    space = token_ring_space(k, domain)
+    topology = _topology(space, k)
+    actions = [
+        Action(
+            process="P0",
+            guard=lambda env, _k=k: env["x0"] == env[f"x{_k - 1}"],
+            statement=lambda env, _k=k, _d=domain: {
+                "x0": (env[f"x{_k - 1}"] + 1) % _d
+            },
+            label="A0",
+        )
+    ]
+    for j in range(1, k):
+        actions.append(
+            Action(
+                process=f"P{j}",
+                guard=lambda env, _j=j, _d=domain: (env[f"x{_j}"] + 1) % _d
+                == env[f"x{_j - 1}"],
+                statement=lambda env, _j=j: {f"x{_j}": env[f"x{_j - 1}"]},
+                label=f"A{j}",
+            )
+        )
+    protocol = Protocol.from_actions(
+        space, topology, actions, name=f"token_ring_k{k}_d{domain}"
+    )
+    return protocol, token_ring_invariant(space, k, domain)
+
+
+def dijkstra_stabilizing_token_ring(
+    k: int = 4, domain: int = 3
+) -> tuple[Protocol, Predicate]:
+    """Dijkstra's manually designed stabilizing token ring [Dijkstra 1974].
+
+    ``P0`` is unchanged; every other process fires whenever its value differs
+    from its predecessor's.  Strongly stabilizing when ``domain >= k - 1``
+    (Dijkstra's K-state bound for the unidirectional ring).
+    """
+    space = token_ring_space(k, domain)
+    topology = _topology(space, k)
+    actions = [
+        Action(
+            process="P0",
+            guard=lambda env, _k=k: env["x0"] == env[f"x{_k - 1}"],
+            statement=lambda env, _k=k, _d=domain: {
+                "x0": (env[f"x{_k - 1}"] + 1) % _d
+            },
+            label="A0",
+        )
+    ]
+    for j in range(1, k):
+        actions.append(
+            Action(
+                process=f"P{j}",
+                guard=lambda env, _j=j: env[f"x{_j}"] != env[f"x{_j - 1}"],
+                statement=lambda env, _j=j: {f"x{_j}": env[f"x{_j - 1}"]},
+                label=f"D{j}",
+            )
+        )
+    protocol = Protocol.from_actions(
+        space, topology, actions, name=f"dijkstra_tr_k{k}_d{domain}"
+    )
+    return protocol, token_ring_invariant(space, k, domain)

@@ -1,0 +1,148 @@
+"""The Two-Ring Token Ring TR² (paper Section VI-C).
+
+Eight processes on two unidirectional rings A and B (four each); each
+process ``PA_i``/``PB_i`` owns ``a_i``/``b_i`` with domain ``{0..3}``, plus a
+shared Boolean ``turn`` gating which ring is active.  Token definitions
+(⊕ = addition mod 4):
+
+* ``PA_i`` (1<=i<=3) has the token iff ``a_{i-1} = a_i ⊕ 1``;
+* ``PA_0`` has the token iff ``a0 = a3 ∧ b0 = b3 ∧ a0 = b0``;
+* ``PB_0`` has the token iff ``b0 = b3 ∧ a0 = a3 ∧ b0 ⊕ 1 = a0``;
+* ``PB_i`` (1<=i<=3) has the token iff ``b_{i-1} = b_i ⊕ 1``.
+
+The paper omits the concrete actions (referred to its tech report); we
+reconstruct the unique minimal design consistent with the token definitions
+and Figure 4's token flow:
+
+* ``PA_0``: ``turn=1 ∧ token_A0  ->  a0 := a0 ⊕ 1, turn := 0``
+* ``PA_i``: ``a_{i-1} = a_i ⊕ 1  ->  a_i := a_{i-1}``
+* ``PB_0``: ``turn=0 ∧ token_B0  ->  b0 := b0 ⊕ 1, turn := 1``
+* ``PB_i``: ``b_{i-1} = b_i ⊕ 1  ->  b_i := b_{i-1}``
+
+so the token circulates ring A, hops to ring B via the matched ring-0
+values, circulates B and hops back — exactly one process enabled at a time
+in fault-free operation.  The legitimate states are the fault-free reachable
+closure of the canonical state (all zeros, ``turn=1``), which the module
+also cross-checks against the exactly-one-token predicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..explicit.graph import TransitionView, forward_reachable
+from ..protocol import (
+    Action,
+    Predicate,
+    ProcessSpec,
+    Protocol,
+    StateSpace,
+    Topology,
+    Variable,
+)
+
+DOMAIN = 4
+
+
+def two_ring_space(ring_size: int = 4) -> StateSpace:
+    variables = [Variable(f"a{i}", DOMAIN) for i in range(ring_size)]
+    variables += [Variable(f"b{i}", DOMAIN) for i in range(ring_size)]
+    variables.append(Variable("turn", 2))
+    return StateSpace(variables)
+
+
+def _topology(space: StateSpace, ring_size: int) -> Topology:
+    ia = {f"a{i}": space.index_of(f"a{i}") for i in range(ring_size)}
+    ib = {f"b{i}": space.index_of(f"b{i}") for i in range(ring_size)}
+    it = space.index_of("turn")
+    specs = []
+    last = ring_size - 1
+    specs.append(
+        ProcessSpec(
+            "PA0",
+            (ia["a0"], ia[f"a{last}"], ib["b0"], ib[f"b{last}"], it),
+            (ia["a0"], it),
+        )
+    )
+    for i in range(1, ring_size):
+        specs.append(ProcessSpec(f"PA{i}", (ia[f"a{i - 1}"], ia[f"a{i}"]), (ia[f"a{i}"],)))
+    specs.append(
+        ProcessSpec(
+            "PB0",
+            (ib["b0"], ib[f"b{last}"], ia["a0"], ia[f"a{last}"], it),
+            (ib["b0"], it),
+        )
+    )
+    for i in range(1, ring_size):
+        specs.append(ProcessSpec(f"PB{i}", (ib[f"b{i - 1}"], ib[f"b{i}"]), (ib[f"b{i}"],)))
+    return Topology(tuple(specs))
+
+
+def _actions(ring_size: int) -> list[Action]:
+    last = ring_size - 1
+    actions = [
+        Action(
+            process="PA0",
+            guard=lambda env, last=last: env["turn"] == 1
+            and env["a0"] == env[f"a{last}"]
+            and env["b0"] == env[f"b{last}"]
+            and env["a0"] == env["b0"],
+            statement=lambda env: {"a0": (env["a0"] + 1) % DOMAIN, "turn": 0},
+            label="TA0",
+        ),
+        Action(
+            process="PB0",
+            guard=lambda env, last=last: env["turn"] == 0
+            and env["b0"] == env[f"b{last}"]
+            and env["a0"] == env[f"a{last}"]
+            and (env["b0"] + 1) % DOMAIN == env["a0"],
+            statement=lambda env: {"b0": (env["b0"] + 1) % DOMAIN, "turn": 1},
+            label="TB0",
+        ),
+    ]
+    for ring in ("a", "b"):
+        for i in range(1, ring_size):
+            actions.append(
+                Action(
+                    process=f"P{ring.upper()}{i}",
+                    guard=lambda env, r=ring, i=i: env[f"{r}{i - 1}"]
+                    == (env[f"{r}{i}"] + 1) % DOMAIN,
+                    statement=lambda env, r=ring, i=i: {f"{r}{i}": env[f"{r}{i - 1}"]},
+                    label=f"T{ring.upper()}{i}",
+                )
+            )
+    return actions
+
+
+def token_count_array(space: StateSpace, ring_size: int = 4) -> np.ndarray:
+    """Tokens held per state under the Section VI-C token definitions."""
+    last = ring_size - 1
+    a = [space.var_array(space.index_of(f"a{i}")) for i in range(ring_size)]
+    b = [space.var_array(space.index_of(f"b{i}")) for i in range(ring_size)]
+    total = np.zeros(space.size, dtype=np.int16)
+    total += (a[0] == a[last]) & (b[0] == b[last]) & (a[0] == b[0])  # PA0
+    total += (b[0] == b[last]) & (a[0] == a[last]) & ((b[0] + 1) % DOMAIN == a[0])
+    for i in range(1, ring_size):
+        total += a[i - 1] == (a[i] + 1) % DOMAIN
+        total += b[i - 1] == (b[i] + 1) % DOMAIN
+    return total
+
+
+def two_ring(ring_size: int = 4) -> tuple[Protocol, Predicate]:
+    """The non-stabilizing TR² protocol and its legitimate-state predicate.
+
+    The invariant is the fault-free reachable closure of the all-zeros,
+    ``turn=1`` state — closed by construction, and every member holds exactly
+    one token (cross-checked in the test suite).
+    """
+    space = two_ring_space(ring_size)
+    topology = _topology(space, ring_size)
+    protocol = Protocol.from_actions(
+        space, topology, _actions(ring_size), name=f"two_ring_{2 * ring_size}p"
+    )
+    start = space.encode([0] * (2 * ring_size) + [1])
+    view = TransitionView.of_protocol(protocol)
+    reach = forward_reachable(
+        view, np.array([start], dtype=np.int64), space.size
+    )
+    return protocol, Predicate(space, reach)

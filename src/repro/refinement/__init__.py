@@ -1,0 +1,17 @@
+"""Shared-memory -> message-passing refinement (cached-neighbour transform)."""
+
+from .message_passing import (
+    Channel,
+    Message,
+    MessagePassingSystem,
+    MPTrace,
+    run_message_passing,
+)
+
+__all__ = [
+    "Channel",
+    "MPTrace",
+    "Message",
+    "MessagePassingSystem",
+    "run_message_passing",
+]

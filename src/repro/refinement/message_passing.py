@@ -1,0 +1,275 @@
+"""Message-passing refinement of shared-memory protocols.
+
+The paper adopts shared memory because "several (correctness-preserving)
+transformations exist for the refinement of shared memory SS protocols to
+their message-passing versions" (Section II, citing Nesterenko-Arora and
+Demirbas-Arora).  This module implements the standard *cached-neighbour*
+refinement and an executable system model for it:
+
+* each process keeps its own variables plus a **cache** of every variable it
+  reads but does not own;
+* whenever a process writes, it sends the new value over FIFO channels to
+  every reader of that variable;
+* a process takes a protocol step by evaluating its guards against its
+  cache and applying the write locally (then broadcasting).
+
+Transient faults may corrupt *everything*: owned variables, caches and
+channel contents.  A configuration is *legitimate* when (1) the projection
+onto the owned variables lies in the shared-memory invariant, (2) all caches
+agree with the owned values, and (3) channels hold no stale values.
+
+The refinement is validated empirically (tests + example): fault-free runs
+project to shared-memory computations, and refined synthesized protocols
+recover from full corruption under a fair random scheduler.  (A formal
+stabilization-preservation proof needs the cited transformations'
+machinery — out of scope, documented in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+
+@dataclass
+class Message:
+    """An update in flight: ``variable`` now holds ``value``."""
+
+    variable: int
+    value: int
+
+
+class Channel:
+    """A FIFO channel with bounded capacity (oldest dropped on overflow)."""
+
+    def __init__(self, capacity: int = 8):
+        self.capacity = capacity
+        self.queue: deque[Message] = deque()
+
+    def send(self, message: Message) -> None:
+        if len(self.queue) >= self.capacity:
+            self.queue.popleft()  # lossy channel: oldest update superseded
+        self.queue.append(message)
+
+    def deliver(self) -> Message | None:
+        return self.queue.popleft() if self.queue else None
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+
+class MessagePassingSystem:
+    """Executable cached-neighbour refinement of a shared-memory protocol."""
+
+    def __init__(self, protocol: Protocol, *, channel_capacity: int = 8):
+        self.protocol = protocol
+        space = protocol.space
+        self.owned: list[int] = [-1] * space.n_vars  # writer of each variable
+        for j, spec in enumerate(protocol.topology):
+            for v in spec.writes:
+                if self.owned[v] not in (-1, j):
+                    raise ValueError(
+                        f"variable {space.variables[v].name!r} has two "
+                        f"writers; the cached-neighbour refinement needs "
+                        f"single-writer variables"
+                    )
+                self.owned[v] = j
+        #: per process: the foreign variables it caches
+        self.cached_vars: list[tuple[int, ...]] = [
+            tuple(v for v in spec.reads if self.owned[v] != j)
+            for j, spec in enumerate(protocol.topology)
+        ]
+        #: channels[(owner, reader)]
+        self.channels: dict[tuple[int, int], Channel] = {}
+        for j, vars_ in enumerate(self.cached_vars):
+            for v in vars_:
+                key = (self.owned[v], j)
+                self.channels.setdefault(key, Channel(channel_capacity))
+        # mutable configuration
+        self.values: list[int] = [0] * space.n_vars
+        self.caches: list[dict[int, int]] = [
+            {v: 0 for v in vars_} for vars_ in self.cached_vars
+        ]
+
+    # ------------------------------------------------------------------
+    # configuration plumbing
+    # ------------------------------------------------------------------
+    def load_state(self, state: int) -> None:
+        """Initialise owned values *and* caches consistently from ``state``."""
+        self.values = list(self.protocol.space.decode(state))
+        for j, cache in enumerate(self.caches):
+            for v in cache:
+                cache[v] = self.values[v]
+        for channel in self.channels.values():
+            channel.queue.clear()
+
+    def shared_state(self) -> int:
+        """Projection of the configuration onto the owned variables."""
+        return self.protocol.space.encode(self.values)
+
+    def is_consistent(self) -> bool:
+        """All caches current and nothing *stale* in flight.
+
+        Messages that merely re-announce the current value (refresh traffic)
+        do not break consistency — delivering them changes nothing.
+        """
+        for channel in self.channels.values():
+            for message in channel.queue:
+                if (
+                    message.variable >= len(self.values)
+                    or message.value != self.values[message.variable]
+                ):
+                    return False
+        return all(
+            cache[v] == self.values[v]
+            for cache in self.caches
+            for v in cache
+        )
+
+    def is_legitimate(self, invariant: Predicate) -> bool:
+        return self.is_consistent() and self.shared_state() in invariant
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def local_view(self, j: int) -> dict[int, int]:
+        """What process ``j`` believes the readable variables hold."""
+        view: dict[int, int] = {}
+        for v in self.protocol.topology[j].reads:
+            if self.owned[v] == j:
+                view[v] = self.values[v]
+            else:
+                view[v] = self.caches[j][v]
+        return view
+
+    def enabled_process_moves(self, j: int) -> list[tuple[int, int]]:
+        """Groups of ``j`` enabled under its (possibly stale) local view."""
+        table = self.protocol.tables[j]
+        view = self.local_view(j)
+        rcode = table.rcode_of_values(
+            [view[v] for v in table.read_vars]
+        )
+        return [
+            (rcode, wcode)
+            for wcode in range(table.n_wvals)
+            if (rcode, wcode) in self.protocol.groups[j]
+        ]
+
+    def perform_move(self, j: int, rcode: int, wcode: int) -> None:
+        """Apply a write locally and broadcast update messages."""
+        table = self.protocol.tables[j]
+        new_values = table.values_of_wcode(wcode)
+        for v, value in zip(table.write_vars, new_values):
+            self.values[v] = int(value)
+            for (owner, reader), channel in self.channels.items():
+                if owner == j and v in self.caches[reader]:
+                    channel.send(Message(v, int(value)))
+
+    def deliverable_channels(self) -> list[tuple[int, int]]:
+        return [key for key, ch in self.channels.items() if len(ch)]
+
+    def deliver(self, key: tuple[int, int]) -> None:
+        message = self.channels[key].deliver()
+        # corrupted channels may carry updates for variables the reader does
+        # not cache; those are ignored (a real receiver would discard them)
+        if message is not None and message.variable in self.caches[key[1]]:
+            self.caches[key[1]][message.variable] = message.value
+
+    def refresh(self, key: tuple[int, int]) -> None:
+        """Owner retransmits its current values to one reader.
+
+        Periodic retransmission is what makes cached-neighbour refinements
+        self-stabilizing: a corrupted cache with empty channels would
+        otherwise be stuck stale forever (cf. Dolev's update protocols and
+        the Nesterenko-Arora refinement, which resend state continuously).
+        """
+        owner, reader = key
+        for v in self.caches[reader]:
+            if self.owned[v] == owner:
+                self.channels[key].send(Message(v, self.values[v]))
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def corrupt(self, rng: random.Random, *, corrupt_channels: bool = True) -> None:
+        """Transient burst: randomise owned values, caches and channels."""
+        space = self.protocol.space
+        for v in range(space.n_vars):
+            self.values[v] = rng.randrange(space.variables[v].domain_size)
+        for cache in self.caches:
+            for v in cache:
+                cache[v] = rng.randrange(space.variables[v].domain_size)
+        for channel in self.channels.values():
+            channel.queue.clear()
+            if corrupt_channels:
+                for _ in range(rng.randrange(channel.capacity // 2 + 1)):
+                    v = rng.randrange(space.n_vars)
+                    channel.send(
+                        Message(v, rng.randrange(space.variables[v].domain_size))
+                    )
+
+
+@dataclass
+class MPTrace:
+    """Outcome of one message-passing run."""
+
+    events: int
+    converged: bool
+    shared_states: list[int] = field(default_factory=list)
+
+
+def run_message_passing(
+    system: MessagePassingSystem,
+    invariant: Predicate,
+    *,
+    max_events: int = 50_000,
+    seed: int = 0,
+    deliver_bias: float = 0.6,
+    refresh_rate: float = 0.05,
+) -> MPTrace:
+    """Drive the system with a fair random scheduler until legitimacy.
+
+    Events are message deliveries, enabled process moves, or owner refreshes
+    (periodic retransmission — fired with probability ``refresh_rate`` and
+    whenever nothing else can run; without it, corrupted caches over empty
+    channels would stay stale forever and no refinement could stabilize).
+    ``deliver_bias`` is the probability of preferring a delivery when both
+    deliveries and moves are available.
+    """
+    rng = random.Random(seed)
+    shared_states = [system.shared_state()]
+    channel_keys = list(system.channels)
+    for event in range(max_events):
+        if system.is_legitimate(invariant):
+            return MPTrace(events=event, converged=True, shared_states=shared_states)
+        deliverable = system.deliverable_channels()
+        movable = [
+            (j, rcode, wcode)
+            for j in range(system.protocol.n_processes)
+            for rcode, wcode in system.enabled_process_moves(j)
+        ]
+        if channel_keys and rng.random() < refresh_rate:
+            system.refresh(rng.choice(channel_keys))
+            continue
+        do_delivery = deliverable and (
+            not movable or rng.random() < deliver_bias
+        )
+        if do_delivery:
+            system.deliver(rng.choice(deliverable))
+        elif movable:
+            j, rcode, wcode = rng.choice(movable)
+            system.perform_move(j, rcode, wcode)
+            shared_states.append(system.shared_state())
+        elif system.is_consistent():
+            # consistent and quiescent but illegitimate: this is exactly a
+            # deadlock state of the underlying shared-memory protocol
+            return MPTrace(
+                events=event, converged=False, shared_states=shared_states
+            )
+        elif channel_keys:
+            system.refresh(rng.choice(channel_keys))
+    return MPTrace(events=max_events, converged=False, shared_states=shared_states)

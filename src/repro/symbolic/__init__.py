@@ -1,0 +1,41 @@
+"""Symbolic (BDD) engine: encoding, images, SCCs, ranking and synthesis."""
+
+from .encode import SymbolicProtocol, SymbolicSpace
+from .engine import (
+    SymbolicSynthesisResult,
+    SymbolicSynthesisState,
+    add_strong_convergence_symbolic,
+)
+from .image import (
+    backward_closure,
+    forward_closure,
+    postimage,
+    postimage_union,
+    preimage,
+    preimage_union,
+)
+from .ranking import (
+    SymbolicRanking,
+    compute_pim_groups_symbolic,
+    compute_ranks_symbolic,
+)
+from .scc import gentilini_sccs, xie_beerel_sccs
+
+__all__ = [
+    "SymbolicProtocol",
+    "SymbolicRanking",
+    "SymbolicSpace",
+    "SymbolicSynthesisResult",
+    "SymbolicSynthesisState",
+    "add_strong_convergence_symbolic",
+    "backward_closure",
+    "compute_pim_groups_symbolic",
+    "compute_ranks_symbolic",
+    "forward_closure",
+    "gentilini_sccs",
+    "postimage",
+    "postimage_union",
+    "preimage",
+    "preimage_union",
+    "xie_beerel_sccs",
+]

@@ -1,0 +1,306 @@
+"""Symbolic encoding of protocols: multi-valued variables over BDD bits.
+
+Each protocol variable with domain ``d`` gets ``ceil(log2 d)`` bit pairs;
+current and next bits are *interleaved* (``cur, next, cur, next, ...``) in
+variable order — the standard ordering that keeps transition-relation BDDs
+small and makes the cur<->next renaming order-preserving (a requirement of
+:meth:`repro.bdd.BDD.rename`).
+
+The :class:`SymbolicSpace` offers the combinators the case studies and the
+synthesis engine need (value cubes, variable (in)equalities, frames, group
+relations) plus conversions to/from the explicit engine for differential
+testing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..bdd import BDD, ONE, ZERO
+from ..protocol.groups import GroupId
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from ..protocol.state_space import StateSpace
+
+
+def _bits_for(domain: int) -> int:
+    bits = 1
+    while (1 << bits) < domain:
+        bits += 1
+    return bits
+
+
+class SymbolicSpace:
+    """BDD encoding of a :class:`StateSpace` (current and next copies)."""
+
+    def __init__(self, space: StateSpace):
+        self.space = space
+        self.n_bits_of: list[int] = [
+            _bits_for(v.domain_size) for v in space.variables
+        ]
+        names: list[str] = []
+        self.cur_levels: list[list[int]] = []
+        self.next_levels: list[list[int]] = []
+        level = 0
+        for var, bits in zip(space.variables, self.n_bits_of):
+            cur, nxt = [], []
+            for b in range(bits):
+                names.append(f"{var.name}.{b}")
+                cur.append(level)
+                level += 1
+                names.append(f"{var.name}.{b}'")
+                nxt.append(level)
+                level += 1
+            self.cur_levels.append(cur)
+            self.next_levels.append(nxt)
+        self.bdd = BDD(level, names)
+        self.all_cur = [l for ls in self.cur_levels for l in ls]
+        self.all_next = [l for ls in self.next_levels for l in ls]
+        self._cur_to_next = {c: n for c, n in zip(self.all_cur, self.all_next)}
+        self._next_to_cur = {n: c for c, n in zip(self.all_cur, self.all_next)}
+        #: states whose current-bit encoding is a valid domain valuation
+        self.domain_cur = self.bdd.and_all(
+            self._domain_constraint(i, primed=False)
+            for i in range(space.n_vars)
+        )
+        self.domain_next = self.bdd.and_all(
+            self._domain_constraint(i, primed=True) for i in range(space.n_vars)
+        )
+        self._eq_frame_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # atoms
+    # ------------------------------------------------------------------
+    def levels(self, var_index: int, *, primed: bool = False) -> list[int]:
+        return (self.next_levels if primed else self.cur_levels)[var_index]
+
+    def value_cube(self, var_index: int, value: int, *, primed: bool = False) -> int:
+        """BDD of ``v == value`` (over current or next bits); msb is bit 0."""
+        domain = self.space.variables[var_index].domain_size
+        if not 0 <= value < domain:
+            raise ValueError(f"{value} outside domain of variable {var_index}")
+        bits = self.levels(var_index, primed=primed)
+        n = len(bits)
+        literals = {
+            bits[b]: bool((value >> (n - 1 - b)) & 1) for b in range(n)
+        }
+        return self.bdd.cube(literals)
+
+    def _domain_constraint(self, var_index: int, *, primed: bool) -> int:
+        domain = self.space.variables[var_index].domain_size
+        if domain == (1 << self.n_bits_of[var_index]):
+            return ONE
+        return self.bdd.or_all(
+            self.value_cube(var_index, v, primed=primed) for v in range(domain)
+        )
+
+    def eq_const(self, var_index: int, value: int) -> int:
+        return self.value_cube(var_index, value, primed=False)
+
+    def eq_vars(self, i: int, j: int) -> int:
+        """``v_i == v_j`` (over current bits)."""
+        d = min(
+            self.space.variables[i].domain_size,
+            self.space.variables[j].domain_size,
+        )
+        return self.bdd.or_all(
+            self.bdd.and_(self.eq_const(i, v), self.eq_const(j, v))
+            for v in range(d)
+        )
+
+    def neq_vars(self, i: int, j: int) -> int:
+        return self.bdd.diff(self.domain_cur, self.eq_vars(i, j))
+
+    def relation(self, i: int, j: int, holds) -> int:
+        """``holds(v_i, v_j)`` as a BDD, enumerated over the two domains."""
+        di = self.space.variables[i].domain_size
+        dj = self.space.variables[j].domain_size
+        return self.bdd.or_all(
+            self.bdd.and_(self.eq_const(i, a), self.eq_const(j, b))
+            for a in range(di)
+            for b in range(dj)
+            if holds(a, b)
+        )
+
+    def unchanged(self, var_index: int) -> int:
+        """Frame condition ``v' == v`` for one variable (cached)."""
+        cached = self._eq_frame_cache.get(var_index)
+        if cached is None:
+            cached = self.bdd.or_all(
+                self.bdd.and_(
+                    self.value_cube(var_index, v, primed=False),
+                    self.value_cube(var_index, v, primed=True),
+                )
+                for v in range(self.space.variables[var_index].domain_size)
+            )
+            self._eq_frame_cache[var_index] = cached
+        return cached
+
+    def state_cube(self, values: Sequence[int], *, primed: bool = False) -> int:
+        return self.bdd.and_all(
+            self.value_cube(i, v, primed=primed) for i, v in enumerate(values)
+        )
+
+    # ------------------------------------------------------------------
+    # state-set plumbing
+    # ------------------------------------------------------------------
+    def prime(self, f: int) -> int:
+        """Rename a current-bits BDD to next bits."""
+        return self.bdd.rename(f, self._cur_to_next)
+
+    def unprime(self, f: int) -> int:
+        """Rename a next-bits BDD to current bits."""
+        return self.bdd.rename(f, self._next_to_cur)
+
+    def count_states(self, f: int) -> int:
+        """Number of states in a current-bits state-set BDD."""
+        g = self.bdd.and_(f, self.domain_cur)
+        return self.bdd.count_sat(g) >> len(self.all_next)
+
+    def is_empty(self, f: int) -> bool:
+        return self.bdd.and_(f, self.domain_cur) == ZERO
+
+    def pick_state(self, f: int) -> int | None:
+        """Any member state of a state-set BDD, as an explicit state index."""
+        g = self.bdd.and_(f, self.domain_cur)
+        model = self.bdd.pick(g)
+        if model is None:
+            return None
+        values = []
+        for i in range(self.space.n_vars):
+            bits = self.cur_levels[i]
+            n = len(bits)
+            value = 0
+            for b in range(n):
+                value |= int(model.get(bits[b], False)) << (n - 1 - b)
+            values.append(value)
+        return self.space.encode(values)
+
+    # ------------------------------------------------------------------
+    # explicit <-> symbolic conversion (small spaces; differential tests)
+    # ------------------------------------------------------------------
+    def from_mask(self, mask: np.ndarray) -> int:
+        """Encode an explicit boolean mask as a state-set BDD.
+
+        Linear in the state space — use only for testing / small spaces.
+        """
+        f = ZERO
+        for s in np.flatnonzero(mask):
+            f = self.bdd.or_(f, self.state_cube(self.space.decode(int(s))))
+        return f
+
+    def from_predicate(self, predicate: Predicate) -> int:
+        return self.from_mask(predicate.mask)
+
+    def to_mask(self, f: int) -> np.ndarray:
+        """Decode a state-set BDD into an explicit boolean mask."""
+        mask = np.zeros(self.space.size, dtype=bool)
+        g = self.bdd.and_(f, self.domain_cur)
+        for partial in self.bdd.iter_sat(g):
+            free_vars: list[tuple[int, int]] = []  # (var, free-bit-count)
+            base_values = []
+            for i in range(self.space.n_vars):
+                bits = self.cur_levels[i]
+                base_values.append(
+                    [partial.get(b) for b in bits]
+                )
+            # expand don't-care current bits; next bits are irrelevant
+            self._expand(mask, base_values, 0, [0] * self.space.n_vars)
+        return mask
+
+    def _expand(self, mask, base_values, var, acc):
+        if var == self.space.n_vars:
+            mask[self.space.encode(acc)] = True
+            return
+        bits = base_values[var]
+        n = len(bits)
+        domain = self.space.variables[var].domain_size
+
+        def rec(b, value):
+            if b == n:
+                if value < domain:
+                    acc[var] = value
+                    self._expand(mask, base_values, var + 1, acc)
+                return
+            known = bits[b]
+            for bit in ((known,) if known is not None else (False, True)):
+                rec(b + 1, value | (int(bit) << (n - 1 - b)))
+
+        rec(0, 0)
+
+    # ------------------------------------------------------------------
+    # transition groups
+    # ------------------------------------------------------------------
+    def frame(self, written_vars: Iterable[int]) -> int:
+        """``AND_{v not in written} (v' == v)`` — cached per write-set."""
+        key = tuple(sorted(written_vars))
+        cached = self._eq_frame_cache.get(("frame", key))
+        if cached is None:
+            cached = self.bdd.and_all(
+                self.unchanged(v)
+                for v in range(self.space.n_vars)
+                if v not in key
+            )
+            self._eq_frame_cache[("frame", key)] = cached
+        return cached
+
+
+class SymbolicProtocol:
+    """Symbolic view of a protocol: per-group and per-process relations."""
+
+    def __init__(self, protocol: Protocol, sym: SymbolicSpace | None = None):
+        self.protocol = protocol
+        self.sym = sym if sym is not None else SymbolicSpace(protocol.space)
+        self._group_cache: dict[GroupId, int] = {}
+        self._frames = [
+            self.sym.frame(protocol.topology[j].writes)
+            for j in range(protocol.n_processes)
+        ]
+        self._rcubes: list[dict[int, int]] = [
+            {} for _ in range(protocol.n_processes)
+        ]
+
+    def rcube(self, j: int, rcode: int) -> int:
+        """Cube of the readable valuation ``rcode`` of process ``j`` (cur bits)."""
+        cached = self._rcubes[j].get(rcode)
+        if cached is None:
+            table = self.protocol.tables[j]
+            values = table.values_of_rcode(rcode)
+            cached = self.sym.bdd.and_all(
+                self.sym.value_cube(v, val)
+                for v, val in zip(table.read_vars, values)
+            )
+            self._rcubes[j][rcode] = cached
+        return cached
+
+    def group_relation(self, gid: GroupId) -> int:
+        """Transition-relation BDD of one group."""
+        cached = self._group_cache.get(gid)
+        if cached is None:
+            j, rcode, wcode = gid
+            table = self.protocol.tables[j]
+            wvals = table.values_of_wcode(wcode)
+            wcube = self.sym.bdd.and_all(
+                self.sym.value_cube(v, val, primed=True)
+                for v, val in zip(table.write_vars, wvals)
+            )
+            cached = self.sym.bdd.and_all(
+                [self.rcube(j, rcode), wcube, self._frames[j]]
+            )
+            self._group_cache[gid] = cached
+        return cached
+
+    def relation_of(self, group_ids: Iterable[GroupId]) -> int:
+        """Union relation of a collection of groups."""
+        return self.sym.bdd.or_all(self.group_relation(g) for g in group_ids)
+
+    def process_relations(
+        self, groups: Sequence[Iterable[tuple[int, int]]]
+    ) -> list[int]:
+        """One union relation per process (for image computations)."""
+        return [
+            self.relation_of((j, r, w) for (r, w) in gs)
+            for j, gs in enumerate(groups)
+        ]

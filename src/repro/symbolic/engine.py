@@ -1,0 +1,504 @@
+"""The symbolic synthesis engine — STSyn as the paper actually built it.
+
+Mirrors :mod:`repro.core` (same passes, same constraints, same portfolio
+semantics) with every *state set* represented as a BDD; transition-group
+bookkeeping stays explicit because candidate group sets are tiny (hundreds)
+even when the state space is ``3^40``.  Cross-engine equivalence on small
+instances is enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..bdd import ZERO
+from ..core.exceptions import (
+    HeuristicFailure,
+    NoStabilizingVersionError,
+    UnresolvableCycleError,
+)
+from ..core.heuristic import HeuristicOptions
+from ..core.schedules import paper_default_schedule, validate_schedule
+from ..metrics.stats import SynthesisStats
+from ..protocol.groups import GroupId
+from ..protocol.protocol import Protocol
+from .encode import SymbolicProtocol
+from .image import backward_closure, forward_closure
+from .ranking import SymbolicRanking, compute_ranks_symbolic
+from .scc import gentilini_sccs, xie_beerel_sccs
+
+
+@dataclass
+class SymbolicSynthesisState:
+    """Symbolic twin of :class:`repro.core.add_convergence.SynthesisState`."""
+
+    sp: SymbolicProtocol
+    invariant: int
+    stats: SynthesisStats
+    scc_algorithm: str = "gentilini"
+    cycle_resolution_mode: str = "batch"
+    pss_groups: list[set[tuple[int, int]]] = field(init=False)
+    added_groups: list[set[tuple[int, int]]] = field(init=False)
+    removed_groups: list[set[tuple[int, int]]] = field(init=False)
+    #: per-process union transition relations of pss (kept incrementally)
+    relations: list[int] = field(init=False)
+    #: states with at least one outgoing transition (= union of rcubes)
+    enabled: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        protocol = self.sp.protocol
+        sym = self.sp.sym
+        self.invariant = sym.bdd.and_(self.invariant, sym.domain_cur)
+        self.pss_groups = [set(g) for g in protocol.groups]
+        self.added_groups = [set() for _ in protocol.groups]
+        self.removed_groups = [set() for _ in protocol.groups]
+        self._rebuild_relations()
+        self._touch_cache: list[dict[int, bool]] = [
+            {} for _ in range(protocol.n_processes)
+        ]
+        self._rcube2_cache: dict[tuple[int, int, int], int] = {}
+        # Rank-decrease shortcut (sound by Lemma IV.2): while every
+        # transition of pss|¬I strictly decreases the rank, the relation is
+        # acyclic and Identify_Resolve_Cycles can accept candidates whose
+        # transitions also all decrease rank, with no SCC search at all.
+        self._down: int | None = None  # ∨_i (Rank_i ∧ Rank_{i-1}')
+        self._all_decreasing = False
+
+    def install_rank_shortcut(self, ranking: "SymbolicRanking") -> None:
+        """Enable the Lemma-IV.2 acyclicity shortcut from a ranking."""
+        sym = self.sp.sym
+        down = ZERO
+        for i in range(1, len(ranking.ranks)):
+            down = sym.bdd.or_(
+                down,
+                sym.bdd.and_(
+                    ranking.ranks[i], sym.prime(ranking.ranks[i - 1])
+                ),
+            )
+        self._down = down
+        self._all_decreasing = self._relation_is_decreasing(
+            sym.bdd.or_all(self.relations)
+        )
+
+    def _relation_is_decreasing(self, relation: int) -> bool:
+        """Is every ``¬I -> ¬I`` transition of ``relation`` strictly
+        rank-decreasing (from Rank[i] into Rank[i-1])?"""
+        assert self._down is not None
+        sym = self.sp.sym
+        not_i = self.not_i
+        restricted = sym.bdd.and_(
+            sym.bdd.and_(relation, not_i), sym.prime(not_i)
+        )
+        return sym.bdd.diff(restricted, self._down) == ZERO
+
+    def _rebuild_relations(self) -> None:
+        sym = self.sp.sym
+        self.relations = self.sp.process_relations(self.pss_groups)
+        self.enabled = sym.bdd.or_all(
+            self.sp.rcube(j, rcode)
+            for j, gs in enumerate(self.pss_groups)
+            for (rcode, _w) in gs
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def not_i(self) -> int:
+        sym = self.sp.sym
+        return sym.bdd.diff(sym.domain_cur, self.invariant)
+
+    def deadlocks(self) -> int:
+        sym = self.sp.sym
+        return sym.bdd.diff(self.not_i, self.enabled)
+
+    def rcode_touches_i(self, j: int, rcode: int) -> bool:
+        cached = self._touch_cache[j].get(rcode)
+        if cached is None:
+            cached = (
+                self.sp.sym.bdd.and_(self.sp.rcube(j, rcode), self.invariant)
+                != ZERO
+            )
+            self._touch_cache[j][rcode] = cached
+        return cached
+
+    def rcube_after_write(self, j: int, rcode: int, wcode: int) -> int:
+        """Cube of the readable valuation *after* the group's write."""
+        key = (j, rcode, wcode)
+        cached = self._rcube2_cache.get(key)
+        if cached is None:
+            table = self.sp.protocol.tables[j]
+            values = list(table.values_of_rcode(rcode))
+            wvals = table.values_of_wcode(wcode)
+            for pos, v in enumerate(table.write_vars):
+                values[table.read_vars.index(v)] = wvals[pos]
+            sym = self.sp.sym
+            cached = sym.bdd.and_all(
+                sym.value_cube(v, val)
+                for v, val in zip(table.read_vars, values)
+            )
+            self._rcube2_cache[key] = cached
+        return cached
+
+    def commit_group(self, j: int, rcode: int, wcode: int) -> None:
+        sym = self.sp.sym
+        if self._all_decreasing and self._down is not None:
+            self._all_decreasing = self._relation_is_decreasing(
+                self.sp.group_relation((j, rcode, wcode))
+            )
+        self.pss_groups[j].add((rcode, wcode))
+        self.added_groups[j].add((rcode, wcode))
+        self.relations[j] = sym.bdd.or_(
+            self.relations[j], self.sp.group_relation((j, rcode, wcode))
+        )
+        self.enabled = sym.bdd.or_(self.enabled, self.sp.rcube(j, rcode))
+        self.stats.bump("groups_added")
+
+    def remove_group(self, j: int, rcode: int, wcode: int) -> None:
+        self.pss_groups[j].discard((rcode, wcode))
+        self.removed_groups[j].add((rcode, wcode))
+        self.stats.bump("groups_removed")
+        self._rebuild_relations()
+
+
+def identify_resolve_cycles_symbolic(
+    state: SymbolicSynthesisState, candidates: list[GroupId]
+) -> set[GroupId]:
+    """Symbolic ``Identify_Resolve_Cycles``: region-restricted SCC search."""
+    if not candidates:
+        return set()
+    sym = state.sp.sym
+    if state._all_decreasing and state._down is not None:
+        cand_union = sym.bdd.or_all(
+            state.sp.group_relation(g) for g in candidates
+        )
+        if state._relation_is_decreasing(cand_union):
+            state.stats.bump("scc_skipped_by_rank_shortcut")
+            return set()
+    with state.stats.timer("scc"):
+        not_i = state.not_i
+        cand_rels = [state.sp.group_relation(g) for g in candidates]
+        srcs = sym.bdd.and_(
+            sym.bdd.or_all(state.sp.rcube(g[0], g[1]) for g in candidates),
+            not_i,
+        )
+        dsts = sym.bdd.and_(
+            sym.bdd.or_all(
+                state.rcube_after_write(*g) for g in candidates
+            ),
+            not_i,
+        )
+        relations = list(state.relations) + cand_rels
+        # Any new cycle contains a candidate edge (s, t) with t reaching s,
+        # so it is confined to backward(srcs) ∩ forward(dsts).  The backward
+        # closure is computed first: candidate sources are deadlock-ish
+        # states with few incoming paths, so it is usually tiny and the
+        # ``dsts ∩ B = ∅`` test resolves most calls without the (much
+        # larger) forward closure.
+        bwd = backward_closure(sym, relations, srcs, within=not_i)
+        if sym.bdd.and_(bwd, dsts) == ZERO:
+            state.stats.bump("scc_skipped_by_backward_check")
+            return set()
+        fwd = forward_closure(sym, relations, dsts, within=not_i)
+        region = sym.bdd.and_(fwd, bwd)
+        if region == ZERO:
+            return set()
+        algorithm = (
+            gentilini_sccs
+            if state.scc_algorithm == "gentilini"
+            else xie_beerel_sccs
+        )
+        sccs = algorithm(sym, relations, region)
+        state.stats.record_sccs(
+            [sym.count_states(c) for c in sccs],
+            [sym.bdd.size(c) for c in sccs],
+        )
+        if not sccs:
+            return set()
+        bad: set[GroupId] = set()
+        for gid, rel in zip(candidates, cand_rels):
+            for scc in sccs:
+                inside = sym.bdd.and_(
+                    sym.bdd.and_(rel, scc), sym.prime(scc)
+                )
+                if inside != ZERO:
+                    bad.add(gid)
+                    state.stats.bump("groups_rejected_cycles")
+                    break
+    return bad
+
+
+def add_recovery_symbolic(
+    state: SymbolicSynthesisState,
+    from_set: int,
+    to_set: int,
+    process: int,
+    *,
+    rule_out_deadlock_targets: bool,
+    deadlocks: int | None = None,
+) -> int:
+    """Symbolic ``Add_Recovery`` for one process; returns #groups committed."""
+    sym = state.sp.sym
+    bdd = sym.bdd
+    table = state.sp.protocol.tables[process]
+    read_bits = [
+        b for v in table.read_vars for b in sym.cur_levels[v]
+    ]
+    if rule_out_deadlock_targets and deadlocks is None:
+        deadlocks = state.deadlocks()
+    pss_j = state.pss_groups[process]
+
+    candidates: list[GroupId] = []
+    for rcode in range(table.n_rvals):
+        if state.rcode_touches_i(process, rcode):
+            continue  # C1
+        src = bdd.and_(state.sp.rcube(process, rcode), from_set)
+        if src == ZERO:
+            continue
+        src_u = bdd.exists(read_bits, src)  # as a function of unreadables
+        self_w = int(table.self_wcode[rcode])
+        for wcode in range(table.n_wvals):
+            if wcode == self_w or (rcode, wcode) in pss_j:
+                continue
+            rcube2 = state.rcube_after_write(process, rcode, wcode)
+            if rule_out_deadlock_targets and bdd.and_(rcube2, deadlocks) != ZERO:
+                continue  # C4
+            dst_u = bdd.exists(read_bits, bdd.and_(rcube2, to_set))
+            if bdd.and_(src_u, dst_u) == ZERO:
+                continue
+            candidates.append((process, rcode, wcode))
+
+    if not candidates:
+        return 0
+    committed = 0
+    mode = state.cycle_resolution_mode
+    rejected: list[GroupId] = []
+    if mode in ("batch", "hybrid"):
+        bad = identify_resolve_cycles_symbolic(state, candidates)
+        for gid in candidates:
+            if gid in bad:
+                rejected.append(gid)
+            else:
+                state.commit_group(*gid)
+                committed += 1
+    else:
+        rejected = list(candidates)
+    if mode in ("sequential", "hybrid"):
+        for gid in rejected:
+            if identify_resolve_cycles_symbolic(state, [gid]):
+                continue
+            state.commit_group(*gid)
+            committed += 1
+    return committed
+
+
+def add_convergence_symbolic(
+    state: SymbolicSynthesisState,
+    from_set: int,
+    to_set: int,
+    schedule: Sequence[int],
+    pass_no: int,
+) -> bool:
+    deadlocks = state.deadlocks()
+    for j in schedule:
+        add_recovery_symbolic(
+            state,
+            from_set,
+            to_set,
+            j,
+            rule_out_deadlock_targets=(pass_no == 1),
+            deadlocks=deadlocks,
+        )
+        deadlocks = state.deadlocks()
+        if deadlocks == ZERO:
+            return True
+    return False
+
+
+@dataclass
+class SymbolicSynthesisResult:
+    """Outcome of one symbolic heuristic run."""
+
+    success: bool
+    sp: SymbolicProtocol
+    pss_groups: list[set[tuple[int, int]]]
+    added_groups: list[set[tuple[int, int]]]
+    removed_groups: list[set[tuple[int, int]]]
+    ranking: SymbolicRanking
+    stats: SynthesisStats
+    schedule: tuple[int, ...]
+    pass_completed: int
+    remaining_deadlocks: int  # BDD of deadlock states left (ZERO on success)
+
+    def to_protocol(self, name: str | None = None) -> Protocol:
+        """The synthesized protocol as a plain (group-set) protocol object."""
+        base = self.sp.protocol
+        return base.with_groups(
+            self.pss_groups, name=name or f"{base.name}_ss"
+        )
+
+    @property
+    def n_added(self) -> int:
+        return sum(len(g) for g in self.added_groups)
+
+    def record_space_metrics(self) -> None:
+        """Fill ``stats.bdd_nodes`` with the paper's space metrics:
+        total program size (shared BDD of the pss relations) and manager
+        total."""
+        sym = self.sp.sym
+        relations = self.sp.process_relations(self.pss_groups)
+        self.stats.bdd_nodes["total_program_size"] = sym.bdd.size_many(relations)
+        self.stats.bdd_nodes["manager_nodes"] = sym.bdd.num_nodes()
+
+
+def _closure_check_symbolic(
+    state: SymbolicSynthesisState,
+) -> None:
+    sym = state.sp.sym
+    from ..core.exceptions import NotClosedError
+    from .image import postimage_union
+
+    escaped = sym.bdd.diff(
+        postimage_union(sym, state.relations, state.invariant),
+        state.invariant,
+    )
+    if sym.bdd.and_(escaped, sym.domain_cur) != ZERO:
+        raise NotClosedError(
+            f"I is not closed in {state.sp.protocol.name!r} (symbolic check)"
+        )
+
+
+def _preprocess_cycles_symbolic(
+    state: SymbolicSynthesisState, options: HeuristicOptions
+) -> None:
+    sym = state.sp.sym
+    algorithm = (
+        gentilini_sccs if state.scc_algorithm == "gentilini" else xie_beerel_sccs
+    )
+    with state.stats.timer("scc"):
+        sccs = algorithm(sym, state.relations, state.not_i)
+    if not sccs:
+        return
+    state.stats.record_sccs(
+        [sym.count_states(c) for c in sccs],
+        [sym.bdd.size(c) for c in sccs],
+    )
+    offenders: list[GroupId] = []
+    for j, gs in enumerate(state.pss_groups):
+        for rcode, wcode in sorted(gs):
+            rel = state.sp.group_relation((j, rcode, wcode))
+            for scc in sccs:
+                if sym.bdd.and_(sym.bdd.and_(rel, scc), sym.prime(scc)) != ZERO:
+                    if state.rcode_touches_i(j, rcode):
+                        raise UnresolvableCycleError(
+                            f"input protocol has a non-progress cycle through "
+                            f"group ({j},{rcode},{wcode}) whose groupmates "
+                            f"start in I"
+                        )
+                    offenders.append((j, rcode, wcode))
+                    break
+    if not options.remove_input_cycles:
+        raise UnresolvableCycleError("input cycles present and removal disabled")
+    for gid in offenders:
+        state.remove_group(*gid)
+
+
+def add_strong_convergence_symbolic(
+    protocol: Protocol,
+    invariant: int,
+    *,
+    sp: SymbolicProtocol | None = None,
+    schedule: Sequence[int] | None = None,
+    options: HeuristicOptions | None = None,
+    stats: SynthesisStats | None = None,
+    scc_algorithm: str = "gentilini",
+) -> SymbolicSynthesisResult:
+    """The three-pass heuristic, fully symbolic.
+
+    ``invariant`` is a BDD over ``sp.sym`` (build it with the case studies'
+    ``*_invariant_bdd`` helpers or ``SymbolicSpace.from_predicate``).
+    """
+    options = options or HeuristicOptions()
+    stats = stats if stats is not None else SynthesisStats()
+    sp = sp if sp is not None else SymbolicProtocol(protocol)
+    k = protocol.n_processes
+    schedule = (
+        validate_schedule(schedule, k)
+        if schedule is not None
+        else paper_default_schedule(k)
+    )
+
+    with stats.timer("total"):
+        state = SymbolicSynthesisState(
+            sp,
+            invariant,
+            stats,
+            scc_algorithm=scc_algorithm,
+            cycle_resolution_mode=options.cycle_resolution_mode,
+        )
+        if options.disable_cycle_resolution:
+            raise ValueError(
+                "disable_cycle_resolution is an explicit-engine-only ablation"
+            )
+        _closure_check_symbolic(state)
+        _preprocess_cycles_symbolic(state, options)
+
+        with stats.timer("ranking"):
+            ranking = compute_ranks_symbolic(sp, state.invariant)
+        state.install_rank_shortcut(ranking)
+        if not ranking.admits_stabilization():
+            raise NoStabilizingVersionError(
+                f"{ranking.n_unreachable()} states have rank ∞; no "
+                f"stabilizing version exists (Theorem IV.1)",
+                n_unreachable=ranking.n_unreachable(),
+            )
+
+        def make_result(success: bool, pass_no: int) -> SymbolicSynthesisResult:
+            return SymbolicSynthesisResult(
+                success=success,
+                sp=sp,
+                pss_groups=[set(g) for g in state.pss_groups],
+                added_groups=[set(g) for g in state.added_groups],
+                removed_groups=[set(g) for g in state.removed_groups],
+                ranking=ranking,
+                stats=stats,
+                schedule=schedule,
+                pass_completed=pass_no,
+                remaining_deadlocks=state.deadlocks(),
+            )
+
+        if state.deadlocks() == ZERO:
+            return make_result(True, 0)
+
+        sym = sp.sym
+        for pass_no, enabled in ((1, options.enable_pass1), (2, options.enable_pass2)):
+            if not enabled:
+                continue
+            stats.bump(f"pass{pass_no}_runs")
+            for i in range(1, ranking.max_rank + 1):
+                from_set = sym.bdd.and_(state.deadlocks(), ranking.ranks[i])
+                if from_set == ZERO:
+                    continue
+                done = add_convergence_symbolic(
+                    state, from_set, ranking.ranks[i - 1], schedule, pass_no
+                )
+                if done:
+                    return make_result(True, pass_no)
+            if state.deadlocks() == ZERO:
+                return make_result(True, pass_no)
+
+        if options.enable_pass3:
+            stats.bump("pass3_runs")
+            done = add_convergence_symbolic(
+                state, state.deadlocks(), sym.domain_cur, schedule, pass_no=3
+            )
+            if done or state.deadlocks() == ZERO:
+                return make_result(True, 3)
+
+        result = make_result(False, 3)
+    if options.raise_on_failure:
+        raise HeuristicFailure(
+            f"deadlock states remain after all passes (symbolic) for "
+            f"{protocol.name!r}",
+            remaining_deadlocks=sp.sym.count_states(result.remaining_deadlocks),
+        )
+    return result

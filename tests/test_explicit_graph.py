@@ -1,0 +1,99 @@
+"""Tests for TransitionView and vectorised reachability, cross-checked
+against networkx on random protocols."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.explicit.graph import TransitionView, backward_reachable, forward_reachable
+from repro.protocols import token_ring
+
+from conftest import make_random_protocol
+
+
+def nx_graph(protocol):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(protocol.space.size))
+    g.add_edges_from(protocol.transition_set())
+    return g
+
+
+class TestTransitionView:
+    def test_of_protocol_covers_all_groups(self):
+        protocol, _ = token_ring(3, 3)
+        view = TransitionView.of_protocol(protocol)
+        assert len(view) == protocol.n_groups()
+
+    def test_extra_groups_appended(self):
+        protocol, _ = token_ring(3, 3)
+        extra = [(1, 0, 1)]
+        view = TransitionView.of_protocol(protocol, extra=extra)
+        assert len(view) == protocol.n_groups() + 1
+
+    def test_edge_arrays_with_restriction(self):
+        protocol, invariant = token_ring(4, 3)
+        view = TransitionView.of_protocol(protocol)
+        src, dst = view.edge_arrays(~invariant.mask)
+        # both endpoints must lie outside the invariant
+        assert invariant.mask[src].sum() == 0
+        assert invariant.mask[dst].sum() == 0
+
+    def test_pairs_with_ids_order(self):
+        protocol, _ = token_ring(3, 3)
+        view = TransitionView.of_protocol(protocol)
+        ids = [gid for gid, _, _ in view.pairs_with_ids()]
+        assert ids == view.group_ids
+
+
+class TestReachability:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_forward_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        protocol = make_random_protocol(rng)
+        g = nx_graph(protocol)
+        start = rng.randrange(protocol.space.size)
+        expected = {start} | nx.descendants(g, start)
+        view = TransitionView.of_protocol(protocol)
+        got = forward_reachable(
+            view, np.array([start], dtype=np.int64), protocol.space.size
+        )
+        assert set(np.flatnonzero(got).tolist()) == expected
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_backward_matches_networkx(self, seed):
+        rng = random.Random(100 + seed)
+        protocol = make_random_protocol(rng)
+        g = nx_graph(protocol)
+        target = rng.randrange(protocol.space.size)
+        expected = {target} | nx.ancestors(g, target)
+        view = TransitionView.of_protocol(protocol)
+        got = backward_reachable(
+            view, np.array([target], dtype=np.int64), protocol.space.size
+        )
+        assert set(np.flatnonzero(got).tolist()) == expected
+
+    def test_mask_start_accepted(self):
+        protocol, invariant = token_ring(4, 3)
+        view = TransitionView.of_protocol(protocol)
+        reach = backward_reachable(view, invariant.mask, protocol.space.size)
+        # the TR protocol has deadlocks, so not everything reaches I
+        assert invariant.mask.sum() < reach.sum() < protocol.space.size
+
+    def test_within_restriction(self):
+        protocol, invariant = token_ring(4, 3)
+        view = TransitionView.of_protocol(protocol)
+        within = ~invariant.mask
+        reach = forward_reachable(
+            view, within.copy(), protocol.space.size, within=within
+        )
+        assert not (reach & invariant.mask).any()
+
+    def test_empty_start(self):
+        protocol, _ = token_ring(3, 3)
+        view = TransitionView.of_protocol(protocol)
+        got = forward_reachable(
+            view, np.empty(0, dtype=np.int64), protocol.space.size
+        )
+        assert not got.any()

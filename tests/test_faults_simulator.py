@@ -1,0 +1,186 @@
+"""Tests for daemons, fault injection and the execution simulator."""
+
+import random
+
+import pytest
+
+from repro.core import add_strong_convergence
+from repro.faults import (
+    AdversarialDaemon,
+    FaultModel,
+    RandomDaemon,
+    RoundRobinDaemon,
+    measure_convergence,
+    random_state,
+    random_states,
+    run,
+    run_with_faults,
+)
+from repro.protocols import (
+    dijkstra_stabilizing_token_ring,
+    gouda_acharya_matching,
+    token_ring,
+)
+
+
+@pytest.fixture(scope="module")
+def stabilizing():
+    return dijkstra_stabilizing_token_ring(4, 3)
+
+
+class TestInjection:
+    def test_random_state_in_range(self):
+        protocol, _ = token_ring(4, 3)
+        rng = random.Random(0)
+        for _ in range(50):
+            s = random_state(protocol.space, rng)
+            assert 0 <= s < protocol.space.size
+
+    def test_random_states_deterministic_per_seed(self):
+        protocol, _ = token_ring(4, 3)
+        a = random_states(protocol.space, 10, seed=1)
+        b = random_states(protocol.space, 10, seed=1)
+        c = random_states(protocol.space, 10, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_fault_model_limits_corruption(self):
+        protocol, _ = token_ring(4, 3)
+        space = protocol.space
+        rng = random.Random(3)
+        model = FaultModel(max_vars=1)
+        for _ in range(30):
+            before = space.encode([1, 1, 1, 1])
+            after = model.corrupt(space, before, rng)
+            diff = sum(
+                a != b for a, b in zip(space.decode(before), space.decode(after))
+            )
+            assert diff <= 1
+
+
+class TestRun:
+    def test_trace_is_a_real_execution(self, stabilizing):
+        protocol, invariant = stabilizing
+        trace = run(protocol, 0, invariant=invariant, daemon=RandomDaemon(1))
+        for s0, s1, proc in zip(trace.states, trace.states[1:], trace.processes):
+            assert s1 in protocol.successors(s0)
+            table = protocol.tables[proc]
+            rcode = table.rcode_of_state(s0)
+            assert any(
+                (rcode, w) in protocol.groups[proc]
+                and int(s0 + table.deltas[rcode, w]) == s1
+                for w in range(table.n_wvals)
+            )
+
+    def test_converges_and_reports_steps(self, stabilizing):
+        protocol, invariant = stabilizing
+        start = (~invariant).sample()
+        trace = run(protocol, start, invariant=invariant, daemon=RandomDaemon(7))
+        assert trace.converged
+        assert trace.steps_to_converge >= 1
+        assert trace.states[-1] in invariant
+
+    def test_deadlock_stops_run(self):
+        protocol, invariant = token_ring(4, 3)
+        dead = protocol.space.encode([0, 0, 1, 2])
+        trace = run(protocol, dead, invariant=invariant)
+        assert not trace.converged
+        assert len(trace.states) == 1
+
+    def test_continue_inside_invariant(self, stabilizing):
+        protocol, invariant = stabilizing
+        start = invariant.sample()
+        trace = run(
+            protocol,
+            start,
+            invariant=invariant,
+            stop_on_convergence=False,
+            max_steps=50,
+        )
+        assert len(trace.states) == 51  # the token never stops circulating
+        assert all(s in invariant for s in trace.states)
+
+
+class TestDaemons:
+    def test_round_robin_is_deterministic(self, stabilizing):
+        protocol, invariant = stabilizing
+        start = (~invariant).sample()
+        t1 = run(protocol, start, invariant=invariant, daemon=RoundRobinDaemon())
+        t2 = run(protocol, start, invariant=invariant, daemon=RoundRobinDaemon())
+        assert t1.states == t2.states
+
+    def test_adversarial_daemon_prefers_staying_outside_invariant(self):
+        protocol, invariant = gouda_acharya_matching(5)
+        daemon = AdversarialDaemon(invariant.mask, seed=0)
+        checked = 0
+        for s in range(protocol.space.size):
+            if s in invariant:
+                continue
+            enabled = protocol.enabled_groups(s)
+            if not enabled:
+                continue
+            targets = {
+                gid: int(s + protocol.tables[gid[0]].deltas[gid[1], gid[2]])
+                for gid in enabled
+            }
+            bad_exists = any(not invariant.mask[t] for t in targets.values())
+            choice = daemon.choose(protocol, s, enabled)
+            if bad_exists:
+                assert not invariant.mask[targets[choice]]
+                checked += 1
+            if checked > 40:
+                break
+        assert checked > 0
+
+    def test_adversarial_no_better_than_random_on_flawed_protocol(self):
+        """Statistically, the cycle-seeking daemon converges no more often
+        than the random one on the flawed manual matching protocol."""
+        protocol, invariant = gouda_acharya_matching(5)
+        adv = measure_convergence(
+            protocol,
+            invariant,
+            runs=40,
+            seed=11,
+            daemon_factory=lambda r: AdversarialDaemon(invariant.mask, seed=r),
+            max_steps=400,
+        )
+        rnd = measure_convergence(
+            protocol, invariant, runs=40, seed=11, max_steps=400
+        )
+        assert adv.convergence_rate <= rnd.convergence_rate
+
+    def test_daemon_reset(self):
+        d = RandomDaemon(5)
+        protocol, _ = token_ring(4, 3)
+        s = protocol.space.encode([1, 1, 1, 1])
+        first = d.choose(protocol, s, protocol.enabled_groups(s))
+        d.reset()
+        assert d.choose(protocol, s, protocol.enabled_groups(s)) == first
+
+
+class TestMeasurement:
+    def test_stabilizing_protocol_always_converges(self, stabilizing):
+        protocol, invariant = stabilizing
+        stats = measure_convergence(protocol, invariant, runs=50, seed=4)
+        assert stats.convergence_rate == 1.0
+        assert stats.mean_steps >= 0
+        assert "50/50" in stats.summary()
+
+    def test_nonstabilizing_protocol_fails_sometimes(self):
+        protocol, invariant = token_ring(4, 3)
+        stats = measure_convergence(protocol, invariant, runs=50, seed=4)
+        assert stats.convergence_rate < 1.0
+
+    def test_synthesized_protocol_always_converges(self):
+        protocol, invariant = token_ring(4, 3)
+        res = add_strong_convergence(protocol, invariant)
+        stats = measure_convergence(res.protocol, invariant, runs=50, seed=5)
+        assert stats.convergence_rate == 1.0
+
+    def test_run_with_faults_recovers_each_burst(self, stabilizing):
+        protocol, invariant = stabilizing
+        traces = run_with_faults(
+            protocol, invariant, n_faults=4, seed=6, steps_between_faults=500
+        )
+        assert len(traces) == 4
+        assert all(t.converged for t in traces)

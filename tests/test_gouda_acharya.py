@@ -1,0 +1,173 @@
+"""E10: automatic detection of the flaw in the manually designed
+Gouda–Acharya matching protocol (paper Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.explicit.graph import TransitionView, forward_reachable
+from repro.protocols import gouda_acharya_matching, paper_cycle_start_state
+from repro.protocols.gouda_acharya import paper_cycle_schedule
+from repro.protocols.matching import LEFT, RIGHT, SELF
+from repro.verify import (
+    analyze_stabilization,
+    extract_cycle,
+    format_cycle,
+    is_silent_in,
+    nonprogress_sccs,
+)
+
+
+@pytest.fixture(scope="module")
+def published():
+    return gouda_acharya_matching(5)
+
+
+class TestFlawDetection:
+    def test_closed_and_silent_in_invariant(self, published):
+        """The published protocol is a plausible design: closed and silent in
+        I_MM — the flaw is purely about convergence."""
+        protocol, invariant = published
+        verdict = analyze_stabilization(protocol, invariant)
+        assert verdict.closed
+        assert is_silent_in(protocol, invariant)
+
+    def test_has_nonprogress_cycles(self, published):
+        protocol, invariant = published
+        assert nonprogress_sccs(protocol, invariant), (
+            "the manual protocol must contain non-progress cycles"
+        )
+
+    def test_papers_exact_cycle_replays(self, published):
+        """Replay the paper's witness: from <left,self,left,self,left> the
+        round-robin schedule (P0..P4) repeated twice returns to the start
+        without touching I_MM."""
+        protocol, invariant = published
+        space = protocol.space
+        state = space.encode(paper_cycle_start_state())
+        start = state
+        for proc in paper_cycle_schedule():
+            assert state not in invariant
+            moves = {
+                gid[0]: int(state + protocol.tables[gid[0]].deltas[gid[1], gid[2]])
+                for gid in protocol.enabled_groups(state)
+            }
+            assert proc in moves, f"P{proc} not enabled at {space.format_state(state)}"
+            # the paper's cycle uses the point-left move (m_i := left) when a
+            # self process acts and the retract move otherwise; both are
+            # deterministic per (state, process) except for self processes,
+            # where point_left is the cycle's choice
+            candidates = [
+                int(state + protocol.tables[j].deltas[r, w])
+                for (j, r, w) in protocol.enabled_groups(state)
+                if j == proc
+            ]
+            vals = list(space.decode(state))
+            if vals[proc] == SELF:
+                vals[proc] = LEFT
+            else:
+                vals[proc] = SELF
+            nxt = space.encode(vals)
+            assert nxt in candidates
+            state = nxt
+        assert state == start, "the 10-step schedule must close the cycle"
+
+    def test_cycle_reachable_from_witness(self, published):
+        protocol, invariant = published
+        start = protocol.space.encode(paper_cycle_start_state())
+        sccs = nonprogress_sccs(protocol, invariant)
+        view = TransitionView.of_protocol(protocol)
+        reach = forward_reachable(
+            view, np.array([start], dtype=np.int64), protocol.space.size
+        )
+        scc_states = np.concatenate(sccs)
+        assert reach[scc_states].any()
+
+    def test_concrete_cycle_extraction(self, published):
+        protocol, invariant = published
+        sccs = nonprogress_sccs(protocol, invariant)
+        cycle = extract_cycle(protocol, sccs[0], invariant)
+        assert len(cycle) >= 2
+        states = [s for s, _ in cycle]
+        for idx, (s, proc) in enumerate(cycle):
+            nxt = states[(idx + 1) % len(states)]
+            assert nxt in protocol.successors(s)
+            assert s not in invariant
+        assert "cycle closes" in format_cycle(protocol, cycle)
+
+    def test_not_strongly_stabilizing(self, published):
+        protocol, invariant = published
+        assert not analyze_stabilization(protocol, invariant).strongly_stabilizing
+
+
+class TestAutomatedRepair:
+    def test_heuristic_repairs_the_flawed_protocol(self):
+        """Feeding the flawed manual protocol to the synthesizer *repairs*
+        it: preprocessing removes the cycle-forming groups (all outside
+        I_MM), the passes add replacement recovery, and the result is a
+        verified strongly stabilizing matching protocol with δp|I intact."""
+        from repro.core import synthesize
+        from repro.verify import analyze_stabilization, check_solution
+
+        protocol, invariant = gouda_acharya_matching(5)
+        portfolio = synthesize(protocol, invariant, max_attempts=4)
+        assert portfolio.success
+        result = portfolio.result
+        assert result.n_removed > 0  # cycle groups eliminated
+        assert result.n_added > 0  # replacement recovery added
+        assert check_solution(protocol, result.protocol, invariant).ok
+        assert analyze_stabilization(
+            result.protocol, invariant
+        ).strongly_stabilizing
+
+    def test_repair_refuses_when_cycle_groups_touch_invariant(self):
+        """If a cycle group had groupmates inside I, removal would change
+        δp|I and preprocessing must fail instead (Section V)."""
+        from repro.core import UnresolvableCycleError, add_strong_convergence
+        from repro.protocol import Action, Protocol, ring_topology
+        from repro.protocols.matching import matching_space
+
+        # two processes ping-ponging a variable; I contains part of the
+        # cycle group's cylinder
+        from repro.protocol import Predicate, ProcessSpec, StateSpace, Topology, Variable
+
+        space = StateSpace([Variable("a", 2), Variable("b", 2), Variable("h", 2)])
+        topo = Topology(
+            (
+                ProcessSpec("A", (0,), (0,)),  # cannot read h
+                ProcessSpec("B", (1,), (1,)),
+            )
+        )
+        protocol = Protocol.empty(space, topo)
+        # group of A: flip a (two transitions, h = 0 and h = 1)
+        protocol.groups[0].add((0, 1))  # a: 0 -> 1
+        protocol.groups[0].add((1, 0))  # a: 1 -> 0
+        invariant = Predicate.from_expr(space, lambda a, b, h: h == 1)
+        # the flip groups have members starting inside I (h == 1 states),
+        # and they form a cycle outside I (h == 0 states): unresolvable
+        with pytest.raises(UnresolvableCycleError):
+            add_strong_convergence(protocol, invariant)
+
+
+class TestOtherVariants:
+    def test_literal_transcription_is_not_even_closed(self):
+        """The '=' -everywhere OCR reading fires inside I_MM, so it cannot be
+        the protocol the paper analysed."""
+        protocol, invariant = gouda_acharya_matching(5, variant="literal")
+        assert not analyze_stabilization(protocol, invariant).closed
+
+    def test_strict_guards_remove_the_cycles(self):
+        """Tightening the pointing guards to the matched trigger removes all
+        non-progress cycles — the natural repair."""
+        protocol, invariant = gouda_acharya_matching(5, variant="strict")
+        verdict = analyze_stabilization(protocol, invariant)
+        assert verdict.closed
+        assert verdict.n_cycle_states == 0
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            gouda_acharya_matching(5, variant="nope")
+
+    @pytest.mark.parametrize("k", [4, 6, 7])
+    def test_flaw_exists_at_other_ring_sizes(self, k):
+        protocol, invariant = gouda_acharya_matching(k)
+        assert nonprogress_sccs(protocol, invariant)

@@ -1,0 +1,113 @@
+"""Extension case studies: synthesis on arbitrary graph topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import analyze_local_correctability
+from repro.core import (
+    NoStabilizingVersionError,
+    add_strong_convergence,
+    synthesize,
+    synthesize_weak,
+)
+from repro.protocols.graph_coloring import (
+    graph_coloring,
+    line_coloring,
+    max_propagation,
+    tree_coloring,
+)
+from repro.verify import check_solution, weakly_converges
+
+
+class TestGraphColoring:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.path_graph(6),
+            nx.star_graph(4),
+            nx.balanced_tree(2, 2),
+            nx.cycle_graph(6),
+            nx.complete_graph(4),
+        ],
+        ids=["path6", "star4", "tree22", "cycle6", "K4"],
+    )
+    def test_synthesis_on_standard_graphs(self, graph):
+        protocol, invariant = graph_coloring(graph)
+        portfolio = synthesize(protocol, invariant, max_attempts=4)
+        assert portfolio.success
+        assert check_solution(protocol, portfolio.result.protocol, invariant).ok
+
+    def test_petersen_graph(self):
+        protocol, invariant = graph_coloring(nx.petersen_graph())
+        portfolio = synthesize(protocol, invariant, max_attempts=2)
+        assert portfolio.success
+        assert portfolio.result.verified
+
+    def test_maxdegree_plus_one_colors_locally_correctable(self):
+        protocol, invariant = graph_coloring(nx.balanced_tree(2, 2))
+        report = analyze_local_correctability(protocol, invariant)
+        assert report.locally_correctable
+
+    def test_two_color_line_defeats_heuristic_but_weak_exists(self):
+        """Concrete witness of the heuristic's incompleteness (Sec. V):
+        2-coloring a path admits a weakly stabilizing version, but the
+        heuristic fails to add strong convergence."""
+        protocol, invariant = line_coloring(6, colors=2)
+        report = analyze_local_correctability(protocol, invariant)
+        assert not report.locally_correctable
+        weak = synthesize_weak(protocol, invariant)  # exists: no rank-∞ states
+        assert weakly_converges(weak.protocol, invariant)
+        portfolio = synthesize(protocol, invariant, max_attempts=6)
+        assert not portfolio.success
+
+    def test_three_color_line_succeeds(self):
+        protocol, invariant = line_coloring(6, colors=3)
+        result = add_strong_convergence(protocol, invariant)
+        assert result.success
+        assert check_solution(protocol, result.protocol, invariant).ok
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            graph_coloring(nx.path_graph(1))
+        loopy = nx.Graph()
+        loopy.add_edge(0, 0)
+        loopy.add_edge(0, 1)
+        with pytest.raises(ValueError, match="self-loop"):
+            graph_coloring(loopy)
+        with pytest.raises(ValueError, match="two colours"):
+            graph_coloring(nx.path_graph(3), colors=1)
+
+
+class TestTreeColoring:
+    def test_tree_default(self):
+        protocol, invariant = tree_coloring(2, 2)
+        result = add_strong_convergence(protocol, invariant)
+        assert result.success
+        assert result.stats.scc_sizes == []  # locally correctable: no SCCs
+
+
+class TestMaxPropagation:
+    def test_input_not_stabilizing(self):
+        protocol, invariant = max_propagation(nx.cycle_graph(4), 3)
+        from repro.verify import analyze_stabilization
+
+        verdict = analyze_stabilization(protocol, invariant)
+        assert verdict.closed
+        assert not verdict.strongly_stabilizing  # two local maxima deadlock
+
+    @pytest.mark.parametrize(
+        "graph", [nx.cycle_graph(4), nx.path_graph(4), nx.star_graph(3)],
+        ids=["ring4", "path4", "star3"],
+    )
+    def test_synthesis(self, graph):
+        protocol, invariant = max_propagation(graph, 3)
+        portfolio = synthesize(protocol, invariant, max_attempts=4)
+        assert portfolio.success
+        assert check_solution(protocol, portfolio.result.protocol, invariant).ok
+
+    def test_behavior_inside_i_preserved(self):
+        protocol, invariant = max_propagation(nx.cycle_graph(4), 3)
+        result = add_strong_convergence(protocol, invariant)
+        assert result.protocol.restricted_transition_set(
+            invariant
+        ) == protocol.restricted_transition_set(invariant)

@@ -1,0 +1,150 @@
+"""Unit and property tests for transition groups — the heart of the model.
+
+The paper's claim (Section II): for a TR protocol with n processes and n-1
+values per variable, each group has ``(n-1)^(n-2)`` transitions; transitions
+in a group agree on readable variables at source and target, and keep
+unreadable variables constant.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.protocol import ProcessSpec, StateSpace, Topology, Variable
+from repro.protocol.groups import ProcessGroupTable, build_group_tables
+
+from conftest import make_random_protocol
+
+
+@pytest.fixture
+def tr_table():
+    """P1 of a 4-process token ring, domain 3: reads x0, x1; writes x1."""
+    space = StateSpace([Variable(f"x{i}", 3) for i in range(4)])
+    spec = ProcessSpec("P1", (0, 1), (1,))
+    return ProcessGroupTable(space, 1, spec)
+
+
+class TestGroupGeometry:
+    def test_group_size_is_product_of_unreadable_domains(self, tr_table):
+        # unreadable = x2, x3, both domain 3 -> 9 transitions per group,
+        # matching the paper's (n-1)^(n-2) with n = 4.
+        assert tr_table.group_size == 9
+
+    def test_candidate_group_count(self, tr_table):
+        # 9 readable valuations x (3 - 1) non-self writes
+        assert tr_table.n_candidate_groups == 18
+        assert len(list(tr_table.iter_candidate_groups())) == 18
+
+    def test_sources_have_fixed_readable_part(self, tr_table):
+        space = tr_table.space
+        for rcode in range(tr_table.n_rvals):
+            expected = tr_table.values_of_rcode(rcode)
+            for s in tr_table.sources(rcode):
+                vals = space.decode(int(s))
+                assert (vals[0], vals[1]) == expected
+
+    def test_sources_partition_the_space(self, tr_table):
+        all_sources = np.concatenate(
+            [tr_table.sources(r) for r in range(tr_table.n_rvals)]
+        )
+        assert sorted(all_sources.tolist()) == list(range(tr_table.space.size))
+
+    def test_pairs_change_only_written_variable(self, tr_table):
+        space = tr_table.space
+        for rcode, wcode in tr_table.iter_candidate_groups():
+            src, dst = tr_table.pairs(rcode, wcode)
+            for s0, s1 in zip(src.tolist(), dst.tolist()):
+                v0, v1 = space.decode(s0), space.decode(s1)
+                assert v0[0] == v1[0]  # x0 readable but unwritten
+                assert v0[2:] == v1[2:]  # unreadables frozen
+                assert v1[1] == tr_table.values_of_wcode(wcode)[0]
+
+    def test_self_loop_groups_identified(self, tr_table):
+        for rcode in range(tr_table.n_rvals):
+            wcode = int(tr_table.self_wcode[rcode])
+            src, dst = tr_table.pairs(rcode, wcode)
+            assert np.array_equal(src, dst)
+
+    def test_groupmates_agree_on_readables_at_target(self, tr_table):
+        space = tr_table.space
+        rcode, wcode = next(tr_table.iter_candidate_groups())
+        _, dst = tr_table.pairs(rcode, wcode)
+        targets = {
+            (space.value_of(int(s), 0), space.value_of(int(s), 1)) for s in dst
+        }
+        assert len(targets) == 1
+
+
+class TestCodes:
+    def test_rcode_roundtrip(self, tr_table):
+        for rcode in range(tr_table.n_rvals):
+            vals = tr_table.values_of_rcode(rcode)
+            assert tr_table.rcode_of_values(vals) == rcode
+
+    def test_wcode_roundtrip(self, tr_table):
+        for wcode in range(tr_table.n_wvals):
+            vals = tr_table.values_of_wcode(wcode)
+            assert tr_table.wcode_of_values(vals) == wcode
+
+    def test_rcode_of_state_matches_decode(self, tr_table):
+        space = tr_table.space
+        for s in range(space.size):
+            vals = space.decode(s)
+            assert tr_table.rcode_of_state(s) == tr_table.rcode_of_values(
+                (vals[0], vals[1])
+            )
+
+    def test_rcodes_of_states_vectorised(self, tr_table):
+        states = np.arange(tr_table.space.size, dtype=np.int64)
+        vec = tr_table.rcodes_of_states(states)
+        scalar = [tr_table.rcode_of_state(int(s)) for s in states]
+        assert vec.tolist() == scalar
+
+
+class TestGroupOfTransition:
+    def test_inverse_of_pairs(self, tr_table):
+        for rcode, wcode in tr_table.iter_candidate_groups():
+            src, dst = tr_table.pairs(rcode, wcode)
+            for s0, s1 in zip(src.tolist()[:3], dst.tolist()[:3]):
+                assert tr_table.group_of_transition(s0, s1) == (rcode, wcode)
+
+    def test_rejects_self_loop(self, tr_table):
+        assert tr_table.group_of_transition(0, 0) is None
+
+    def test_rejects_foreign_write(self, tr_table):
+        space = tr_table.space
+        s0 = space.encode([0, 0, 0, 0])
+        s1 = space.encode([0, 0, 1, 0])  # writes x2, not in w_1
+        assert tr_table.group_of_transition(s0, s1) is None
+
+
+class TestRandomProtocols:
+    def test_group_tables_cover_every_transition_once(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            protocol = make_random_protocol(rng)
+            seen = set()
+            for gid in protocol.iter_group_ids():
+                src, dst = protocol.group_pairs(gid)
+                for t in zip(src.tolist(), dst.tolist()):
+                    assert t not in seen, "transition owned by two groups of one process"
+                    seen.add((gid[0],) + t)
+
+    def test_group_info_describes_without_error(self, tr_table):
+        info = tr_table.group_info(0, 1)
+        text = info.describe()
+        assert "P1" in text and "->" in text
+
+
+def test_build_group_tables_indices():
+    space = StateSpace([Variable("x", 2), Variable("y", 2)])
+    topo = Topology(
+        (ProcessSpec("A", (0,), (0,)), ProcessSpec("B", (0, 1), (1,)))
+    )
+    tables = build_group_tables(space, list(topo))
+    assert tables[0].proc_index == 0
+    assert tables[1].spec.name == "B"
+    # A reads only x: its groups each carry |dom(y)| = 2 transitions.
+    assert tables[0].group_size == 2
+    assert tables[1].group_size == 1

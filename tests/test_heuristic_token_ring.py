@@ -1,0 +1,152 @@
+"""E1: the heuristic walkthrough of Section V on Dijkstra's token ring.
+
+The paper reports, for K=4, |D|=3 and schedule (P1, P2, P3, P0):
+
+* ComputeRanks finds M = 2;
+* pass 1 cannot add any recovery transitions;
+* pass 2 adds ``x_j = x_{j-1}+1 -> x_j := x_{j-1}`` for j = 1..3 and nothing
+  for P0 — the union with the original actions *is* Dijkstra's stabilizing
+  token ring.
+"""
+
+import pytest
+
+from repro.core import HeuristicOptions, add_strong_convergence, paper_default_schedule
+from repro.protocols import dijkstra_stabilizing_token_ring, token_ring
+from repro.verify import (
+    analyze_stabilization,
+    check_solution,
+    deadlock_states,
+    strongly_converges,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    protocol, invariant = token_ring(4, 3)
+    return protocol, invariant, add_strong_convergence(protocol, invariant)
+
+
+class TestPaperWalkthrough:
+    def test_success_in_pass_two(self, result):
+        _, _, res = result
+        assert res.success
+        assert res.pass_completed == 2
+
+    def test_solution_checks(self, result):
+        protocol, invariant, res = result
+        assert check_solution(protocol, res.protocol, invariant, mode="strong").ok
+
+    def test_p0_gets_no_recovery(self, result):
+        _, _, res = result
+        assert res.added_groups[0] == set()
+
+    def test_recovery_is_the_paper_action(self, result):
+        """Added groups are exactly x_j = x_{j-1}+1 -> x_j := x_{j-1}."""
+        protocol, _, res = result
+        for j in (1, 2, 3):
+            table = protocol.tables[j]
+            expected = set()
+            for rcode in range(table.n_rvals):
+                prev, cur = table.values_of_rcode(rcode)
+                if cur == (prev + 1) % 3:
+                    expected.add((rcode, table.wcode_of_values([prev])))
+            assert res.added_groups[j] == expected
+
+    def test_result_is_dijkstras_protocol(self, result):
+        protocol, invariant, res = result
+        dijkstra, _ = dijkstra_stabilizing_token_ring(4, 3)
+        assert res.protocol.groups == dijkstra.groups
+
+    def test_no_deadlocks_remain(self, result):
+        _, invariant, res = result
+        assert deadlock_states(res.protocol, invariant).count() == 0
+
+
+class TestScaling:
+    @pytest.mark.parametrize("k,domain", [(3, 3), (4, 3), (5, 4)])
+    def test_synthesis_succeeds_and_verifies(self, k, domain):
+        protocol, invariant = token_ring(k, domain)
+        res = add_strong_convergence(protocol, invariant)
+        assert res.success
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_k5_d5_needs_the_portfolio(self):
+        """The paper's largest TR instance (K=5, |D|=5).  The literal batch
+        cycle resolution fails on it; the sequential portfolio member
+        succeeds — the one-instance-per-configuration strategy of Fig. 1."""
+        from repro.core import synthesize
+
+        protocol, invariant = token_ring(5, 5)
+        batch = add_strong_convergence(protocol, invariant)
+        assert not batch.success
+        portfolio = synthesize(protocol, invariant)
+        assert portfolio.success
+        assert portfolio.config.options.cycle_resolution_mode == "sequential"
+        assert check_solution(protocol, portfolio.result.protocol, invariant).ok
+
+    def test_dijkstra_manual_protocol_already_stabilizing(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(5, 5)
+        assert analyze_stabilization(protocol, invariant).strongly_stabilizing
+
+    def test_heuristic_on_already_stabilizing_input_is_identity(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        res = add_strong_convergence(protocol, invariant)
+        assert res.success
+        assert res.pass_completed == 0
+        assert res.n_added == 0
+        assert res.protocol.groups == protocol.groups
+
+
+class TestAlternativeSchedules:
+    def test_different_schedules_may_give_different_solutions(self):
+        """E13: the paper reports three distinct synthesized TR versions."""
+        protocol, invariant = token_ring(4, 3)
+        solutions = set()
+        from repro.core.schedules import rotation_schedules
+
+        for schedule in rotation_schedules(4):
+            res = add_strong_convergence(protocol, invariant, schedule=schedule)
+            if res.success:
+                assert strongly_converges(res.protocol, invariant)
+                solutions.add(
+                    tuple(frozenset(g) for g in res.protocol.groups)
+                )
+        assert len(solutions) >= 1
+
+    def test_reversed_schedule_succeeds(self):
+        protocol, invariant = token_ring(4, 3)
+        res = add_strong_convergence(protocol, invariant, schedule=[3, 2, 1, 0])
+        assert res.success
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_invalid_schedule_rejected(self):
+        protocol, invariant = token_ring(4, 3)
+        with pytest.raises(ValueError):
+            add_strong_convergence(protocol, invariant, schedule=[0, 0, 1, 2])
+
+
+class TestOptions:
+    def test_pass1_only_fails_for_tr(self):
+        """The paper: no recovery can be added in pass 1 for the TR."""
+        protocol, invariant = token_ring(4, 3)
+        res = add_strong_convergence(
+            protocol,
+            invariant,
+            options=HeuristicOptions(enable_pass2=False, enable_pass3=False),
+        )
+        assert not res.success
+        assert res.n_added == 0
+
+    def test_raise_on_failure(self):
+        from repro.core import HeuristicFailure
+
+        protocol, invariant = token_ring(4, 3)
+        with pytest.raises(HeuristicFailure):
+            add_strong_convergence(
+                protocol,
+                invariant,
+                options=HeuristicOptions(
+                    enable_pass2=False, enable_pass3=False, raise_on_failure=True
+                ),
+            )

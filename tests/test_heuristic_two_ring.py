@@ -1,0 +1,70 @@
+"""E12: the Two-Ring Token Ring (paper Section VI-C) — 8 processes, |S| = 2·4^8."""
+
+import numpy as np
+import pytest
+
+from repro.core import add_strong_convergence
+from repro.protocols import two_ring
+from repro.protocols.two_ring import token_count_array, two_ring_space
+from repro.verify import analyze_stabilization, check_solution
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return two_ring()
+
+
+class TestModel:
+    def test_dimensions(self, setup):
+        protocol, _ = setup
+        assert protocol.n_processes == 8
+        assert protocol.space.size == 2 * 4**8
+
+    def test_invariant_states_have_exactly_one_token(self, setup):
+        protocol, invariant = setup
+        tokens = token_count_array(protocol.space)
+        assert (tokens[invariant.states()] == 1).all()
+
+    def test_invariant_closed_and_live(self, setup):
+        protocol, invariant = setup
+        verdict = analyze_stabilization(protocol, invariant)
+        assert verdict.closed
+        # fault-free run never deadlocks inside I: every I state has a successor
+        out = protocol.out_counts()
+        assert (out[invariant.states()] > 0).all()
+
+    def test_faultfree_run_alternates_rings(self, setup):
+        """In fault-free operation exactly one process is enabled at a time
+        and the token visits both rings."""
+        protocol, invariant = setup
+        space = protocol.space
+        s = invariant.sample()
+        seen_procs = set()
+        for _ in range(64):
+            enabled = protocol.enabled_groups(s)
+            assert len(enabled) == 1
+            j = enabled[0][0]
+            seen_procs.add(protocol.topology[j].name)
+            s = protocol.successors(s)[0]
+        assert any(n.startswith("PA") for n in seen_procs)
+        assert any(n.startswith("PB") for n in seen_procs)
+
+    def test_transient_fault_can_create_multiple_tokens(self, setup):
+        protocol, _ = setup
+        tokens = token_count_array(protocol.space)
+        assert tokens.max() >= 2  # faults can perturb into multi-token states
+
+
+class TestSynthesis:
+    def test_strong_convergence_added_and_verified(self, setup):
+        protocol, invariant = setup
+        res = add_strong_convergence(protocol, invariant)
+        assert res.success
+        assert check_solution(protocol, res.protocol, invariant).ok
+
+    def test_original_behavior_preserved_inside_i(self, setup):
+        protocol, invariant = setup
+        res = add_strong_convergence(protocol, invariant)
+        assert res.protocol.restricted_transition_set(
+            invariant
+        ) == protocol.restricted_transition_set(invariant)

@@ -1,0 +1,100 @@
+"""Tests for the multi-process portfolio and the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+from repro.core import HeuristicOptions
+from repro.core.synthesizer import SynthesisConfig, default_portfolio
+from repro.parallel import synthesize_parallel
+from repro.protocols import token_ring
+
+
+class TestPortfolioConstruction:
+    def test_default_portfolio_shape(self):
+        configs = default_portfolio(4)
+        # 4 rotations x 2 modes
+        assert len(configs) == 8
+        assert configs[0].schedule == (1, 2, 3, 0)
+        assert configs[0].options.cycle_resolution_mode == "batch"
+        assert configs[1].options.cycle_resolution_mode == "sequential"
+
+    def test_custom_schedules_and_modes(self):
+        configs = default_portfolio(
+            3, schedules=[(0, 1, 2)], modes=("hybrid",)
+        )
+        assert len(configs) == 1
+        assert configs[0].describe() == "schedule=(0, 1, 2) mode=hybrid"
+
+
+class TestParallel:
+    def test_parallel_race_finds_solution(self):
+        winner, completed = synthesize_parallel(
+            token_ring, (4, 3), n_workers=2
+        )
+        assert winner.success
+        assert winner.pss_groups is not None
+        # reconstruct and verify in the parent
+        protocol, invariant = token_ring(4, 3)
+        from repro.verify import check_solution
+
+        rebuilt = protocol.with_groups(winner.pss_groups)
+        assert check_solution(protocol, rebuilt, invariant).ok
+
+    def test_parallel_reports_best_failure(self):
+        configs = [
+            SynthesisConfig(
+                (1, 2, 3, 0),
+                HeuristicOptions(enable_pass2=False, enable_pass3=False),
+            )
+        ]
+        winner, completed = synthesize_parallel(
+            token_ring, (4, 3), configs=configs, n_workers=1
+        )
+        assert not winner.success
+        assert winner.remaining_deadlocks > 0
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_parallel(token_ring, (4, 3), configs=[])
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = make_parser()
+        args = parser.parse_args(["synthesize", "token-ring", "-k", "4"])
+        assert args.protocol == "token-ring"
+        assert args.k == 4
+
+    def test_synthesize_token_ring(self, capsys):
+        code = main(["synthesize", "token-ring", "-k", "4", "-d", "3", "--print-actions"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SUCCESS" in out
+        assert "x1 := x0" in out
+
+    def test_verify_nonstabilizing_input(self, capsys):
+        code = main(["verify", "token-ring", "-k", "4", "-d", "3"])
+        assert code == 1
+        assert "NOT stabilizing" in capsys.readouterr().out
+
+    def test_rank_output(self, capsys):
+        code = main(["rank", "token-ring", "-k", "4", "-d", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max rank M = 2" in out
+
+    def test_analyze_matching(self, capsys):
+        code = main(["analyze", "matching", "-k", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "locally correctable: False" in out
+
+    def test_symbolic_engine_coloring(self, capsys):
+        code = main(["synthesize", "coloring", "-k", "4", "--engine", "symbolic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "success: True" in out
+
+    def test_gouda_acharya_verify_fails(self, capsys):
+        code = main(["verify", "gouda-acharya", "-k", "5"])
+        assert code == 1

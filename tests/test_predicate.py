@@ -1,0 +1,129 @@
+"""Unit tests for numpy-backed state predicates."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import (
+    Predicate,
+    StateSpace,
+    Variable,
+    conjunction,
+    disjunction,
+    local_conjunction,
+)
+
+
+@pytest.fixture
+def space() -> StateSpace:
+    return StateSpace([Variable("x", 3), Variable("y", 3)])
+
+
+class TestConstructors:
+    def test_empty_and_universe(self, space):
+        assert Predicate.empty(space).count() == 0
+        assert Predicate.universe(space).count() == space.size
+
+    def test_from_states(self, space):
+        p = Predicate.from_states(space, [0, 5, 5, 8])
+        assert p.count() == 3
+        assert 5 in p and 1 not in p
+
+    def test_from_expr(self, space):
+        p = Predicate.from_expr(space, lambda x, y: x == y)
+        assert p.count() == 3
+        for s in p.iter_states():
+            vx, vy = space.decode(s)
+            assert vx == vy
+
+    def test_from_expr_scalar_broadcast(self, space):
+        p = Predicate.from_expr(space, lambda **_: np.bool_(True))
+        assert p.count() == space.size
+
+    def test_from_state_fn_matches_from_expr(self, space):
+        a = Predicate.from_expr(space, lambda x, y: x < y)
+        b = Predicate.from_state_fn(space, lambda vals: vals[0] < vals[1])
+        assert a == b
+
+    def test_bad_mask_shape_rejected(self, space):
+        with pytest.raises(ValueError):
+            Predicate(space, np.zeros(3, dtype=bool))
+
+    def test_bad_mask_dtype_rejected(self, space):
+        with pytest.raises(ValueError):
+            Predicate(space, np.zeros(space.size, dtype=np.int8))
+
+
+class TestAlgebra:
+    def test_and_or_not(self, space):
+        eq = Predicate.from_expr(space, lambda x, y: x == y)
+        zero = Predicate.from_expr(space, lambda x, y: x == 0)
+        assert (eq & zero).count() == 1
+        assert (eq | zero).count() == 3 + 3 - 1
+        assert (~eq).count() == space.size - 3
+
+    def test_difference(self, space):
+        eq = Predicate.from_expr(space, lambda x, y: x == y)
+        zero = Predicate.from_expr(space, lambda x, y: x == 0)
+        assert (eq - zero).count() == 2
+
+    def test_cross_space_rejected(self, space):
+        other = StateSpace([Variable("z", 9)])
+        with pytest.raises(ValueError):
+            Predicate.universe(space) & Predicate.universe(other)
+
+    def test_mask_is_immutable(self, space):
+        p = Predicate.universe(space)
+        with pytest.raises(ValueError):
+            p.mask[0] = False
+
+    def test_equality_and_hash(self, space):
+        a = Predicate.from_expr(space, lambda x, y: x == y)
+        b = Predicate.from_expr(space, lambda x, y: y == x)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestQueries:
+    def test_issubset(self, space):
+        eq = Predicate.from_expr(space, lambda x, y: x == y)
+        assert (eq & Predicate.from_expr(space, lambda x, y: x == 0)).issubset(eq)
+        assert not eq.issubset(Predicate.empty(space))
+
+    def test_states_sorted(self, space):
+        p = Predicate.from_states(space, [7, 1, 4])
+        assert p.states().tolist() == [1, 4, 7]
+
+    def test_sample_member(self, space):
+        p = Predicate.from_states(space, [6])
+        assert p.sample() == 6
+
+    def test_sample_empty_raises(self, space):
+        with pytest.raises(ValueError):
+            Predicate.empty(space).sample()
+
+    def test_bool_and_is_empty(self, space):
+        assert not Predicate.empty(space)
+        assert Predicate.empty(space).is_empty()
+        assert Predicate.universe(space)
+
+
+class TestCombinators:
+    def test_conjunction_disjunction(self, space):
+        parts = [
+            Predicate.from_expr(space, lambda x, y: x > 0),
+            Predicate.from_expr(space, lambda x, y: y > 0),
+        ]
+        assert conjunction(parts).count() == 4
+        assert disjunction(parts).count() == 8
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+        with pytest.raises(ValueError):
+            disjunction([])
+
+    def test_local_conjunction(self, space):
+        p = local_conjunction(
+            space, [lambda x, **_: x != 2, lambda y, **_: y != 2]
+        )
+        assert p.count() == 4

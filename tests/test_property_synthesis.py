@@ -1,0 +1,178 @@
+"""Hypothesis property tests over the synthesis core.
+
+Protocols and invariants are generated from hypothesis-drawn seeds (the
+generators live in conftest); every property restates one of the paper's
+theorems or output constraints.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    INF_RANK,
+    NoStabilizingVersionError,
+    UnresolvableCycleError,
+    add_strong_convergence,
+    compute_ranks,
+    synthesize_weak,
+)
+
+#: the heuristic's legitimate "cannot even start" answers on random inputs
+HARD_NO = (NoStabilizingVersionError, UnresolvableCycleError)
+from repro.core.ranking import compute_pim_groups
+from repro.verify import (
+    analyze_stabilization,
+    check_solution,
+    strongly_converges,
+    weakly_converges,
+)
+
+from conftest import make_closed_invariant, make_random_protocol
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def draw_setup(seed, density=0.15):
+    rng = random.Random(seed)
+    protocol = make_random_protocol(rng, group_density=density)
+    invariant = make_closed_invariant(rng, protocol)
+    return protocol, invariant
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_invariant_generator_produces_closed_predicates(seed):
+    protocol, invariant = draw_setup(seed)
+    from repro.verify import is_closed
+
+    assert is_closed(protocol, invariant)
+    assert invariant.count() > 0
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_rank_zero_iff_invariant(seed):
+    protocol, invariant = draw_setup(seed)
+    ranking = compute_ranks(protocol, invariant)
+    assert np.array_equal(ranking.rank == 0, invariant.mask)
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_ranks_strictly_layered(seed):
+    """Every state of Rank[i>0] has a p_im transition into Rank[i-1] and no
+    transition into any lower rank (Lemma IV.2's two directions)."""
+    protocol, invariant = draw_setup(seed)
+    ranking = compute_ranks(protocol, invariant)
+    rank = ranking.rank
+    # collect per-state minimum reachable rank via pim
+    best = np.full(protocol.space.size, np.iinfo(np.int32).max, dtype=np.int64)
+    for j, gs in enumerate(ranking.pim_groups):
+        table = protocol.tables[j]
+        for rcode, wcode in gs:
+            src, dst = table.pairs(rcode, wcode)
+            target_rank = rank[dst].astype(np.int64)
+            target_rank[target_rank == INF_RANK] = np.iinfo(np.int32).max
+            np.minimum.at(best, src, target_rank)
+    positive = rank > 0
+    assert (best[positive] == rank[positive] - 1).all()
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_pim_maximality(seed):
+    """p_im is the *weakest* legal relation: adding any other candidate group
+    would put a transition source inside I."""
+    protocol, invariant = draw_setup(seed)
+    pim = compute_pim_groups(protocol, invariant)
+    for j, table in enumerate(protocol.tables):
+        for rcode, wcode in table.iter_candidate_groups():
+            if (rcode, wcode) in pim[j]:
+                continue
+            src, _ = table.pairs(rcode, wcode)
+            assert invariant.mask[src].any()
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_weak_synthesis_sound_and_complete(seed):
+    protocol, invariant = draw_setup(seed)
+    try:
+        result = synthesize_weak(protocol, invariant)
+    except NoStabilizingVersionError:
+        ranking = compute_ranks(protocol, invariant)
+        assert not weakly_converges(ranking.pim_protocol(), invariant)
+        return
+    assert check_solution(protocol, result.protocol, invariant, mode="weak").ok
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_heuristic_soundness(seed):
+    """Whenever the heuristic claims success, the independent checker
+    must agree on all three Problem III.1 output constraints."""
+    protocol, invariant = draw_setup(seed, density=0.1)
+    try:
+        result = add_strong_convergence(protocol, invariant)
+    except HARD_NO:
+        return
+    if result.success:
+        check = check_solution(protocol, result.protocol, invariant)
+        assert check.ok, f"unsound synthesis: {check}"
+    else:
+        # failure reports must be truthful too
+        assert result.remaining_deadlocks.count() > 0
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_heuristic_never_touches_behavior_inside_i(seed):
+    protocol, invariant = draw_setup(seed, density=0.1)
+    try:
+        result = add_strong_convergence(protocol, invariant)
+    except HARD_NO:
+        return
+    assert result.protocol.restricted_transition_set(
+        invariant
+    ) == protocol.restricted_transition_set(invariant)
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_added_groups_never_start_in_i(seed):
+    """Constraint C1, checked on the output: no added group has a transition
+    originating inside the invariant."""
+    protocol, invariant = draw_setup(seed, density=0.1)
+    try:
+        result = add_strong_convergence(protocol, invariant)
+    except HARD_NO:
+        return
+    for j, gs in enumerate(result.added_groups):
+        table = protocol.tables[j]
+        for rcode, wcode in gs:
+            src, _ = table.pairs(rcode, wcode)
+            assert not invariant.mask[src].any()
+
+
+@given(st.integers(0, 10_000))
+@relaxed
+def test_success_iff_strongly_stabilizing(seed):
+    protocol, invariant = draw_setup(seed, density=0.12)
+    try:
+        result = add_strong_convergence(protocol, invariant)
+    except HARD_NO:
+        return
+    if result.success:
+        assert strongly_converges(result.protocol, invariant)
+    # on failure the protocol must still be cycle-free in ¬I (the heuristic's
+    # invariant), only deadlocks may remain
+    verdict = analyze_stabilization(result.protocol, invariant)
+    assert verdict.n_cycle_states == 0

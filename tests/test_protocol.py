@@ -1,0 +1,125 @@
+"""Unit tests for the Protocol object."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import (
+    Action,
+    Predicate,
+    ProcessSpec,
+    Protocol,
+    StateSpace,
+    Topology,
+    Variable,
+)
+from repro.protocols import token_ring
+
+
+@pytest.fixture
+def tr():
+    return token_ring(4, 3)
+
+
+class TestBasics:
+    def test_counts(self, tr):
+        protocol, _ = tr
+        # 3 enabled readable valuations per process (x_{j-1} determined by x_j)
+        assert protocol.n_groups() == 12
+        assert protocol.n_transitions() == 12 * 9
+        assert protocol.n_processes == 4
+
+    def test_copy_independent(self, tr):
+        protocol, _ = tr
+        clone = protocol.copy()
+        clone.groups[0].clear()
+        assert protocol.n_groups() == 12
+
+    def test_with_groups_shares_tables(self, tr):
+        protocol, _ = tr
+        other = protocol.with_groups([set() for _ in range(4)])
+        assert other.tables is not protocol.tables or True  # list copy ok
+        assert other.n_groups() == 0
+        assert other.space is protocol.space
+
+    def test_rejects_self_loop_group(self, tr):
+        protocol, _ = tr
+        table = protocol.tables[1]
+        rcode = 0
+        wcode = int(table.self_wcode[rcode])
+        with pytest.raises(ValueError, match="self-loop"):
+            protocol.with_groups(
+                [set(), {(rcode, wcode)}, set(), set()]
+            )
+
+    def test_rejects_out_of_range_group(self, tr):
+        protocol, _ = tr
+        with pytest.raises(ValueError, match="out of range"):
+            protocol.with_groups([{(999, 0)}, set(), set(), set()])
+
+    def test_equality(self, tr):
+        protocol, _ = tr
+        assert protocol == protocol.copy()
+        other = protocol.copy()
+        other.groups[0].pop()
+        assert protocol != other
+
+
+class TestExecution:
+    def test_enabled_groups_match_guards(self, tr):
+        protocol, _ = tr
+        space = protocol.space
+        s = space.encode([1, 1, 1, 1])  # all equal: only P0 enabled
+        enabled = protocol.enabled_groups(s)
+        assert [g[0] for g in enabled] == [0]
+
+    def test_successors_semantics(self, tr):
+        protocol, _ = tr
+        space = protocol.space
+        s = space.encode([1, 1, 1, 1])
+        succs = protocol.successors(s)
+        assert succs == [space.encode([2, 1, 1, 1])]
+
+    def test_is_enabled(self, tr):
+        protocol, _ = tr
+        space = protocol.space
+        s = space.encode([2, 1, 1, 1])  # P1 has the token
+        assert protocol.is_enabled(s, 1)
+        assert not protocol.is_enabled(s, 0)
+        assert not protocol.is_enabled(s, 2)
+
+    def test_deadlock_state_from_paper(self, tr):
+        # Section II: <0,0,1,2> is a deadlock state of the TR protocol.
+        protocol, invariant = tr
+        space = protocol.space
+        s = space.encode([0, 0, 1, 2])
+        assert protocol.successors(s) == []
+        assert s in protocol.deadlock_predicate(invariant)
+
+
+class TestBulkViews:
+    def test_out_counts_match_successors(self, tr):
+        protocol, _ = tr
+        out = protocol.out_counts()
+        for s in range(protocol.space.size):
+            assert out[s] == len(protocol.successors(s))
+
+    def test_edge_arrays_match_transition_set(self, tr):
+        protocol, _ = tr
+        src, dst = protocol.edge_arrays()
+        assert set(zip(src.tolist(), dst.tolist())) == protocol.transition_set()
+
+    def test_edge_arrays_within_restriction(self, tr):
+        protocol, invariant = tr
+        src, dst = protocol.edge_arrays(within=invariant)
+        mask = invariant.mask
+        assert mask[src].all() and mask[dst].all()
+        assert set(zip(src.tolist(), dst.tolist())) == protocol.restricted_transition_set(
+            invariant
+        )
+
+    def test_empty_protocol_edge_arrays(self):
+        space = StateSpace([Variable("x", 2), Variable("y", 2)])
+        topo = Topology((ProcessSpec("P", (0, 1), (1,)),))
+        protocol = Protocol.empty(space, topo)
+        src, dst = protocol.edge_arrays()
+        assert len(src) == 0 and len(dst) == 0

@@ -1,0 +1,81 @@
+"""Tests for the repair API and DOT exporters."""
+
+import pytest
+
+from repro.bdd import BDD, ONE, ZERO
+from repro.core.repair import repair
+from repro.protocols import (
+    dijkstra_stabilizing_token_ring,
+    gouda_acharya_matching,
+    token_ring,
+)
+from repro.verify import check_solution, nonprogress_sccs, extract_cycle
+from repro.viz import bdd_dot, topology_dot, transition_graph_dot
+
+
+class TestRepair:
+    def test_repairs_gouda_acharya(self):
+        protocol, invariant = gouda_acharya_matching(5)
+        report = repair(protocol, invariant, max_attempts=4)
+        assert report.success
+        assert not report.was_already_correct
+        assert check_solution(protocol, report.repaired, invariant).ok
+        diff = report.diff()
+        assert "- " in diff and "+ " in diff
+        assert "REPAIRED" in report.summary()
+
+    def test_already_correct_protocol(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        report = repair(protocol, invariant)
+        assert report.success
+        assert report.was_already_correct
+        assert "already stabilizing" in report.summary()
+        assert report.diff() == "(no changes)"
+
+    def test_repair_of_nonstabilizing_input_is_plain_synthesis(self):
+        protocol, invariant = token_ring(4, 3)
+        report = repair(protocol, invariant)
+        assert report.success
+        result = report.portfolio.result
+        assert result.n_removed == 0 and result.n_added > 0
+
+
+class TestDotExport:
+    def test_transition_graph_contains_states_and_edges(self):
+        protocol, invariant = token_ring(3, 2)
+        dot = transition_graph_dot(protocol, invariant=invariant)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == protocol.n_transitions()
+        assert "peripheries=2" in dot  # invariant states marked
+
+    def test_highlighted_cycle(self):
+        protocol, invariant = gouda_acharya_matching(5)
+        scc = nonprogress_sccs(protocol, invariant)[0]
+        cycle = extract_cycle(protocol, scc, invariant)
+        dot = transition_graph_dot(
+            protocol, invariant=invariant, highlight=[s for s, _ in cycle]
+        )
+        assert dot.count("salmon") == len(cycle)
+
+    def test_size_cap(self):
+        protocol, _ = token_ring(5, 5)
+        with pytest.raises(ValueError, match="too many"):
+            transition_graph_dot(protocol, max_states=100)
+
+    def test_topology_dot(self):
+        protocol, _ = token_ring(4, 3)
+        dot = topology_dot(protocol)
+        assert dot.count("->") == 4  # unidirectional ring: one read edge each
+        assert "P0 [x0]" in dot
+
+    def test_bdd_dot(self):
+        bdd = BDD(3, ["a", "b", "c"])
+        f = bdd.ite(bdd.var(0), bdd.var(1), bdd.var(2))
+        dot = bdd_dot(bdd, f)
+        assert dot.count("style=dashed") == bdd.size(f) - 2
+        assert '"a"' in dot and '"b"' in dot and '"c"' in dot
+
+    def test_bdd_dot_terminal_root(self):
+        bdd = BDD(1)
+        dot = bdd_dot(bdd, ONE)
+        assert "root -> t1" in dot

@@ -1,0 +1,141 @@
+"""Coverage for schedules, result objects and the portfolio driver."""
+
+import pytest
+
+from repro.core import (
+    HeuristicOptions,
+    add_strong_convergence,
+    all_schedules,
+    identity_schedule,
+    paper_default_schedule,
+    random_schedules,
+    reversed_schedule,
+    rotation_schedules,
+    synthesize,
+    validate_schedule,
+)
+from repro.core.synthesizer import SynthesisConfig, default_portfolio
+from repro.protocols import token_ring
+
+
+class TestScheduleGenerators:
+    def test_paper_default(self):
+        assert paper_default_schedule(4) == (1, 2, 3, 0)
+        assert paper_default_schedule(1) == (0,)
+        with pytest.raises(ValueError):
+            paper_default_schedule(0)
+
+    def test_identity_and_reversed(self):
+        assert identity_schedule(3) == (0, 1, 2)
+        assert reversed_schedule(3) == (2, 1, 0)
+
+    def test_rotations_are_distinct_permutations(self):
+        rots = rotation_schedules(5)
+        assert len(set(rots)) == 5
+        for r in rots:
+            assert sorted(r) == list(range(5))
+
+    def test_all_schedules_count(self):
+        assert len(list(all_schedules(4))) == 24
+
+    def test_random_schedules_distinct_and_seeded(self):
+        a = random_schedules(5, 10, seed=1)
+        b = random_schedules(5, 10, seed=1)
+        assert a == b
+        assert len(set(a)) == len(a)
+        for s in a:
+            assert sorted(s) == list(range(5))
+
+    def test_random_schedules_exhausts_small_space(self):
+        # only 2 permutations of 2 elements exist
+        assert len(random_schedules(2, 10, seed=0)) == 2
+
+    def test_validate(self):
+        assert validate_schedule([2, 0, 1], 3) == (2, 0, 1)
+        with pytest.raises(ValueError):
+            validate_schedule([0, 0, 1], 3)
+        with pytest.raises(ValueError):
+            validate_schedule([0, 1], 3)
+
+
+class TestResultObjects:
+    def test_summary_contains_key_facts(self):
+        protocol, invariant = token_ring(4, 3)
+        result = add_strong_convergence(protocol, invariant)
+        text = result.summary()
+        assert "SUCCESS" in text
+        assert "pass completed    : 2" in text
+        assert "max rank (M)      : 2" in text
+        assert "+9 added" in text
+
+    def test_failed_result_reports_deadlocks(self):
+        protocol, invariant = token_ring(4, 3)
+        result = add_strong_convergence(
+            protocol,
+            invariant,
+            options=HeuristicOptions(enable_pass2=False, enable_pass3=False),
+        )
+        text = result.summary()
+        assert "FAILURE" in text
+        assert "remaining deadlocks" in text
+
+    def test_added_group_ids_sorted(self):
+        protocol, invariant = token_ring(4, 3)
+        result = add_strong_convergence(protocol, invariant)
+        gids = result.added_group_ids()
+        assert gids == sorted(gids)
+        assert all(len(g) == 3 for g in gids)
+
+
+class TestPortfolioDriver:
+    def test_max_attempts_respected(self):
+        protocol, invariant = token_ring(4, 3)
+        portfolio = synthesize(protocol, invariant, max_attempts=1)
+        assert len(portfolio.attempts) == 1
+
+    def test_failure_returns_best_attempt(self):
+        protocol, invariant = token_ring(4, 3)
+        bad = HeuristicOptions(enable_pass2=False, enable_pass3=False)
+        configs = [
+            SynthesisConfig((1, 2, 3, 0), bad),
+            SynthesisConfig((0, 1, 2, 3), bad),
+        ]
+        portfolio = synthesize(protocol, invariant, configs=configs)
+        assert not portfolio.success
+        assert portfolio.result.remaining_deadlocks.count() > 0
+        assert "no configuration succeeded" in portfolio.summary()
+
+    def test_raise_on_failure(self):
+        from repro.core import HeuristicFailure
+
+        protocol, invariant = token_ring(4, 3)
+        bad = HeuristicOptions(enable_pass2=False, enable_pass3=False)
+        with pytest.raises(HeuristicFailure):
+            synthesize(
+                protocol,
+                invariant,
+                configs=[SynthesisConfig((1, 2, 3, 0), bad)],
+                raise_on_failure=True,
+            )
+
+    def test_empty_portfolio_rejected(self):
+        protocol, invariant = token_ring(4, 3)
+        with pytest.raises(ValueError):
+            synthesize(protocol, invariant, configs=[])
+
+    def test_winning_summary_mentions_config(self):
+        protocol, invariant = token_ring(4, 3)
+        portfolio = synthesize(protocol, invariant)
+        assert "winning config" in portfolio.summary()
+        assert portfolio.result.verified
+
+
+class TestHeuristicOptionValidation:
+    def test_bad_cycle_mode_rejected(self):
+        protocol, invariant = token_ring(3, 3)
+        with pytest.raises(ValueError, match="cycle_resolution_mode"):
+            add_strong_convergence(
+                protocol,
+                invariant,
+                options=HeuristicOptions(cycle_resolution_mode="nope"),
+            )

@@ -1,0 +1,138 @@
+"""Unit tests for the mixed-radix state space."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocol import StateSpace, Variable, make_variables
+from repro.protocol.state_space import (
+    decode_subvalues,
+    encode_subvalues,
+    subspace_strides,
+)
+
+
+def space_3x2x4() -> StateSpace:
+    return StateSpace(
+        [Variable("a", 3), Variable("b", 2), Variable("c", 4)]
+    )
+
+
+class TestConstruction:
+    def test_size_is_product_of_domains(self):
+        assert space_3x2x4().size == 24
+
+    def test_strides_most_significant_first(self):
+        space = space_3x2x4()
+        assert space.strides.tolist() == [8, 4, 1]
+
+    def test_single_variable(self):
+        space = StateSpace([Variable("x", 5)])
+        assert space.size == 5
+        assert space.decode(3) == (3,)
+
+    def test_empty_variable_list_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpace([Variable("x", 2), Variable("x", 3)])
+
+    def test_index_of(self):
+        space = space_3x2x4()
+        assert space.index_of("b") == 1
+        assert space.var("c").domain_size == 4
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_states(self):
+        space = space_3x2x4()
+        for s in space.iter_states():
+            assert space.encode(space.decode(s)) == s
+
+    def test_encode_known_values(self):
+        space = space_3x2x4()
+        assert space.encode([0, 0, 0]) == 0
+        assert space.encode([2, 1, 3]) == space.size - 1
+        assert space.encode([1, 0, 2]) == 8 + 2
+
+    def test_encode_rejects_out_of_domain(self):
+        space = space_3x2x4()
+        with pytest.raises(ValueError):
+            space.encode([3, 0, 0])
+        with pytest.raises(ValueError):
+            space.encode([0, 0, 4])
+
+    def test_encode_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            space_3x2x4().encode([0, 0])
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            space_3x2x4().decode(24)
+
+    def test_value_of_matches_decode(self):
+        space = space_3x2x4()
+        for s in space.iter_states():
+            values = space.decode(s)
+            for i in range(space.n_vars):
+                assert space.value_of(s, i) == values[i]
+
+
+class TestVectorised:
+    def test_values_of_matches_scalar(self):
+        space = space_3x2x4()
+        idx = np.arange(space.size)
+        for i in range(space.n_vars):
+            expected = [space.value_of(int(s), i) for s in idx]
+            assert space.values_of(idx, i).tolist() == expected
+
+    def test_var_array_cached_and_correct(self):
+        space = space_3x2x4()
+        a1 = space.var_array(0)
+        a2 = space.var_array(0)
+        assert a1 is a2
+        assert a1.tolist() == [space.value_of(s, 0) for s in range(space.size)]
+
+    def test_named_var_arrays_keys(self):
+        space = space_3x2x4()
+        arrays = space.named_var_arrays()
+        assert set(arrays) == {"a", "b", "c"}
+
+
+class TestFormatting:
+    def test_format_state_uses_labels(self):
+        space = StateSpace([Variable("m", 3, labels=("left", "right", "self"))])
+        assert space.format_state(2) == "<m=self>"
+
+    def test_make_variables(self):
+        vs = make_variables("x", 3, 4)
+        assert [v.name for v in vs] == ["x0", "x1", "x2"]
+        assert all(v.domain_size == 4 for v in vs)
+
+
+class TestSubspaceCodes:
+    def test_subspace_roundtrip(self):
+        radices = [3, 2, 4]
+        strides = subspace_strides(radices)
+        for code in range(24):
+            values = decode_subvalues(code, radices, strides)
+            assert encode_subvalues(values, strides) == code
+
+    @given(st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=4))
+    def test_subspace_strides_cover_product(self, radices):
+        strides = subspace_strides(radices)
+        top = [r - 1 for r in radices]
+        assert encode_subvalues(top, strides) == int(np.prod(radices)) - 1
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=4), min_size=1, max_size=4),
+    st.data(),
+)
+def test_encode_decode_roundtrip_property(radices, data):
+    space = StateSpace([Variable(f"v{i}", r) for i, r in enumerate(radices)])
+    state = data.draw(st.integers(min_value=0, max_value=space.size - 1))
+    assert space.encode(space.decode(state)) == state

@@ -1,0 +1,145 @@
+"""Tests for the symbolic encoding layer (explicit <-> BDD round trips)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.bdd import ONE, ZERO
+from repro.protocol import Predicate, StateSpace, Variable
+from repro.protocols import token_ring
+from repro.symbolic import SymbolicProtocol, SymbolicSpace
+
+from conftest import make_random_protocol
+
+
+@pytest.fixture
+def sym():
+    space = StateSpace([Variable("x", 3), Variable("y", 2), Variable("z", 4)])
+    return SymbolicSpace(space)
+
+
+class TestEncoding:
+    def test_bit_budget(self, sym):
+        # domains 3,2,4 -> 2+1+2 bits, doubled for next-state copies
+        assert sym.bdd.n_vars == 2 * (2 + 1 + 2)
+
+    def test_interleaved_order(self, sym):
+        for cur, nxt in zip(sym.all_cur, sym.all_next):
+            assert nxt == cur + 1
+
+    def test_domain_constraint_counts_states(self, sym):
+        assert sym.count_states(sym.domain_cur) == sym.space.size
+
+    def test_value_cube_semantics(self, sym):
+        f = sym.value_cube(0, 2)
+        mask = sym.to_mask(f)
+        expected = sym.space.var_array(0) == 2
+        assert np.array_equal(mask, expected)
+
+    def test_value_cube_out_of_domain(self, sym):
+        with pytest.raises(ValueError):
+            sym.value_cube(0, 3)
+
+    def test_eq_and_neq_vars(self, sym):
+        eq = sym.to_mask(sym.eq_vars(0, 1))
+        neq = sym.to_mask(sym.bdd.and_(sym.neq_vars(0, 1), sym.domain_cur))
+        a0 = sym.space.var_array(0)
+        a1 = sym.space.var_array(1)
+        assert np.array_equal(eq, a0 == a1)
+        assert np.array_equal(neq, a0 != a1)
+
+    def test_relation_combinator(self, sym):
+        f = sym.relation(0, 2, lambda a, b: (a + 1) % 3 == b % 3)
+        mask = sym.to_mask(f)
+        a0 = sym.space.var_array(0)
+        a2 = sym.space.var_array(2)
+        assert np.array_equal(mask, (a0 + 1) % 3 == a2 % 3)
+
+    def test_state_cube_roundtrip(self, sym):
+        for s in (0, 5, sym.space.size - 1):
+            cube = sym.state_cube(sym.space.decode(s))
+            assert sym.count_states(cube) == 1
+            assert sym.pick_state(cube) == s
+
+
+class TestMaskRoundtrips:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_from_mask_to_mask_identity(self, sym, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(sym.space.size) < 0.3
+        f = sym.from_mask(mask)
+        assert np.array_equal(sym.to_mask(f), mask)
+        assert sym.count_states(f) == int(mask.sum())
+
+    def test_predicate_roundtrip(self):
+        protocol, invariant = token_ring(3, 3)
+        sym = SymbolicSpace(protocol.space)
+        f = sym.from_predicate(invariant)
+        assert np.array_equal(sym.to_mask(f), invariant.mask)
+
+    def test_prime_unprime_inverse(self, sym):
+        f = sym.eq_vars(0, 1)
+        assert sym.unprime(sym.prime(f)) == f
+
+    def test_empty_and_pick(self, sym):
+        assert sym.is_empty(ZERO)
+        assert sym.pick_state(ZERO) is None
+        s = sym.pick_state(sym.domain_cur)
+        assert 0 <= s < sym.space.size
+
+
+class TestGroupRelations:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_group_relation_matches_explicit_pairs(self, seed):
+        rng = random.Random(seed)
+        protocol = make_random_protocol(rng)
+        sp = SymbolicProtocol(protocol)
+        sym = sp.sym
+        gids = [
+            (j, r, w)
+            for j, table in enumerate(protocol.tables)
+            for (r, w) in table.iter_candidate_groups()
+        ]
+        rng.shuffle(gids)
+        for gid in gids[:8]:
+            rel = sp.group_relation(gid)
+            src, dst = protocol.group_pairs(gid)
+            expected = set(zip(src.tolist(), dst.tolist()))
+            got = set()
+            constrained = sym.bdd.and_(
+                sym.bdd.and_(rel, sym.domain_cur), sym.domain_next
+            )
+            for partial in sym.bdd.iter_sat(constrained):
+                got.update(_decode_pairs(sym, partial))
+            assert got == expected
+
+
+def _decode_pairs(sym, partial):
+    """Expand a partial model of a relation BDD into (src, dst) pairs."""
+    space = sym.space
+
+    def expand(levels_list, var):
+        if var == space.n_vars:
+            yield []
+            return
+        bits = levels_list[var]
+        n = len(bits)
+        known = [partial.get(b) for b in bits]
+
+        def rec(b, value):
+            if b == n:
+                if value < space.variables[var].domain_size:
+                    yield value
+                return
+            options = (known[b],) if known[b] is not None else (False, True)
+            for bit in options:
+                yield from rec(b + 1, value | (int(bit) << (n - 1 - b)))
+
+        for value in rec(0, 0):
+            for rest in expand(levels_list, var + 1):
+                yield [value] + rest
+
+    for src_vals in expand(sym.cur_levels, 0):
+        for dst_vals in expand(sym.next_levels, 0):
+            yield (space.encode(src_vals), space.encode(dst_vals))

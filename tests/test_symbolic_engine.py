@@ -1,0 +1,110 @@
+"""Cross-engine equivalence: the symbolic heuristic must produce exactly the
+same synthesized protocols as the explicit one on every small case study and
+on random protocols."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    HeuristicOptions,
+    NoStabilizingVersionError,
+    add_strong_convergence,
+)
+from repro.protocols import coloring, matching, token_ring
+from repro.protocols.coloring import coloring_symbolic
+from repro.symbolic import SymbolicProtocol, add_strong_convergence_symbolic
+from repro.verify import check_solution
+
+from conftest import make_closed_invariant, make_random_protocol
+
+
+def run_both(protocol, invariant, **kwargs):
+    explicit = add_strong_convergence(protocol, invariant, **kwargs)
+    sp = SymbolicProtocol(protocol)
+    inv = sp.sym.from_predicate(invariant)
+    symbolic = add_strong_convergence_symbolic(protocol, inv, sp=sp, **kwargs)
+    return explicit, symbolic
+
+
+class TestCaseStudyEquivalence:
+    def test_token_ring(self):
+        protocol, invariant = token_ring(4, 3)
+        explicit, symbolic = run_both(protocol, invariant)
+        assert symbolic.success == explicit.success is True
+        assert symbolic.pss_groups == explicit.protocol.groups
+        assert symbolic.pass_completed == explicit.pass_completed == 2
+
+    def test_matching(self):
+        protocol, invariant = matching(4)
+        explicit, symbolic = run_both(protocol, invariant)
+        assert symbolic.success == explicit.success
+        assert symbolic.pss_groups == explicit.protocol.groups
+
+    def test_coloring_via_symbolic_invariant(self):
+        protocol, sp, inv = coloring_symbolic(5)
+        symbolic = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        pe, invariant = coloring(5)
+        explicit = add_strong_convergence(pe, invariant)
+        assert symbolic.pss_groups == explicit.protocol.groups
+        check = check_solution(pe, symbolic.to_protocol(), invariant)
+        assert check.ok
+
+    def test_sequential_mode_equivalence(self):
+        protocol, invariant = token_ring(4, 3)
+        options = HeuristicOptions(cycle_resolution_mode="sequential")
+        explicit, symbolic = run_both(protocol, invariant, options=options)
+        assert symbolic.pss_groups == explicit.protocol.groups
+
+    def test_scc_algorithm_choice(self):
+        protocol, invariant = matching(4)
+        sp = SymbolicProtocol(protocol)
+        inv = sp.sym.from_predicate(invariant)
+        gent = add_strong_convergence_symbolic(
+            protocol, inv, sp=sp, scc_algorithm="gentilini"
+        )
+        sp2 = SymbolicProtocol(protocol)
+        inv2 = sp2.sym.from_predicate(invariant)
+        xb = add_strong_convergence_symbolic(
+            protocol, inv2, sp=sp2, scc_algorithm="xie_beerel"
+        )
+        assert gent.pss_groups == xb.pss_groups
+
+
+class TestRandomEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_outcome_and_groups(self, seed):
+        rng = random.Random(7000 + seed)
+        protocol = make_random_protocol(rng, group_density=0.1)
+        invariant = make_closed_invariant(rng, protocol)
+        try:
+            explicit = add_strong_convergence(protocol, invariant)
+            explicit_error = None
+        except NoStabilizingVersionError as e:
+            explicit, explicit_error = None, e
+        sp = SymbolicProtocol(protocol)
+        inv = sp.sym.from_predicate(invariant)
+        try:
+            symbolic = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+            symbolic_error = None
+        except NoStabilizingVersionError as e:
+            symbolic, symbolic_error = None, e
+        assert (explicit_error is None) == (symbolic_error is None)
+        if explicit is not None:
+            assert symbolic.success == explicit.success
+            assert symbolic.pss_groups == explicit.protocol.groups
+            assert symbolic.pass_completed == explicit.pass_completed
+
+
+class TestResultObject:
+    def test_to_protocol_and_metrics(self):
+        protocol, invariant = token_ring(4, 3)
+        sp = SymbolicProtocol(protocol)
+        inv = sp.sym.from_predicate(invariant)
+        res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        out = res.to_protocol()
+        assert check_solution(protocol, out, invariant).ok
+        res.record_space_metrics()
+        assert res.stats.bdd_nodes["total_program_size"] > 2
+        assert res.stats.bdd_nodes["manager_nodes"] > 0
+        assert res.n_added == 9

@@ -1,0 +1,98 @@
+"""Unit tests for the distribution model (read/write restrictions)."""
+
+import pytest
+
+from repro.protocol import (
+    ProcessSpec,
+    StateSpace,
+    Topology,
+    Variable,
+    general_topology,
+    line_topology,
+    make_variables,
+    ring_topology,
+    star_topology,
+)
+
+
+@pytest.fixture
+def space():
+    return StateSpace(make_variables("x", 4, 3))
+
+
+class TestProcessSpec:
+    def test_writes_subset_of_reads_enforced(self):
+        with pytest.raises(ValueError):
+            ProcessSpec("P", reads=(0,), writes=(1,))
+
+    def test_empty_writes_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessSpec("P", reads=(0,), writes=())
+
+    def test_reads_sorted_and_deduped(self):
+        spec = ProcessSpec("P", reads=(2, 0, 2), writes=(0,))
+        assert spec.reads == (0, 2)
+
+    def test_unreadable_complement(self):
+        spec = ProcessSpec("P", reads=(0, 2), writes=(0,))
+        assert spec.unreadable(4) == (1, 3)
+
+
+class TestTopology:
+    def test_duplicate_process_names_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(
+                (
+                    ProcessSpec("P", (0,), (0,)),
+                    ProcessSpec("P", (1,), (1,)),
+                )
+            )
+
+    def test_validate_unknown_variable(self, space):
+        topo = Topology((ProcessSpec("P", (9,), (9,)),))
+        with pytest.raises(ValueError):
+            topo.validate(space)
+
+    def test_index_of(self, space):
+        topo = ring_topology(space, [0, 1, 2, 3])
+        assert topo.index_of("P2") == 2
+        with pytest.raises(KeyError):
+            topo.index_of("nope")
+
+
+class TestBuilders:
+    def test_unidirectional_ring(self, space):
+        topo = ring_topology(space, [0, 1, 2, 3], read_left=True, read_right=False)
+        assert topo[0].reads == (0, 3)  # P0 reads x3 and x0 (paper Sec. II)
+        assert topo[2].reads == (1, 2)
+        assert all(p.writes == (i,) for i, p in enumerate(topo))
+
+    def test_bidirectional_ring(self, space):
+        topo = ring_topology(space, [0, 1, 2, 3], read_left=True, read_right=True)
+        assert topo[1].reads == (0, 1, 2)
+        assert topo[0].reads == (0, 1, 3)
+
+    def test_ring_too_small(self, space):
+        with pytest.raises(ValueError):
+            ring_topology(space, [0])
+
+    def test_line_endpoints_read_one_neighbor(self, space):
+        topo = line_topology(space, [0, 1, 2, 3])
+        assert topo[0].reads == (0, 1)
+        assert topo[3].reads == (2, 3)
+        assert topo[1].reads == (0, 1, 2)
+
+    def test_star(self, space):
+        topo = star_topology(space, 0, [1, 2, 3])
+        assert topo[0].reads == (0, 1, 2, 3)
+        assert topo[1].reads == (0, 1)
+        assert topo[1].writes == (1,)
+
+    def test_general_topology(self):
+        topo = general_topology([("A", (0, 1), (0,)), ("B", (1,), (1,))])
+        assert len(topo) == 2
+        assert topo[0].name == "A"
+
+    def test_custom_names(self, space):
+        topo = ring_topology(space, [0, 1, 2, 3], names=["a", "b", "c", "d"])
+        assert [p.name for p in topo] == ["a", "b", "c", "d"]

@@ -1,0 +1,85 @@
+"""Coverage for the Variable type and the token-counting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.protocol import Variable
+from repro.protocols.token_ring import (
+    token_count_array,
+    token_ring,
+    token_ring_space,
+)
+
+
+class TestVariable:
+    def test_labels_roundtrip(self):
+        var = Variable("m", 3, labels=("left", "right", "self"))
+        assert var.label(0) == "left"
+        assert var.value_of_label("self") == 2
+        assert var.value_of_label("1") == 1
+
+    def test_label_out_of_domain(self):
+        var = Variable("x", 2)
+        with pytest.raises(ValueError):
+            var.label(2)
+        with pytest.raises(ValueError):
+            var.value_of_label("5")
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            Variable("x", 0)
+        with pytest.raises(ValueError):
+            Variable("x", 3, labels=("a", "b"))
+
+    def test_unlabelled_label_is_decimal(self):
+        assert Variable("x", 4).label(3) == "3"
+
+    def test_equality_ignores_labels(self):
+        assert Variable("x", 3) == Variable("x", 3, labels=("a", "b", "c"))
+
+
+class TestTokenCounting:
+    def test_papers_tight_token_definition_admits_tokenless_states(self):
+        """Unlike Dijkstra's classical ``x_j != x_{j-1}`` tokens (of which at
+        least one always exists), the paper's tighter ``x_j + 1 == x_{j-1}``
+        definition leaves some states with *zero* tokens — which is exactly
+        why the non-stabilizing TR deadlocks outside S1."""
+        space = token_ring_space(4, 3)
+        tokens = token_count_array(space, 4, 3)
+        assert tokens.min() == 0
+
+    def test_dijkstra_protocol_always_has_an_enabled_process(self):
+        """The classical fact, at the protocol level: in Dijkstra's
+        stabilizing ring some process is enabled in every state."""
+        from repro.protocols import dijkstra_stabilizing_token_ring
+
+        for k, d in ((3, 3), (4, 3), (4, 4)):
+            protocol, _ = dijkstra_stabilizing_token_ring(k, d)
+            assert protocol.out_counts().min() >= 1
+
+    def test_invariant_is_a_strict_subset_of_one_token_states(self):
+        """S1 (the structural predicate) is strictly stronger than 'exactly
+        one token' — the counterexample that broke the naive invariant."""
+        protocol, invariant = token_ring(4, 3)
+        tokens = token_count_array(protocol.space, 4, 3)
+        one_token = tokens == 1
+        assert (invariant.mask <= one_token).all()
+        assert one_token.sum() > invariant.count()
+
+    def test_faults_can_create_multiple_tokens(self):
+        protocol, _ = token_ring(4, 3)
+        tokens = token_count_array(protocol.space, 4, 3)
+        assert tokens.max() >= 2
+
+    def test_token_conservation_along_legitimate_run(self):
+        protocol, invariant = token_ring(4, 3)
+        tokens = token_count_array(protocol.space, 4, 3)
+        s = invariant.sample()
+        for _ in range(20):
+            assert tokens[s] == 1
+            (s,) = protocol.successors(s)
+
+    def test_invariant_size_is_domain_times_k(self):
+        for k, d in ((3, 3), (4, 3), (5, 4)):
+            _, invariant = token_ring(k, d)
+            assert invariant.count() == d * k

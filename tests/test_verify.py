@@ -1,0 +1,152 @@
+"""Tests for the independent model checker."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.protocol import Predicate
+from repro.protocols import (
+    dijkstra_stabilizing_token_ring,
+    matching,
+    token_ring,
+)
+from repro.verify import (
+    analyze_stabilization,
+    check_solution,
+    closure_violations,
+    convergence_steps_bound,
+    deadlock_states,
+    has_deadlocks,
+    has_nonprogress_cycles,
+    is_closed,
+    is_silent_in,
+    strongly_converges,
+    unrecoverable_states,
+    weakly_converges,
+)
+
+from conftest import make_closed_invariant, make_random_protocol
+
+
+class TestClosure:
+    def test_tr_invariant_closed(self):
+        protocol, invariant = token_ring(4, 3)
+        assert is_closed(protocol, invariant)
+        assert closure_violations(protocol, invariant) == []
+
+    def test_violations_limited_and_witnessed(self):
+        protocol, invariant = token_ring(4, 3)
+        # "x0 == 0" is not closed under P0's increment
+        bad = Predicate.from_expr(protocol.space, lambda x0, **_: x0 == 0)
+        violations = closure_violations(protocol, bad, limit=3)
+        assert 0 < len(violations) <= 3
+        for gid, s0, s1 in violations:
+            assert s0 in bad and s1 not in bad
+            src, dst = protocol.group_pairs(gid)
+            assert s0 in src.tolist()
+
+    def test_universe_always_closed(self):
+        protocol, _ = token_ring(3, 3)
+        assert is_closed(protocol, Predicate.universe(protocol.space))
+
+
+class TestDeadlocks:
+    def test_tr_paper_deadlock(self):
+        protocol, invariant = token_ring(4, 3)
+        dead = deadlock_states(protocol, invariant)
+        assert protocol.space.encode([0, 0, 1, 2]) in dead
+        assert has_deadlocks(protocol, invariant)
+
+    def test_dijkstra_has_no_deadlocks(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        assert not has_deadlocks(protocol, invariant)
+
+    def test_silence(self):
+        protocol, invariant = matching(4)
+        assert is_silent_in(protocol, invariant)  # empty protocol: trivially
+        tr, tr_inv = token_ring(4, 3)
+        assert not is_silent_in(tr, tr_inv)  # the token keeps circulating
+
+
+class TestConvergence:
+    def test_tr_is_not_weakly_converging(self):
+        """Section II: the TR protocol is neither weakly nor strongly
+        stabilizing to S1."""
+        protocol, invariant = token_ring(4, 3)
+        assert not weakly_converges(protocol, invariant)
+        assert not strongly_converges(protocol, invariant)
+
+    def test_dijkstra_strongly_converges(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        assert strongly_converges(protocol, invariant)
+        assert weakly_converges(protocol, invariant)
+
+    def test_unrecoverable_states_of_tr(self):
+        protocol, invariant = token_ring(4, 3)
+        unrec = unrecoverable_states(protocol, invariant)
+        dead = deadlock_states(protocol, invariant)
+        assert dead.issubset(unrec)
+
+    def test_steps_bound(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        bound = convergence_steps_bound(protocol, invariant)
+        assert bound > 0
+        bad_protocol, bad_inv = token_ring(4, 3)
+        assert convergence_steps_bound(bad_protocol, bad_inv) == -1
+
+
+class TestVerdicts:
+    def test_describe_strings(self):
+        protocol, invariant = dijkstra_stabilizing_token_ring(4, 3)
+        verdict = analyze_stabilization(protocol, invariant)
+        assert verdict.strongly_stabilizing
+        assert "strongly stabilizing" in verdict.describe()
+
+    def test_weak_but_not_strong(self):
+        """A protocol with a cycle outside I but an escape everywhere is
+        weakly but not strongly stabilizing."""
+        rng = random.Random(3)
+        for _ in range(40):
+            protocol = make_random_protocol(rng, group_density=0.3)
+            invariant = make_closed_invariant(rng, protocol)
+            verdict = analyze_stabilization(protocol, invariant)
+            if verdict.weakly_stabilizing and not verdict.strongly_stabilizing:
+                assert verdict.n_deadlocks > 0 or verdict.n_cycle_states > 0
+                return
+        pytest.skip("no weak-not-strong random instance found")
+
+
+class TestCheckSolution:
+    def test_ok_solution(self):
+        protocol, invariant = token_ring(4, 3)
+        dijkstra, _ = dijkstra_stabilizing_token_ring(4, 3)
+        check = check_solution(protocol, dijkstra, invariant)
+        assert check.ok
+
+    def test_detects_behavior_change_inside_i(self):
+        protocol, invariant = token_ring(4, 3)
+        mutated = protocol.copy()
+        mutated.groups[0].clear()  # removes P0's action, which runs inside I
+        check = check_solution(protocol, mutated, invariant)
+        assert not check.behavior_inside_i_unchanged
+        assert not check.ok
+
+    def test_detects_non_convergence(self):
+        protocol, invariant = token_ring(4, 3)
+        check = check_solution(protocol, protocol, invariant)
+        assert check.invariant_closed
+        assert check.behavior_inside_i_unchanged
+        assert not check.converges
+
+    def test_weak_mode(self):
+        from repro.core import synthesize_weak
+
+        protocol, invariant = token_ring(4, 3)
+        weak = synthesize_weak(protocol, invariant)
+        assert check_solution(protocol, weak.protocol, invariant, mode="weak").ok
+
+    def test_bad_mode_rejected(self):
+        protocol, invariant = token_ring(4, 3)
+        with pytest.raises(ValueError):
+            check_solution(protocol, protocol, invariant, mode="medium")

@@ -1,0 +1,84 @@
+"""Tests for weak-convergence synthesis (Theorem IV.1: sound and complete)."""
+
+import random
+
+import pytest
+
+from repro.core import NoStabilizingVersionError, NotClosedError, synthesize_weak
+from repro.core.weak import check_closure
+from repro.protocol import Predicate, ProcessSpec, Protocol, StateSpace, Topology, Variable
+from repro.protocols import matching, token_ring
+from repro.verify import check_solution, is_closed, weakly_converges
+
+from conftest import make_closed_invariant, make_random_protocol
+
+
+class TestCheckClosure:
+    def test_closed_invariant_passes(self):
+        protocol, invariant = token_ring(4, 3)
+        check_closure(protocol, invariant)  # no raise
+
+    def test_violation_reported_with_witness(self):
+        protocol, _ = token_ring(4, 3)
+        bad = Predicate.from_expr(
+            protocol.space, lambda x0, x1, x2, x3: (x0 == x1) & (x1 == x2) & (x2 == x3)
+        )
+        with pytest.raises(NotClosedError) as exc:
+            check_closure(protocol, bad)
+        s0, s1 = exc.value.transition
+        assert s0 in bad and s1 not in bad
+
+
+class TestSynthesizeWeak:
+    def test_token_ring_weak_version(self):
+        protocol, invariant = token_ring(4, 3)
+        result = synthesize_weak(protocol, invariant)
+        assert weakly_converges(result.protocol, invariant)
+        assert is_closed(result.protocol, invariant)
+        check = check_solution(protocol, result.protocol, invariant, mode="weak")
+        assert check.ok
+
+    def test_matching_weak_version(self):
+        protocol, invariant = matching(4)
+        result = synthesize_weak(protocol, invariant)
+        assert weakly_converges(result.protocol, invariant)
+
+    def test_minimized_version_still_weakly_converges(self):
+        protocol, invariant = token_ring(4, 3)
+        full = synthesize_weak(protocol, invariant)
+        small = synthesize_weak(protocol, invariant, minimize=True)
+        assert small.protocol.n_groups() <= full.protocol.n_groups()
+        assert weakly_converges(small.protocol, invariant)
+        assert check_solution(protocol, small.protocol, invariant, mode="weak").ok
+
+    def test_completeness_negative_answer(self):
+        """A variable nobody can change in the right way makes stabilization
+        impossible; Theorem IV.1 must detect it."""
+        space = StateSpace([Variable("x", 2), Variable("y", 2)])
+        # only one process, it can only write y; I requires x == 0
+        topo = Topology((ProcessSpec("P", (0, 1), (1,)),))
+        protocol = Protocol.empty(space, topo)
+        invariant = Predicate.from_expr(space, lambda x, y: x == 0)
+        with pytest.raises(NoStabilizingVersionError) as exc:
+            synthesize_weak(protocol, invariant)
+        assert exc.value.n_unreachable == 2  # the two x == 1 states
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_protocols_sound_and_complete(self, seed):
+        rng = random.Random(seed)
+        protocol = make_random_protocol(rng)
+        invariant = make_closed_invariant(rng, protocol)
+        try:
+            result = synthesize_weak(protocol, invariant)
+        except NoStabilizingVersionError:
+            # completeness: then even the maximal legal protocol p_im cannot
+            # weakly converge, so no protocol can
+            from repro.core.ranking import compute_ranks
+
+            ranking = compute_ranks(protocol, invariant)
+            pim = ranking.pim_protocol()
+            assert not weakly_converges(pim, invariant)
+            return
+        # soundness
+        assert weakly_converges(result.protocol, invariant)
+        assert check_solution(protocol, result.protocol, invariant, mode="weak").ok
