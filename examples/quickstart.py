@@ -6,18 +6,31 @@ self-stabilizing (deadlock states exist outside the legitimate states S1),
 runs the paper's heuristic, and prints the synthesized protocol — which is
 exactly Dijkstra's classic stabilizing token ring, re-discovered
 automatically.
+
+Set ``REPRO_TRACE=/path/to/run.jsonl`` to record a structured trace of the
+run (spans + counters); summarize it afterwards with
+``stsyn trace-report /path/to/run.jsonl``.
 """
 
+import os
+
 from repro import (
+    NULL_TRACER,
+    SynthesisStats,
+    Tracer,
     add_strong_convergence,
     analyze_stabilization,
     check_solution,
     token_ring,
+    use_tracer,
 )
 from repro.dsl.pretty import format_protocol
 
 
 def main() -> None:
+    trace_path = os.environ.get("REPRO_TRACE")
+    tracer = Tracer(trace_path, example="quickstart") if trace_path else NULL_TRACER
+
     protocol, invariant = token_ring(k=4, domain=3)
     print(f"input protocol : {protocol.name}  (|S| = {protocol.space.size})")
     print(f"legitimate set : {invariant.count()} states (S1)")
@@ -32,7 +45,10 @@ def main() -> None:
     )
 
     print("\nrunning the three-pass heuristic ...")
-    result = add_strong_convergence(protocol, invariant)
+    with use_tracer(tracer):
+        result = add_strong_convergence(
+            protocol, invariant, stats=SynthesisStats.traced(tracer)
+        )
     assert result.success, "synthesis failed?!"
     print(
         f"success in pass {result.pass_completed}; "
@@ -48,6 +64,10 @@ def main() -> None:
     print(format_protocol(result.protocol))
     print("\nrecovery added by the tool (the paper's pass-2 action):")
     print(format_protocol(result.protocol, added_only=result.added_groups))
+
+    if tracer.enabled:
+        tracer.close()
+        print(f"\ntrace written to {trace_path} (see: stsyn trace-report)")
 
 
 if __name__ == "__main__":

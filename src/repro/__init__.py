@@ -30,6 +30,7 @@ from .core import (
     synthesize_weak,
 )
 from .metrics import SynthesisStats
+from .trace import NULL_TRACER, Tracer, current_tracer, trace_report, use_tracer
 from .protocol import (
     Action,
     Predicate,
@@ -61,6 +62,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Action",
     "HeuristicFailure",
+    "NULL_TRACER",
+    "Tracer",
     "HeuristicOptions",
     "NoStabilizingVersionError",
     "NotClosedError",
@@ -82,6 +85,7 @@ __all__ = [
     "check_solution",
     "coloring",
     "compute_ranks",
+    "current_tracer",
     "dijkstra_stabilizing_token_ring",
     "gouda_acharya_matching",
     "make_variables",
@@ -92,6 +96,8 @@ __all__ = [
     "synthesize",
     "synthesize_weak",
     "token_ring",
+    "trace_report",
     "two_ring",
+    "use_tracer",
     "weakly_converges",
 ]

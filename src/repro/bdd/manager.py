@@ -43,6 +43,13 @@ class BDD:
         self._ite_cache: dict[tuple[int, int, int], int] = {}
         self._not_cache: dict[int, int] = {}
         self._op_cache: dict[tuple, int] = {}
+        # Always-on operation counters (plain int increments — cheap enough
+        # to leave enabled; see repro.trace for how they reach reports).
+        self.n_ite_calls = 0
+        self.n_ite_terminal = 0
+        self.n_ite_cache_hits = 0
+        self.n_op_cache_lookups = 0
+        self.n_op_cache_hits = 0
         self._vars = [self._mk(i, ZERO, ONE) for i in range(n_vars)]
 
     # ------------------------------------------------------------------
@@ -87,17 +94,23 @@ class BDD:
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f ? g : h`` — the universal connective."""
+        self.n_ite_calls += 1
         if f == ONE:
+            self.n_ite_terminal += 1
             return g
         if f == ZERO:
+            self.n_ite_terminal += 1
             return h
         if g == h:
+            self.n_ite_terminal += 1
             return g
         if g == ONE and h == ZERO:
+            self.n_ite_terminal += 1
             return f
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.n_ite_cache_hits += 1
             return cached
         level = min(self._level[f], self._level[g], self._level[h])
         f0, f1 = self._cofactors(f, level)
@@ -181,8 +194,10 @@ class BDD:
         if f <= ONE or self._level[f] > top:
             return f
         key = ("ex", f, vs)
+        self.n_op_cache_lookups += 1
         cached = self._op_cache.get(key)
         if cached is not None:
+            self.n_op_cache_hits += 1
             return cached
         level = self._level[f]
         lo = self._exists(self._low[f], vs, top)
@@ -216,8 +231,10 @@ class BDD:
         if f > g:  # canonicalise for the cache
             f, g = g, f
         key = ("ae", f, g, vs)
+        self.n_op_cache_lookups += 1
         cached = self._op_cache.get(key)
         if cached is not None:
+            self.n_op_cache_hits += 1
             return cached
         level = min(self._level[f], self._level[g])
         if level > top:
@@ -257,8 +274,10 @@ class BDD:
     def _rename(self, f: int, mapping: dict[int, int], key) -> int:
         if f <= ONE:
             return f
+        self.n_op_cache_lookups += 1
         cached = self._op_cache.get(key)
         if cached is not None:
+            self.n_op_cache_hits += 1
             return cached
         level = self._level[f]
         new_level = mapping.get(level, level)
@@ -273,8 +292,10 @@ class BDD:
         if not assignments:
             return f
         key = ("rs", f, tuple(sorted(assignments.items())))
+        self.n_op_cache_lookups += 1
         cached = self._op_cache.get(key)
         if cached is not None:
+            self.n_op_cache_hits += 1
             return cached
         if f <= ONE:
             return f
@@ -398,6 +419,27 @@ class BDD:
             lit = v if literals[level] else self.not_(v)
             out = self.and_(lit, out)
         return out
+
+    def counters(self) -> dict[str, int]:
+        """The always-on operation counters plus table sizes, as a dict
+        (the keys are the ``bdd.*`` counter names in trace reports)."""
+        return {
+            "ite_calls": self.n_ite_calls,
+            "ite_terminal": self.n_ite_terminal,
+            "ite_cache_hits": self.n_ite_cache_hits,
+            "op_cache_lookups": self.n_op_cache_lookups,
+            "op_cache_hits": self.n_op_cache_hits,
+            "unique_nodes": len(self._level),
+            "ite_cache_entries": len(self._ite_cache),
+            "op_cache_entries": len(self._op_cache),
+        }
+
+    def ite_hit_rate(self) -> float:
+        """Fraction of ``ite`` calls answered by the memo table (0.0 when
+        no calls were made)."""
+        if self.n_ite_calls == 0:
+            return 0.0
+        return self.n_ite_cache_hits / self.n_ite_calls
 
     def clear_caches(self) -> None:
         """Drop operation caches (unique table survives — nodes stay valid)."""

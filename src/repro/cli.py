@@ -8,6 +8,8 @@ Examples::
     stsyn verify token-ring -k 4 -d 3
     stsyn analyze matching -k 5
     stsyn rank token-ring -k 4 -d 3
+    stsyn synthesize token-ring -k 4 --trace run.jsonl
+    stsyn trace-report run.jsonl
 """
 
 from __future__ import annotations
@@ -40,48 +42,94 @@ def _build(args):
     raise SystemExit(f"unknown protocol {name!r}")
 
 
+def _make_tracer(args):
+    from .trace import NULL_TRACER, Tracer
+
+    path = getattr(args, "trace", None)
+    if not path:
+        return NULL_TRACER
+    return Tracer(
+        path,
+        command="synthesize",
+        protocol=getattr(args, "protocol", None),
+        engine=getattr(args, "engine", None),
+    )
+
+
 def _cmd_synthesize(args) -> int:
     from .core import synthesize
     from .dsl.pretty import format_protocol
+    from .metrics import SynthesisStats
+    from .trace import use_tracer
 
+    tracer = _make_tracer(args)
     t0 = time.perf_counter()
-    if args.engine == "symbolic":
-        if args.protocol != "coloring":
-            from .symbolic import SymbolicProtocol, add_strong_convergence_symbolic
+    try:
+        if args.engine == "symbolic":
+            with use_tracer(tracer):
+                if args.protocol != "coloring":
+                    from .symbolic import (
+                        SymbolicProtocol,
+                        add_strong_convergence_symbolic,
+                    )
 
-            protocol, invariant = _build(args)
-            sp = SymbolicProtocol(protocol)
-            inv = sp.sym.from_predicate(invariant)
-            res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
-        else:
-            from .protocols.coloring import coloring_symbolic
-            from .symbolic import add_strong_convergence_symbolic
+                    protocol, invariant = _build(args)
+                    sp = SymbolicProtocol(protocol)
+                    inv = sp.sym.from_predicate(invariant)
+                    res = add_strong_convergence_symbolic(
+                        protocol, inv, sp=sp, stats=SynthesisStats(tracer=tracer)
+                    )
+                else:
+                    from .protocols.coloring import coloring_symbolic
+                    from .symbolic import add_strong_convergence_symbolic
 
-            protocol, sp, inv = coloring_symbolic(args.k or 5)
-            res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+                    protocol, sp, inv = coloring_symbolic(args.k or 5)
+                    res = add_strong_convergence_symbolic(
+                        protocol, inv, sp=sp, stats=SynthesisStats(tracer=tracer)
+                    )
+            elapsed = time.perf_counter() - t0
+            print(f"success: {res.success} (pass {res.pass_completed}, {elapsed:.2f}s)")
+            print(f"recovery groups added: {res.n_added}")
+            if args.print_actions and res.success:
+                print(format_protocol(res.to_protocol(), added_only=res.added_groups))
+            if tracer.enabled:
+                print(f"trace written to {args.trace}")
+            return 0 if res.success else 1
+
+        protocol, invariant = _build(args)
+        with use_tracer(tracer):
+            portfolio = synthesize(protocol, invariant, tracer=tracer)
         elapsed = time.perf_counter() - t0
-        print(f"success: {res.success} (pass {res.pass_completed}, {elapsed:.2f}s)")
-        print(f"recovery groups added: {res.n_added}")
-        if args.print_actions and res.success:
-            print(format_protocol(res.to_protocol(), added_only=res.added_groups))
-        return 0 if res.success else 1
-
-    protocol, invariant = _build(args)
-    portfolio = synthesize(protocol, invariant)
-    elapsed = time.perf_counter() - t0
-    print(portfolio.summary())
-    print(f"wall time: {elapsed:.2f}s")
-    if args.print_actions and portfolio.success:
-        print("\nsynthesized protocol:")
-        print(format_protocol(portfolio.result.protocol))
-        print("\nadded recovery only:")
-        print(
-            format_protocol(
-                portfolio.result.protocol,
-                added_only=portfolio.result.added_groups,
+        print(portfolio.summary())
+        print(f"wall time: {elapsed:.2f}s")
+        if args.print_actions and portfolio.success:
+            print("\nsynthesized protocol:")
+            print(format_protocol(portfolio.result.protocol))
+            print("\nadded recovery only:")
+            print(
+                format_protocol(
+                    portfolio.result.protocol,
+                    added_only=portfolio.result.added_groups,
+                )
             )
-        )
-    return 0 if portfolio.success else 1
+        if tracer.enabled:
+            print(f"trace written to {args.trace}")
+        return 0 if portfolio.success else 1
+    finally:
+        tracer.close()
+
+
+def _cmd_trace_report(args) -> int:
+    import os
+
+    from .trace import trace_report
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"no such trace file: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    print(trace_report(args.paths))
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -159,7 +207,20 @@ def make_parser() -> argparse.ArgumentParser:
     p_syn.add_argument(
         "--print-actions", action="store_true", help="print guarded commands"
     )
+    p_syn.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace of the run (see 'stsyn trace-report')",
+    )
     p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_trace = sub.add_parser(
+        "trace-report",
+        help="summarize JSONL trace files (spans, counters, BDD stats)",
+    )
+    p_trace.add_argument("paths", nargs="+", help="trace files to aggregate")
+    p_trace.set_defaults(func=_cmd_trace_report)
 
     p_ver = sub.add_parser("verify", help="check stabilization of the input")
     add_common(p_ver)

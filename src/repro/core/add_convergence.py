@@ -129,13 +129,19 @@ def identify_resolve_cycles(
     """
     if not candidates:
         return set()
-    with state.stats.timer("scc"):
+    state.stats.bump("identify_resolve_cycles_calls")
+    with state.stats.timer("scc"), state.stats.tracer.span(
+        "identify_resolve_cycles", n_candidates=len(candidates)
+    ) as span:
         base = state.pss_view()
         added = TransitionView(state.protocol.tables, candidates)
         sccs = cyclic_sccs_after_addition(
             base, added, state.space.size, state.not_i
         )
         state.stats.record_sccs([len(c) for c in sccs])
+        span["n_sccs"] = len(sccs)
+        if sccs:
+            state.stats.bump("cycles_resolved", len(sccs))
         if not sccs:
             return set()
         in_scc_label = np.full(state.space.size, -1, dtype=np.int64)
@@ -242,16 +248,26 @@ def add_convergence(
     process's additions (line 4 of the pseudocode).
     """
     deadlocks = state.deadlock_mask()
+    stats = state.stats
     for j in schedule:
-        add_recovery(
-            state,
-            from_mask,
-            to_mask,
-            j,
-            rule_out_deadlock_targets=(pass_no == 1),
-            deadlock_mask=deadlocks,
-        )
-        deadlocks = state.deadlock_mask()
+        before = int(deadlocks.sum())
+        with stats.tracer.span(
+            "add_recovery", process=j, pass_no=pass_no
+        ) as span:
+            committed = add_recovery(
+                state,
+                from_mask,
+                to_mask,
+                j,
+                rule_out_deadlock_targets=(pass_no == 1),
+                deadlock_mask=deadlocks,
+            )
+            deadlocks = state.deadlock_mask()
+            resolved = before - int(deadlocks.sum())
+            span["committed"] = committed
+            span["deadlocks_resolved"] = resolved
+        if resolved:
+            stats.bump(f"pass{pass_no}_deadlocks_resolved", resolved)
         if not deadlocks.any():
             return True
     return False

@@ -22,6 +22,7 @@ after pass 3 the heuristic declares failure (it is sound, not complete).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -59,6 +60,10 @@ class HeuristicOptions:
     cycle_resolution_mode: str = "batch"
     #: raise on failure instead of returning a failed result
     raise_on_failure: bool = False
+    #: artificial delay (seconds) before the run starts — simulates the
+    #: paper's heterogeneous one-machine-per-schedule setting; used by the
+    #: parallel-portfolio cancellation tests and benchmarks
+    stall_seconds: float = 0.0
 
 
 def _preprocess_input_cycles(
@@ -126,6 +131,9 @@ def add_strong_convergence(
         else paper_default_schedule(k)
     )
 
+    if options.stall_seconds > 0:
+        time.sleep(options.stall_seconds)
+
     with stats.timer("total"):
         check_closure(protocol, invariant)
         state = SynthesisState(
@@ -137,7 +145,8 @@ def add_strong_convergence(
         )
 
         # ---------------- preprocessing ----------------
-        _preprocess_input_cycles(state, options)
+        with stats.tracer.span("heuristic.preprocess"):
+            _preprocess_input_cycles(state, options)
         ranking = compute_ranks(protocol, invariant, stats=stats)
         if not ranking.admits_stabilization():
             raise NoStabilizingVersionError(
@@ -171,25 +180,32 @@ def add_strong_convergence(
             if not enabled:
                 continue
             stats.bump(f"pass{pass_no}_runs")
-            for i in range(1, ranking.max_rank + 1):
-                from_mask = state.deadlock_mask() & ranking.rank_mask(i)
-                if not from_mask.any():
-                    continue
-                done = add_convergence(
-                    state, from_mask, ranking.rank_mask(i - 1), schedule, pass_no
-                )
-                if done:
-                    return make_result(True, pass_no)
-            if not state.deadlock_mask().any():
+            done = False
+            with stats.tracer.span(f"heuristic.pass{pass_no}") as span:
+                for i in range(1, ranking.max_rank + 1):
+                    from_mask = state.deadlock_mask() & ranking.rank_mask(i)
+                    if not from_mask.any():
+                        continue
+                    if add_convergence(
+                        state, from_mask, ranking.rank_mask(i - 1), schedule, pass_no
+                    ):
+                        done = True
+                        break
+                done = done or not state.deadlock_mask().any()
+                span["done"] = done
+            if done:
                 return make_result(True, pass_no)
 
         # ---------------- pass 3 ----------------
         if options.enable_pass3:
             stats.bump("pass3_runs")
-            from_mask = state.deadlock_mask()
-            to_mask = np.ones(state.space.size, dtype=bool)
-            done = add_convergence(state, from_mask, to_mask, schedule, pass_no=3)
-            if done or not state.deadlock_mask().any():
+            with stats.tracer.span("heuristic.pass3") as span:
+                from_mask = state.deadlock_mask()
+                to_mask = np.ones(state.space.size, dtype=bool)
+                done = add_convergence(state, from_mask, to_mask, schedule, pass_no=3)
+                done = done or not state.deadlock_mask().any()
+                span["done"] = done
+            if done:
                 return make_result(True, 3)
 
         result = make_result(False, 3)

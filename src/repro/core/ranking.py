@@ -148,26 +148,33 @@ def compute_ranks(
                 flat.append((table, rcode, sorted(wcodes)))
 
         level = 0
-        while True:
-            level += 1
-            new_mask = np.zeros(space.size, dtype=bool)
-            found = False
-            for table, rcode, wcodes in flat:
-                src = table.bases[rcode] + table.unread_offsets
-                unexplored = rank[src] == INF_RANK
-                if not unexplored.any():
-                    continue
-                for wcode in wcodes:
-                    dst = src + table.deltas[rcode, wcode]
-                    hit = src[unexplored & frontier[dst]]
-                    if len(hit):
-                        new_mask[hit] = True
-                        found = True
-            if not found:
-                break
-            rank[new_mask] = level
-            frontier = new_mask
-        max_rank = level - 1
+        with stats.tracer.span("rank.backward_bfs") as span:
+            while True:
+                level += 1
+                new_mask = np.zeros(space.size, dtype=bool)
+                found = False
+                for table, rcode, wcodes in flat:
+                    src = table.bases[rcode] + table.unread_offsets
+                    unexplored = rank[src] == INF_RANK
+                    if not unexplored.any():
+                        continue
+                    for wcode in wcodes:
+                        dst = src + table.deltas[rcode, wcode]
+                        hit = src[unexplored & frontier[dst]]
+                        if len(hit):
+                            new_mask[hit] = True
+                            found = True
+                if not found:
+                    break
+                rank[new_mask] = level
+                frontier = new_mask
+            max_rank = level - 1
+            span["max_rank"] = max_rank
+            span["states"] = int(space.size)
+            n_infinite = int((rank == INF_RANK).sum())
+            span["infinite"] = n_infinite
+        stats.bump("rank_levels", max_rank)
+        stats.bump("rank_states_explored", int(space.size) - n_infinite)
     return RankingResult(
         protocol=protocol,
         invariant=invariant,

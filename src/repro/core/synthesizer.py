@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
+from ..metrics.stats import SynthesisStats
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
+from ..trace.tracer import NullTracer, Tracer
 from .exceptions import HeuristicFailure
 from .heuristic import HeuristicOptions, add_strong_convergence
 from .result import SynthesisResult
@@ -90,6 +92,7 @@ def synthesize(
     max_attempts: int | None = None,
     verify: bool = True,
     raise_on_failure: bool = False,
+    tracer: Tracer | NullTracer | None = None,
 ) -> PortfolioResult:
     """Run heuristic instances until one produces a verified solution.
 
@@ -97,7 +100,9 @@ def synthesize(
     checker (:func:`repro.verify.check_solution`) — "correct by construction"
     is nice, "correct by construction *and* checked" is nicer.  The failure
     result returned when the whole portfolio fails is the attempt with the
-    fewest remaining deadlock states.
+    fewest remaining deadlock states.  A ``tracer`` profiles every attempt
+    (one ``portfolio.attempt`` span each, with the per-pass spans nested
+    under the attempt's stats).
     """
     from ..verify.stabilization import check_solution
 
@@ -113,26 +118,35 @@ def synthesize(
 
     attempts: list[tuple[SynthesisConfig, bool, int]] = []
     best: tuple[int, SynthesisResult, SynthesisConfig] | None = None
-    for config in config_list:
-        result = add_strong_convergence(
-            protocol,
-            invariant,
-            schedule=config.schedule,
-            options=replace(config.options, raise_on_failure=False),
-        )
-        if result.success and verify:
-            check = check_solution(protocol, result.protocol, invariant)
-            result.verified = check.ok
-            if not check.ok:  # pragma: no cover - soundness bug guard
-                raise AssertionError(
-                    f"heuristic claimed success but verification failed: "
-                    f"{check} under {config.describe()}"
-                )
-        remaining = (
-            0
-            if result.success
-            else result.remaining_deadlocks.count()
-        )
+    for index, config in enumerate(config_list):
+        stats = SynthesisStats.traced(tracer)
+        with stats.tracer.span(
+            "portfolio.attempt", index=index, config=config.describe()
+        ) as span:
+            result = add_strong_convergence(
+                protocol,
+                invariant,
+                schedule=config.schedule,
+                options=replace(config.options, raise_on_failure=False),
+                stats=stats,
+            )
+            if result.success and verify:
+                with stats.tracer.span("verify.check_solution"):
+                    check = check_solution(protocol, result.protocol, invariant)
+                result.verified = check.ok
+                if not check.ok:  # pragma: no cover - soundness bug guard
+                    raise AssertionError(
+                        f"heuristic claimed success but verification failed: "
+                        f"{check} under {config.describe()}"
+                    )
+            remaining = (
+                0
+                if result.success
+                else result.remaining_deadlocks.count()
+            )
+            span["success"] = result.success
+            span["remaining_deadlocks"] = remaining
+        stats.bump("portfolio_attempts")
         attempts.append((config, result.success, remaining))
         if result.success:
             return PortfolioResult(result=result, config=config, attempts=attempts)

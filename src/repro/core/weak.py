@@ -74,20 +74,23 @@ def synthesize_weak(
                 n_unreachable=ranking.n_infinite,
             )
         if not minimize:
-            result = ranking.pim_protocol()
+            with stats.tracer.span("weak.pim_protocol"):
+                result = ranking.pim_protocol()
         else:
-            rank = ranking.rank
-            kept: list[set[tuple[int, int]]] = []
-            for j, gs in enumerate(ranking.pim_groups):
-                table = protocol.tables[j]
-                keep: set[tuple[int, int]] = set(protocol.groups[j])
-                for rcode, wcode in gs:
-                    if (rcode, wcode) in keep:
-                        continue
-                    src, dst = table.pairs(rcode, wcode)
-                    decreasing = (rank[src] > 0) & (rank[dst] == rank[src] - 1)
-                    if decreasing.any():
-                        keep.add((rcode, wcode))
-                kept.append(keep)
-            result = protocol.with_groups(kept, name=f"{protocol.name}_weak")
+            with stats.tracer.span("weak.minimize") as span:
+                rank = ranking.rank
+                kept: list[set[tuple[int, int]]] = []
+                for j, gs in enumerate(ranking.pim_groups):
+                    table = protocol.tables[j]
+                    keep: set[tuple[int, int]] = set(protocol.groups[j])
+                    for rcode, wcode in gs:
+                        if (rcode, wcode) in keep:
+                            continue
+                        src, dst = table.pairs(rcode, wcode)
+                        decreasing = (rank[src] > 0) & (rank[dst] == rank[src] - 1)
+                        if decreasing.any():
+                            keep.add((rcode, wcode))
+                    kept.append(keep)
+                span["kept_groups"] = sum(len(g) for g in kept)
+                result = protocol.with_groups(kept, name=f"{protocol.name}_weak")
     return WeakSynthesisResult(protocol=result, ranking=ranking, stats=stats)

@@ -1,6 +1,19 @@
 """Instrumentation: phase timers, counters and report rendering."""
 
-from .reporting import ResultTable, format_value, render_tables
+from .reporting import (
+    ResultTable,
+    format_value,
+    render_tables,
+    safe_percent,
+    timer_breakdown,
+)
 from .stats import SynthesisStats
 
-__all__ = ["ResultTable", "SynthesisStats", "format_value", "render_tables"]
+__all__ = [
+    "ResultTable",
+    "SynthesisStats",
+    "format_value",
+    "render_tables",
+    "safe_percent",
+    "timer_breakdown",
+]

@@ -80,3 +80,31 @@ class ResultTable:
 
 def render_tables(tables: Iterable[ResultTable]) -> str:
     return "\n\n".join(t.to_text() for t in tables)
+
+
+def safe_percent(part: float, total: float) -> float:
+    """``100 * part / total``, defined as 0.0 when ``total`` is zero.
+
+    Every percentage column in this package goes through here: an empty
+    timers dict (or an all-zero one — possible on platforms with a coarse
+    ``perf_counter``) must render as 0 %, not crash the report.
+    """
+    if total <= 0:
+        return 0.0
+    return 100.0 * part / total
+
+
+def timer_breakdown(
+    timers: dict[str, float], *, title: str = "phase timers"
+) -> ResultTable:
+    """Phase-timer table with a percentage column, safe for empty input.
+
+    ``total`` (the outermost timer, when present) is excluded from the
+    percentage base so the inner phases read as shares of the whole run.
+    """
+    inner = {k: v for k, v in timers.items() if k != "total"}
+    base = sum(inner.values()) if "total" not in timers else timers["total"]
+    table = ResultTable(title, ["phase", "seconds", "% of total"])
+    for name in sorted(timers, key=lambda k: -timers[k]):
+        table.add(name, timers[name], safe_percent(timers[name], base))
+    return table

@@ -4,6 +4,12 @@ The paper's evaluation (Section VII) reports *ranking time*, *SCC-detection
 time* and *total execution time* per synthesis run, plus space in BDD nodes.
 :class:`SynthesisStats` collects exactly those series so that the benchmark
 harness can print figure rows straight from a run.
+
+Since the observability PR, the stats object is a thin view over a
+:class:`repro.trace.Tracer`: every timer also closes a trace span and every
+bump also feeds a trace counter, so a traced run gets the full JSONL
+profile while un-traced callers (the default :data:`~repro.trace.NULL_TRACER`)
+keep the historical dict-based behaviour at negligible cost.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from ..trace.tracer import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass
@@ -27,12 +35,19 @@ class SynthesisStats:
     scc_bdd_sizes: list[int] = field(default_factory=list)
     #: BDD node counts, filled in by the symbolic engine / space reporting
     bdd_nodes: dict[str, int] = field(default_factory=dict)
+    #: every timer/bump is mirrored into this tracer (no-op by default)
+    tracer: Tracer | NullTracer = field(default=NULL_TRACER, repr=False)
+
+    @classmethod
+    def traced(cls, tracer: Tracer | NullTracer | None) -> "SynthesisStats":
+        return cls(tracer=tracer if tracer is not None else NULL_TRACER)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
         try:
-            yield
+            with self.tracer.span(name):
+                yield
         finally:
             self.timers[name] = self.timers.get(name, 0.0) + (
                 time.perf_counter() - start
@@ -40,6 +55,7 @@ class SynthesisStats:
 
     def bump(self, name: str, by: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + by
+        self.tracer.count(name, by)
 
     def record_sccs(
         self, sizes: list[int], bdd_sizes: list[int] | None = None

@@ -1,5 +1,5 @@
 """Multi-process portfolio synthesis (one heuristic instance per worker)."""
 
-from .pool import ParallelOutcome, synthesize_parallel
+from .pool import ParallelOutcome, merge_worker_traces, synthesize_parallel
 
-__all__ = ["ParallelOutcome", "synthesize_parallel"]
+__all__ = ["ParallelOutcome", "merge_worker_traces", "synthesize_parallel"]

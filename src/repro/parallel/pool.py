@@ -8,17 +8,25 @@ wins and the rest are cancelled.
 Protocols are rebuilt inside each worker from a picklable spec (a builder
 callable plus arguments) rather than shipping numpy-heavy objects through
 pickle.
+
+With ``trace_dir`` set, every worker streams its own JSONL trace
+(``worker_<index>.jsonl``); because lines are flushed per event, a loser
+cancelled mid-run still leaves a readable partial trace.  The parent merges
+whatever exists into ``merged.jsonl`` after the race, so the winning
+schedule's profile survives cancellation of everything else.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..core.heuristic import HeuristicOptions
 from ..core.synthesizer import SynthesisConfig, default_portfolio
 from ..metrics.stats import SynthesisStats
+from ..trace.tracer import NULL_TRACER, Tracer
 
 #: builder: () -> (protocol, invariant); must be a picklable top-level callable
 Builder = Callable[[], tuple]
@@ -33,34 +41,70 @@ class ParallelOutcome:
     pss_groups: list[set[tuple[int, int]]] | None
     remaining_deadlocks: int
     timers: dict[str, float]
+    counters: dict[str, int] = field(default_factory=dict)
+    #: this worker's JSONL trace file (None when tracing was off)
+    trace_path: str | None = None
 
 
 def _worker(args) -> ParallelOutcome:
-    builder, builder_args, config = args
-    protocol, invariant = builder(*builder_args)
+    builder, builder_args, config, index, trace_path = args
     from ..core.heuristic import add_strong_convergence
     from ..verify.stabilization import check_solution
 
-    stats = SynthesisStats()
-    result = add_strong_convergence(
-        protocol,
-        invariant,
-        schedule=config.schedule,
-        options=config.options,
-        stats=stats,
+    tracer = (
+        Tracer(trace_path, worker=index, config=config.describe())
+        if trace_path is not None
+        else NULL_TRACER
     )
-    success = result.success
-    if success:
-        success = check_solution(protocol, result.protocol, invariant).ok
-    return ParallelOutcome(
-        config=config,
-        success=success,
-        pss_groups=[set(g) for g in result.protocol.groups] if success else None,
-        remaining_deadlocks=(
-            0 if success else result.remaining_deadlocks.count()
-        ),
-        timers=dict(stats.timers),
+    try:
+        protocol, invariant = builder(*builder_args)
+        tracer.event("worker.start", protocol=protocol.name)
+        stats = SynthesisStats(tracer=tracer)
+        result = add_strong_convergence(
+            protocol,
+            invariant,
+            schedule=config.schedule,
+            options=config.options,
+            stats=stats,
+        )
+        success = result.success
+        if success:
+            with tracer.span("verify.check_solution"):
+                success = check_solution(protocol, result.protocol, invariant).ok
+        tracer.event("worker.done", success=success)
+        return ParallelOutcome(
+            config=config,
+            success=success,
+            pss_groups=(
+                [set(g) for g in result.protocol.groups] if success else None
+            ),
+            remaining_deadlocks=(
+                0 if success else result.remaining_deadlocks.count()
+            ),
+            timers=dict(stats.timers),
+            counters=dict(stats.counters),
+            trace_path=trace_path,
+        )
+    finally:
+        tracer.close()
+
+
+def merge_worker_traces(trace_dir: str | os.PathLike) -> str | None:
+    """Merge every ``worker_*.jsonl`` under ``trace_dir`` into
+    ``merged.jsonl``; returns its path (None when no worker files exist)."""
+    from ..trace.report import merge_traces
+
+    trace_dir = os.fspath(trace_dir)
+    paths = sorted(
+        os.path.join(trace_dir, name)
+        for name in os.listdir(trace_dir)
+        if name.startswith("worker_") and name.endswith(".jsonl")
     )
+    if not paths:
+        return None
+    merged = os.path.join(trace_dir, "merged.jsonl")
+    merge_traces(paths, merged)
+    return merged
 
 
 def synthesize_parallel(
@@ -70,12 +114,17 @@ def synthesize_parallel(
     configs: Sequence[SynthesisConfig] | None = None,
     n_workers: int | None = None,
     base_options: HeuristicOptions | None = None,
+    trace_dir: str | os.PathLike | None = None,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
     """Race the portfolio across worker processes.
 
     Returns ``(winner_or_best, all_completed_outcomes)``.  Workers that were
-    still running when a success arrived are not awaited (``imap_unordered``
-    short-circuit), mirroring "first machine to find a solution wins".
+    still running when a success arrived are terminated (``pool.terminate``
+    after the ``imap_unordered`` short-circuit), mirroring "first machine to
+    find a solution wins".  With ``trace_dir``, each worker writes
+    ``trace_dir/worker_<index>.jsonl`` and the parent merges all surviving
+    files — winner and cancelled losers alike — into
+    ``trace_dir/merged.jsonl``.
     """
     protocol, _ = builder(*builder_args)
     config_list = (
@@ -86,7 +135,22 @@ def synthesize_parallel(
     if not config_list:
         raise ValueError("empty portfolio")
     n_workers = n_workers or min(len(config_list), mp.cpu_count())
-    jobs = [(builder, builder_args, c) for c in config_list]
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    jobs = [
+        (
+            builder,
+            builder_args,
+            config,
+            index,
+            (
+                os.path.join(os.fspath(trace_dir), f"worker_{index}.jsonl")
+                if trace_dir is not None
+                else None
+            ),
+        )
+        for index, config in enumerate(config_list)
+    ]
     completed: list[ParallelOutcome] = []
     winner: ParallelOutcome | None = None
     ctx = mp.get_context("fork")
@@ -97,6 +161,8 @@ def synthesize_parallel(
                 winner = outcome
                 pool.terminate()
                 break
+    if trace_dir is not None:
+        merge_worker_traces(trace_dir)
     if winner is None:
         winner = min(completed, key=lambda o: o.remaining_deadlocks)
     return winner, completed

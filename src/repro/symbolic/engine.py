@@ -23,6 +23,7 @@ from ..core.schedules import paper_default_schedule, validate_schedule
 from ..metrics.stats import SynthesisStats
 from ..protocol.groups import GroupId
 from ..protocol.protocol import Protocol
+from ..trace.tracer import record_bdd_counters, use_tracer
 from .encode import SymbolicProtocol
 from .image import backward_closure, forward_closure
 from .ranking import SymbolicRanking, compute_ranks_symbolic
@@ -174,7 +175,10 @@ def identify_resolve_cycles_symbolic(
         if state._relation_is_decreasing(cand_union):
             state.stats.bump("scc_skipped_by_rank_shortcut")
             return set()
-    with state.stats.timer("scc"):
+    state.stats.bump("identify_resolve_cycles_calls")
+    with state.stats.timer("scc"), state.stats.tracer.span(
+        "identify_resolve_cycles", n_candidates=len(candidates)
+    ) as span:
         not_i = state.not_i
         cand_rels = [state.sp.group_relation(g) for g in candidates]
         srcs = sym.bdd.and_(
@@ -207,11 +211,15 @@ def identify_resolve_cycles_symbolic(
             if state.scc_algorithm == "gentilini"
             else xie_beerel_sccs
         )
-        sccs = algorithm(sym, relations, region)
+        with use_tracer(state.stats.tracer):
+            sccs = algorithm(sym, relations, region)
+        span["n_sccs"] = len(sccs)
         state.stats.record_sccs(
             [sym.count_states(c) for c in sccs],
             [sym.bdd.size(c) for c in sccs],
         )
+        if sccs:
+            state.stats.bump("cycles_resolved", len(sccs))
         if not sccs:
             return set()
         bad: set[GroupId] = set()
@@ -299,16 +307,41 @@ def add_convergence_symbolic(
     pass_no: int,
 ) -> bool:
     deadlocks = state.deadlocks()
+    stats = state.stats
+    sym = state.sp.sym
     for j in schedule:
-        add_recovery_symbolic(
-            state,
-            from_set,
-            to_set,
-            j,
-            rule_out_deadlock_targets=(pass_no == 1),
-            deadlocks=deadlocks,
-        )
-        deadlocks = state.deadlocks()
+        # Deadlock *counting* (a model-count over the BDD) is only worth
+        # paying for when a tracer is attached; the untraced fast path
+        # keeps the historical behaviour.
+        if stats.tracer.enabled:
+            before = sym.count_states(deadlocks)
+            with stats.tracer.span(
+                "add_recovery", process=j, pass_no=pass_no
+            ) as span:
+                committed = add_recovery_symbolic(
+                    state,
+                    from_set,
+                    to_set,
+                    j,
+                    rule_out_deadlock_targets=(pass_no == 1),
+                    deadlocks=deadlocks,
+                )
+                deadlocks = state.deadlocks()
+                resolved = before - sym.count_states(deadlocks)
+                span["committed"] = committed
+                span["deadlocks_resolved"] = resolved
+            if resolved:
+                stats.bump(f"pass{pass_no}_deadlocks_resolved", resolved)
+        else:
+            add_recovery_symbolic(
+                state,
+                from_set,
+                to_set,
+                j,
+                rule_out_deadlock_targets=(pass_no == 1),
+                deadlocks=deadlocks,
+            )
+            deadlocks = state.deadlocks()
         if deadlocks == ZERO:
             return True
     return False
@@ -374,7 +407,7 @@ def _preprocess_cycles_symbolic(
     algorithm = (
         gentilini_sccs if state.scc_algorithm == "gentilini" else xie_beerel_sccs
     )
-    with state.stats.timer("scc"):
+    with state.stats.timer("scc"), use_tracer(state.stats.tracer):
         sccs = algorithm(sym, state.relations, state.not_i)
     if not sccs:
         return
@@ -439,11 +472,14 @@ def add_strong_convergence_symbolic(
             raise ValueError(
                 "disable_cycle_resolution is an explicit-engine-only ablation"
             )
-        _closure_check_symbolic(state)
-        _preprocess_cycles_symbolic(state, options)
+        with stats.tracer.span("heuristic.preprocess"):
+            _closure_check_symbolic(state)
+            _preprocess_cycles_symbolic(state, options)
 
         with stats.timer("ranking"):
-            ranking = compute_ranks_symbolic(sp, state.invariant)
+            ranking = compute_ranks_symbolic(
+                sp, state.invariant, tracer=stats.tracer
+            )
         state.install_rank_shortcut(ranking)
         if not ranking.admits_stabilization():
             raise NoStabilizingVersionError(
@@ -453,6 +489,7 @@ def add_strong_convergence_symbolic(
             )
 
         def make_result(success: bool, pass_no: int) -> SymbolicSynthesisResult:
+            record_bdd_counters(stats.tracer, sp.sym.bdd)
             return SymbolicSynthesisResult(
                 success=success,
                 sp=sp,
@@ -474,24 +511,31 @@ def add_strong_convergence_symbolic(
             if not enabled:
                 continue
             stats.bump(f"pass{pass_no}_runs")
-            for i in range(1, ranking.max_rank + 1):
-                from_set = sym.bdd.and_(state.deadlocks(), ranking.ranks[i])
-                if from_set == ZERO:
-                    continue
-                done = add_convergence_symbolic(
-                    state, from_set, ranking.ranks[i - 1], schedule, pass_no
-                )
-                if done:
-                    return make_result(True, pass_no)
-            if state.deadlocks() == ZERO:
+            done = False
+            with stats.tracer.span(f"heuristic.pass{pass_no}") as span:
+                for i in range(1, ranking.max_rank + 1):
+                    from_set = sym.bdd.and_(state.deadlocks(), ranking.ranks[i])
+                    if from_set == ZERO:
+                        continue
+                    if add_convergence_symbolic(
+                        state, from_set, ranking.ranks[i - 1], schedule, pass_no
+                    ):
+                        done = True
+                        break
+                done = done or state.deadlocks() == ZERO
+                span["done"] = done
+            if done:
                 return make_result(True, pass_no)
 
         if options.enable_pass3:
             stats.bump("pass3_runs")
-            done = add_convergence_symbolic(
-                state, state.deadlocks(), sym.domain_cur, schedule, pass_no=3
-            )
-            if done or state.deadlocks() == ZERO:
+            with stats.tracer.span("heuristic.pass3") as span:
+                done = add_convergence_symbolic(
+                    state, state.deadlocks(), sym.domain_cur, schedule, pass_no=3
+                )
+                done = done or state.deadlocks() == ZERO
+                span["done"] = done
+            if done:
                 return make_result(True, 3)
 
         result = make_result(False, 3)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..bdd import ZERO
+from ..trace.tracer import NullTracer, Tracer, current_tracer
 from .encode import SymbolicProtocol
 from .image import preimage_union
 
@@ -60,24 +61,34 @@ class SymbolicRanking:
 
 
 def compute_ranks_symbolic(
-    sp: SymbolicProtocol, invariant: int
+    sp: SymbolicProtocol,
+    invariant: int,
+    *,
+    tracer: Tracer | NullTracer | None = None,
 ) -> SymbolicRanking:
-    """Backward BFS from ``I`` over the per-process ``p_im`` relations."""
+    """Backward BFS from ``I`` over the per-process ``p_im`` relations.
+
+    ``tracer`` defaults to the process-wide current tracer; a traced run
+    records one ``symbolic.rank.backward_bfs`` span covering the fixpoint.
+    """
+    tracer = tracer if tracer is not None else current_tracer()
     sym = sp.sym
     pim = compute_pim_groups_symbolic(sp, invariant)
     relations = sp.process_relations(pim)
     invariant = sym.bdd.and_(invariant, sym.domain_cur)
     ranks = [invariant]
     explored = invariant
-    while True:
-        frontier = sym.bdd.and_(
-            preimage_union(sym, relations, ranks[-1]), sym.domain_cur
-        )
-        frontier = sym.bdd.diff(frontier, explored)
-        if frontier == ZERO:
-            break
-        ranks.append(frontier)
-        explored = sym.bdd.or_(explored, frontier)
+    with tracer.span("symbolic.rank.backward_bfs") as span:
+        while True:
+            frontier = sym.bdd.and_(
+                preimage_union(sym, relations, ranks[-1]), sym.domain_cur
+            )
+            frontier = sym.bdd.diff(frontier, explored)
+            if frontier == ZERO:
+                break
+            ranks.append(frontier)
+            explored = sym.bdd.or_(explored, frontier)
+        span["max_rank"] = len(ranks) - 1
     unreachable = sym.bdd.diff(sym.domain_cur, explored)
     return SymbolicRanking(
         sp=sp,

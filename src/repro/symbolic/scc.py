@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..bdd import ZERO
+from ..trace.tracer import current_tracer
 from .encode import SymbolicSpace
 from .image import postimage_union, preimage_union
 
@@ -54,19 +55,23 @@ def xie_beerel_sccs(
     sym: SymbolicSpace, relations: Sequence[int], universe: int
 ) -> list[int]:
     """All cyclic SCCs within ``universe`` (a current-bits state set)."""
+    tracer = current_tracer()
     out: list[int] = []
-    work = [sym.bdd.and_(universe, sym.domain_cur)]
-    while work:
-        v = work.pop()
-        if v == ZERO:
-            continue
-        node = _pick_singleton(sym, v)
-        fw = _forward_set(sym, relations, node, v)
-        scc = _scc_of(sym, relations, node, fw)
-        if sym.count_states(scc) >= 2:
-            out.append(scc)
-        work.append(sym.bdd.diff(fw, scc))
-        work.append(sym.bdd.diff(v, fw))
+    with tracer.span("scc.xie_beerel") as span:
+        work = [sym.bdd.and_(universe, sym.domain_cur)]
+        while work:
+            v = work.pop()
+            if v == ZERO:
+                continue
+            tracer.count("scc.xie_beerel_picks")
+            node = _pick_singleton(sym, v)
+            fw = _forward_set(sym, relations, node, v)
+            scc = _scc_of(sym, relations, node, fw)
+            if sym.count_states(scc) >= 2:
+                out.append(scc)
+            work.append(sym.bdd.diff(fw, scc))
+            work.append(sym.bdd.diff(v, fw))
+        span["n_sccs"] = len(out)
     return out
 
 
@@ -124,15 +129,25 @@ def gentilini_sccs(
 ) -> list[int]:
     """Gentilini et al.'s SCC decomposition in a linear number of symbolic
     steps (the paper's ``Detect_SCC``).  Returns cyclic SCCs only."""
+    tracer = current_tracer()
     out: list[int] = []
     work = [
         _Task(v=sym.bdd.and_(universe, sym.domain_cur), s=ZERO, n=ZERO)
     ]
+    with tracer.span("scc.gentilini") as span:
+        out.extend(_gentilini_loop(sym, relations, work, tracer))
+        span["n_sccs"] = len(out)
+    return out
+
+
+def _gentilini_loop(sym, relations, work, tracer) -> list[int]:
+    out: list[int] = []
     while work:
         task = work.pop()
         v = task.v
         if v == ZERO:
             continue
+        tracer.count("scc.gentilini_tasks")
         # Sanitise inherited guidance: correctness only needs n ∈ v, and the
         # skeleton invariant (S \ SCC ⊆ V \ FW) can be weakened by the
         # arbitrary pick below, so clip both to v defensively.

@@ -1,0 +1,40 @@
+"""Structured tracing and counters (spans, JSONL sinks, reports).
+
+See :mod:`repro.trace.tracer` for the event schema and
+:mod:`repro.trace.report` for aggregation; README's "Observability"
+section documents the end-to-end workflow.
+"""
+
+from .report import (
+    SpanAgg,
+    TraceSummary,
+    iter_events,
+    merge_traces,
+    render_report,
+    summarize,
+    trace_report,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    record_bdd_counters,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanAgg",
+    "TraceSummary",
+    "Tracer",
+    "current_tracer",
+    "iter_events",
+    "merge_traces",
+    "record_bdd_counters",
+    "render_report",
+    "summarize",
+    "trace_report",
+    "use_tracer",
+]

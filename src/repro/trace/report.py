@@ -1,0 +1,169 @@
+"""Aggregation and rendering of JSONL trace files.
+
+``stsyn trace-report run.jsonl`` prints the per-span wall-time breakdown
+(the paper's per-pass times), the counter table (deadlocks resolved per
+pass, cycle-resolution work) and the BDD operation counters (``ite`` calls
+and memo hit rates — the observable cost of the symbolic engine).
+
+Multiple files aggregate naturally: spans concatenate, counters sum
+(each file's *last* cumulative snapshot wins within the file), so a
+portfolio run's per-worker traces can be reported together or first
+combined with :func:`merge_traces`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..metrics.reporting import ResultTable, render_tables, safe_percent
+
+
+def iter_events(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield the JSON events of one trace file, skipping malformed lines.
+
+    A cancelled portfolio loser may have been killed mid-write; its last
+    line can be truncated and must not poison the report.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+@dataclass
+class SpanAgg:
+    """Aggregate of all closed spans sharing one name."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    #: True when at least one instance was a root span (no parent)
+    root: bool = False
+
+    def add(self, dur: float, parent) -> None:
+        self.count += 1
+        self.total += dur
+        self.max = max(self.max, dur)
+        if parent is None:
+            self.root = True
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report renders, aggregated across trace files."""
+
+    spans: dict[str, SpanAgg] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    metas: list[dict] = field(default_factory=list)
+    n_events: int = 0
+    n_files: int = 0
+
+    @property
+    def wall_time(self) -> float:
+        """Total time of root spans — the percentage base for the span table."""
+        return sum(a.total for a in self.spans.values() if a.root)
+
+
+def summarize(paths: Sequence[str | os.PathLike]) -> TraceSummary:
+    summary = TraceSummary()
+    for path in paths:
+        summary.n_files += 1
+        file_counters: dict[str, int] = {}
+        for record in iter_events(path):
+            summary.n_events += 1
+            kind = record.get("type")
+            if kind == "span":
+                agg = summary.spans.setdefault(str(record.get("name")), SpanAgg())
+                agg.add(float(record.get("dur", 0.0)), record.get("parent"))
+            elif kind == "counters":
+                values = record.get("values")
+                if isinstance(values, dict):
+                    file_counters = values  # cumulative: last snapshot wins
+            elif kind == "meta":
+                summary.metas.append(record)
+        for name, value in file_counters.items():
+            if isinstance(value, (int, float)):
+                summary.counters[name] = summary.counters.get(name, 0) + int(value)
+    return summary
+
+
+def render_report(summary: TraceSummary) -> str:
+    tables = []
+
+    spans = ResultTable(
+        "Trace spans (wall time)",
+        ["span", "calls", "total (s)", "mean (ms)", "% of run"],
+        note=f"{summary.n_files} trace file(s), {summary.n_events} events",
+    )
+    wall = summary.wall_time
+    for name in sorted(summary.spans, key=lambda n: -summary.spans[n].total):
+        agg = summary.spans[name]
+        spans.add(
+            name,
+            agg.count,
+            agg.total,
+            1000.0 * agg.total / agg.count if agg.count else 0.0,
+            safe_percent(agg.total, wall),
+        )
+    tables.append(spans)
+
+    bdd = ResultTable(
+        "BDD manager",
+        ["counter", "value"],
+        note="ite/memo counters are always-on tallies from repro.bdd",
+    )
+    ite_calls = summary.counters.get("bdd.ite_calls", 0)
+    ite_hits = summary.counters.get("bdd.ite_cache_hits", 0)
+    bdd.add("ite calls", ite_calls)
+    bdd.add("ite memo hits", ite_hits)
+    bdd.add("ite memo hit rate (%)", safe_percent(ite_hits, ite_calls))
+    op_lookups = summary.counters.get("bdd.op_cache_lookups", 0)
+    op_hits = summary.counters.get("bdd.op_cache_hits", 0)
+    bdd.add("op-cache lookups", op_lookups)
+    bdd.add("op-cache hit rate (%)", safe_percent(op_hits, op_lookups))
+    bdd.add("unique-table nodes", summary.counters.get("bdd.unique_nodes", 0))
+    tables.append(bdd)
+
+    counters = ResultTable("Counters", ["counter", "value"])
+    for name in sorted(summary.counters):
+        if name.startswith("bdd."):
+            continue
+        counters.add(name, summary.counters[name])
+    tables.append(counters)
+
+    return render_tables(tables)
+
+
+def trace_report(paths: Sequence[str | os.PathLike]) -> str:
+    """One-call convenience: summarize + render."""
+    return render_report(summarize(paths))
+
+
+def merge_traces(
+    paths: Iterable[str | os.PathLike], out_path: str | os.PathLike
+) -> int:
+    """Concatenate trace files into one, tagging every event with its
+    source file stem (``"src"``); returns the number of events written.
+
+    Used by the parallel portfolio so the winning worker's profile — and
+    the partial traces of cancelled losers — survive in a single artifact.
+    """
+    written = 0
+    with open(out_path, "w") as out:
+        for path in paths:
+            src = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+            for record in iter_events(path):
+                record["src"] = src
+                out.write(json.dumps(record, default=str) + "\n")
+                written += 1
+    return written

@@ -1,0 +1,231 @@
+"""Structured tracing: timestamped spans, monotonic counters, JSONL sinks.
+
+The observability substrate for every "measure before you optimize" PR: a
+:class:`Tracer` records
+
+* **spans** — named, nested wall-time intervals (``span("rank.backward_bfs")``)
+  emitted as one JSON line each when the span closes;
+* **counters** — monotonic integers (BDD ``ite`` calls, memo hits, deadlocks
+  resolved per pass, ...) accumulated in-process and flushed as cumulative
+  snapshots;
+* **events** — point-in-time facts with arbitrary attributes.
+
+Zero dependencies beyond the standard library.  The default tracer is the
+module-level :data:`NULL_TRACER`, whose every operation is a no-op, so
+un-traced hot paths pay only an attribute check.  Every emitted line is
+flushed immediately: a worker process killed mid-run (the parallel
+portfolio cancels losers) still leaves a readable partial trace.
+
+Event schema (one JSON object per line):
+
+``{"type": "meta", "t0": ..., "pid": ..., ...}``
+    first line of every trace file; free-form identification attributes.
+``{"type": "span", "name": ..., "parent": ..., "start": ..., "dur": ..., "attrs": {...}}``
+    a closed span; ``start`` is ``time.perf_counter()``-based and only
+    comparable within one file, ``dur`` is seconds.
+``{"type": "event", "name": ..., "t": ..., "attrs": {...}}``
+    a point event.
+``{"type": "counters", "t": ..., "values": {...}}``
+    cumulative counter snapshot; the *last* snapshot in a file wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
+
+
+class _NullSpan:
+    """Context manager returned by :meth:`NullTracer.span`; swallows attrs."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __setitem__(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that does nothing — the default for un-traced runs."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, by: int = 1) -> None:
+        pass
+
+    def counter_set(self, name: str, value: int) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def flush_counters(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans, counters and events; optionally streams JSONL.
+
+    ``sink`` may be a filesystem path (opened for writing), an open
+    file-like object (not closed by :meth:`close`), or ``None`` for
+    in-memory recording only (everything is still available via
+    :attr:`records`).  Not thread-safe for *nested spans across threads*
+    (the span stack is shared); counter updates and writes are locked.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: str | os.PathLike | TextIO | None = None,
+                 **meta) -> None:
+        self._lock = threading.Lock()
+        self._stack: list[str] = []
+        self.counters: dict[str, int] = {}
+        self.records: list[dict] = []
+        self.path: str | None = None
+        self._own_handle = False
+        if sink is None:
+            self._fh: TextIO | None = None
+        elif hasattr(sink, "write"):
+            self._fh = sink  # type: ignore[assignment]
+        else:
+            self.path = os.fspath(sink)
+            self._fh = open(self.path, "w")
+            self._own_handle = True
+        self._closed = False
+        self._emit(
+            {"type": "meta", "t0": time.time(), "pid": os.getpid(), **meta}
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        with self._lock:
+            self.records.append(record)
+            if self._fh is not None and not self._closed:
+                self._fh.write(json.dumps(record, default=str) + "\n")
+                self._fh.flush()
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """A timed span; the yielded dict collects attributes, including
+        any the caller adds before the span closes."""
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(name)
+        payload: dict[str, Any] = dict(attrs)
+        start = time.perf_counter()
+        try:
+            yield payload
+        finally:
+            dur = time.perf_counter() - start
+            self._stack.pop()
+            self._emit(
+                {
+                    "type": "span",
+                    "name": name,
+                    "parent": parent,
+                    "start": start,
+                    "dur": dur,
+                    "attrs": payload,
+                }
+            )
+
+    def count(self, name: str, by: int = 1) -> None:
+        """Bump a monotonic counter (no line emitted until a flush)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + by
+
+    def counter_set(self, name: str, value: int) -> None:
+        """Set a counter to an absolute value (for externally-kept tallies,
+        e.g. the BDD manager's always-on operation counters)."""
+        with self._lock:
+            self.counters[name] = int(value)
+
+    def event(self, name: str, **attrs) -> None:
+        self._emit(
+            {
+                "type": "event",
+                "name": name,
+                "t": time.perf_counter(),
+                "attrs": attrs,
+            }
+        )
+
+    def flush_counters(self) -> None:
+        """Emit a cumulative counter snapshot line."""
+        with self._lock:
+            values = dict(self.counters)
+        self._emit({"type": "counters", "t": time.perf_counter(), "values": values})
+
+    def close(self) -> None:
+        """Flush a final counter snapshot and close an owned file handle."""
+        if self._closed:
+            return
+        self.flush_counters()
+        self._closed = True
+        if self._fh is not None and self._own_handle:
+            self._fh.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def record_bdd_counters(tracer: "Tracer | NullTracer", bdd,
+                        prefix: str = "bdd") -> None:
+    """Snapshot a BDD manager's always-on operation counters into a tracer."""
+    if not tracer.enabled:
+        return
+    for name, value in bdd.counters().items():
+        tracer.counter_set(f"{prefix}.{name}", value)
+
+
+# ----------------------------------------------------------------------
+# current-tracer management (one per process; workers install their own)
+# ----------------------------------------------------------------------
+_current: "Tracer | NullTracer" = NULL_TRACER
+
+
+def current_tracer() -> "Tracer | NullTracer":
+    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer") -> Iterator["Tracer | NullTracer"]:
+    """Install ``tracer`` as the current tracer for the duration of a block."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

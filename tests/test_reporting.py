@@ -3,7 +3,13 @@
 import pytest
 
 from repro.metrics import SynthesisStats
-from repro.metrics.reporting import ResultTable, format_value, render_tables
+from repro.metrics.reporting import (
+    ResultTable,
+    format_value,
+    render_tables,
+    safe_percent,
+    timer_breakdown,
+)
 
 
 class TestResultTable:
@@ -54,6 +60,46 @@ class TestResultTable:
         assert format_value(0.5) == "0.5000"
         assert format_value(123.456) == "123.46"
         assert format_value("s") == "s"
+
+
+class TestSafePercent:
+    def test_normal_ratio(self):
+        assert safe_percent(1.0, 4.0) == 25.0
+
+    def test_zero_total_is_zero_not_nan(self):
+        assert safe_percent(1.0, 0.0) == 0.0
+
+    def test_negative_total_guarded(self):
+        assert safe_percent(1.0, -3.0) == 0.0
+
+
+class TestTimerBreakdown:
+    def test_empty_timers_dict_renders(self):
+        # regression: the percentage column must not divide by an empty sum
+        table = timer_breakdown({})
+        text = table.to_text()
+        assert "phase timers" in text
+
+    def test_all_zero_timers_render_zero_percent(self):
+        table = timer_breakdown({"ranking": 0.0, "scc": 0.0})
+        assert all(row[-1] == 0.0 for row in table.rows)
+
+    def test_percentages_against_total_key(self):
+        table = timer_breakdown({"total": 2.0, "ranking": 1.0, "scc": 0.5})
+        by_phase = {row[0]: row[-1] for row in table.rows}
+        assert by_phase["total"] == 100.0
+        assert by_phase["ranking"] == 50.0
+        assert by_phase["scc"] == 25.0
+
+    def test_percentages_against_sum_without_total(self):
+        table = timer_breakdown({"ranking": 3.0, "scc": 1.0})
+        by_phase = {row[0]: row[-1] for row in table.rows}
+        assert by_phase["ranking"] == 75.0
+        assert by_phase["scc"] == 25.0
+
+    def test_sorted_by_descending_time(self):
+        table = timer_breakdown({"a": 0.1, "b": 0.9, "c": 0.5})
+        assert [row[0] for row in table.rows] == ["b", "c", "a"]
 
 
 class TestSynthesisStats:

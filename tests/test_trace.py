@@ -1,0 +1,243 @@
+"""Unit tests for the tracing subsystem (``repro.trace``).
+
+Covers the emitter (span nesting, JSONL validity, counter snapshots, the
+null tracer), the aggregator/report, the ``SynthesisStats`` integration
+(stats as a thin view over the tracer), and the CLI round trip
+(``stsyn synthesize --trace`` → ``stsyn trace-report``).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.metrics import SynthesisStats
+from repro.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    iter_events,
+    record_bdd_counters,
+    summarize,
+    trace_report,
+    use_tracer,
+)
+
+
+def _lines(buffer: io.StringIO):
+    return [json.loads(l) for l in buffer.getvalue().splitlines()]
+
+
+class TestTracerEmission:
+    def test_first_line_is_meta_with_identity(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path, protocol="token-ring")
+        tracer.close()
+        events = list(iter_events(path))
+        assert events[0]["type"] == "meta"
+        assert events[0]["protocol"] == "token-ring"
+        assert "pid" in events[0] and "t0" in events[0]
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("outer", phase=1):
+                tracer.event("mark", detail="x")
+            tracer.count("n", by=3)
+        raw = path.read_text().splitlines()
+        assert len(raw) >= 4  # meta, event, span, counters
+        for line in raw:
+            json.loads(line)  # must not raise
+
+    def test_span_records_parent_and_duration(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner") as span:
+                span["k"] = "v"
+        inner, outer = [r for r in _lines(sink) if r["type"] == "span"]
+        assert inner["name"] == "inner"
+        assert inner["parent"] == "outer"
+        assert inner["attrs"] == {"k": "v"}
+        assert outer["parent"] is None
+        assert outer["dur"] >= inner["dur"] >= 0.0
+
+    def test_span_emitted_even_on_exception(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        spans = [r for r in _lines(sink) if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["doomed"]
+        # the stack unwound: a later span is a root again
+        with tracer.span("after"):
+            pass
+        assert _lines(sink)[-1]["parent"] is None
+
+    def test_counters_accumulate_and_snapshot_cumulatively(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.count("hits")
+        tracer.count("hits", by=4)
+        tracer.counter_set("gauge", 7)
+        tracer.flush_counters()
+        tracer.count("hits")
+        tracer.close()  # close() flushes a final snapshot
+        snapshots = [r for r in _lines(sink) if r["type"] == "counters"]
+        assert snapshots[0]["values"] == {"hits": 5, "gauge": 7}
+        assert snapshots[-1]["values"] == {"hits": 6, "gauge": 7}
+
+    def test_memory_only_tracer_keeps_records(self):
+        tracer = Tracer()  # no sink
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        kinds = [r["type"] for r in tracer.records]
+        assert kinds == ["meta", "span", "counters"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = Tracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+        assert sum(
+            1 for r in tracer.records if r["type"] == "counters"
+        ) == 1
+
+    def test_record_bdd_counters_prefixes_names(self):
+        from repro.bdd import BDD
+
+        bdd = BDD(2)
+        bdd.and_(bdd.var(0), bdd.var(1))
+        tracer = Tracer()
+        record_bdd_counters(tracer, bdd)
+        assert tracer.counters["bdd.ite_calls"] == bdd.counters()["ite_calls"]
+        assert "bdd.unique_nodes" in tracer.counters
+
+
+class TestNullTracer:
+    def test_all_operations_are_noops(self):
+        null = NullTracer()
+        assert not null.enabled
+        with null.span("anything", x=1) as span:
+            span["ignored"] = True  # must not raise
+        null.count("n")
+        null.counter_set("n", 5)
+        null.event("e", a=1)
+        null.flush_counters()
+        null.close()
+
+    def test_current_tracer_defaults_to_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+
+class TestSummaryAndReport:
+    def _make_trace(self, tmp_path, name="t.jsonl"):
+        path = tmp_path / name
+        with Tracer(path, worker=0) as tracer:
+            with tracer.span("add_recovery", process=0):
+                pass
+            with tracer.span("add_recovery", process=1):
+                pass
+            tracer.count("pass1_deadlocks_resolved", 12)
+            tracer.counter_set("bdd.ite_calls", 100)
+            tracer.counter_set("bdd.ite_cache_hits", 25)
+        return path
+
+    def test_summarize_aggregates_spans_and_counters(self, tmp_path):
+        path = self._make_trace(tmp_path)
+        summary = summarize([path])
+        assert summary.n_files == 1
+        assert summary.spans["add_recovery"].count == 2
+        assert summary.counters["pass1_deadlocks_resolved"] == 12
+        assert summary.metas[0]["worker"] == 0
+        assert summary.wall_time >= summary.spans["add_recovery"].total
+
+    def test_counters_sum_across_files_last_snapshot_wins(self, tmp_path):
+        a = self._make_trace(tmp_path, "a.jsonl")
+        b = self._make_trace(tmp_path, "b.jsonl")
+        summary = summarize([a, b])
+        assert summary.counters["pass1_deadlocks_resolved"] == 24
+        assert summary.counters["bdd.ite_calls"] == 200
+
+    def test_render_report_contains_all_three_tables(self, tmp_path):
+        report = trace_report([self._make_trace(tmp_path)])
+        assert "Trace spans (wall time)" in report
+        assert "BDD manager" in report
+        assert "add_recovery" in report
+        assert "pass1_deadlocks_resolved" in report
+        assert "ite memo hit rate" in report
+
+    def test_report_on_empty_trace_does_not_divide_by_zero(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Tracer(path).close()  # meta + empty counters only
+        report = trace_report([path])  # must not raise (wall time is 0)
+        assert "Trace spans" in report
+
+
+class TestStatsIntegration:
+    def test_stats_mirror_timers_and_counters_into_tracer(self):
+        tracer = Tracer()
+        stats = SynthesisStats.traced(tracer)
+        with stats.timer("total"):
+            stats.bump("deadlocks_resolved", 3)
+        assert stats.timers["total"] > 0.0
+        assert tracer.counters["deadlocks_resolved"] == 3
+        assert any(
+            r["type"] == "span" and r["name"] == "total"
+            for r in tracer.records
+        )
+
+    def test_default_stats_use_null_tracer(self):
+        stats = SynthesisStats()
+        assert stats.tracer is NULL_TRACER
+        with stats.timer("total"):
+            stats.bump("x")
+        assert stats.counters["x"] == 1
+
+
+class TestCliRoundTrip:
+    def test_synthesize_with_trace_then_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        rc = main(
+            ["synthesize", "token-ring", "-k", "4", "-d", "3",
+             "--trace", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {path}" in out
+
+        rc = main(["trace-report", str(path)])
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "heuristic.pass" in report
+        assert "portfolio.attempt" in report
+
+    def test_symbolic_engine_trace_reports_bdd_counters(self, tmp_path, capsys):
+        path = tmp_path / "sym.jsonl"
+        rc = main(
+            ["synthesize", "token-ring", "-k", "4", "-d", "3",
+             "--engine", "symbolic", "--trace", str(path)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        report = capsys.readouterr().out
+        assert "symbolic.rank.backward_bfs" in report
+        # a symbolic run must surface nonzero BDD work
+        summary = summarize([path])
+        assert summary.counters.get("bdd.ite_calls", 0) > 0
+
+    def test_trace_report_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["trace-report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "no such trace file" in capsys.readouterr().err
