@@ -1,0 +1,193 @@
+"""Symbolic substrate scaling: partitioned vs. monolithic relations.
+
+Pins the fast-substrate claims of ``benchmarks/SUBSTRATE_SCALING.md`` to
+measured numbers:
+
+* ``ComputeRanks`` with clustered frameless partitions vs. the monolithic
+  union relation (relation build + backward BFS), on the two ring case
+  studies;
+* full synthesis under both representations, with the BDD manager's
+  always-on counters (``ite_calls``, ``peak_live_nodes``, ``gc_*``) as
+  evidence;
+* the pass-boundary GC ablation: peak live nodes with GC vs. with
+  ``collect_garbage`` stubbed out.
+
+The ``smoke`` tests are small (seconds) and run in CI with a trace file
+uploaded as an artifact; the full sweep is for local runs:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_substrate_scaling.py -q
+    PYTHONPATH=src python -m pytest benchmarks/test_substrate_scaling.py -q -k smoke
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.metrics.stats import SynthesisStats
+from repro.protocols.coloring import coloring_symbolic
+from repro.protocols.matching import matching
+from repro.symbolic import (
+    SymbolicProtocol,
+    add_strong_convergence_symbolic,
+    compute_ranks_symbolic,
+)
+from repro.symbolic.engine import SymbolicSynthesisState
+from repro.trace.tracer import NullTracer, Tracer, record_bdd_counters
+
+FIGURE_RANKS = "Substrate: ComputeRanks — partitioned vs. monolithic"
+FIGURE_SYNTH = "Substrate: full synthesis — partitioned vs. monolithic"
+FIGURE_GC = "Substrate: pass-boundary GC — peak live nodes"
+
+TRACE_PATH = os.environ.get("SUBSTRATE_TRACE", "substrate-trace.jsonl")
+
+
+def _setup(name: str, k: int, mode: str):
+    if name == "coloring":
+        _protocol, sp, inv = coloring_symbolic(k, relation_mode=mode)
+        return sp, inv
+    protocol, invariant = matching(k)
+    sp = SymbolicProtocol(protocol, relation_mode=mode)
+    return sp, sp.sym.from_predicate(invariant)
+
+
+def _ranks_timed(name: str, k: int, mode: str, tracer):
+    sp, inv = _setup(name, k, mode)
+    t0 = time.perf_counter()
+    ranking = compute_ranks_symbolic(sp, inv, tracer=tracer)
+    elapsed = time.perf_counter() - t0
+    record_bdd_counters(tracer, sp.sym.bdd, prefix=f"substrate.{name}_k{k}.{mode}")
+    tracer.counter_set(f"substrate.ranks_ms.{name}_k{k}.{mode}", int(elapsed * 1e3))
+    return elapsed, ranking, sp
+
+
+def _synth_timed(name: str, k: int, mode: str, tracer):
+    sp, inv = _setup(name, k, mode)
+    stats = SynthesisStats(tracer=tracer)
+    t0 = time.perf_counter()
+    result = add_strong_convergence_symbolic(
+        sp.protocol, inv, sp=sp, stats=stats
+    )
+    elapsed = time.perf_counter() - t0
+    counters = sp.sym.bdd.counters()
+    record_bdd_counters(tracer, sp.sym.bdd, prefix=f"substrate.{name}_k{k}.{mode}")
+    tracer.counter_set(f"substrate.synth_ms.{name}_k{k}.{mode}", int(elapsed * 1e3))
+    return elapsed, result, counters
+
+
+# ----------------------------------------------------------------------
+# smoke (CI): correctness + counters on small instances, traced
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,k", [("coloring", 5), ("matching", 5)])
+def test_smoke_ranks_partitioned_matches_monolithic(name, k, figure_report):
+    figure_report.register(
+        FIGURE_RANKS,
+        columns=["case", "mono (s)", "partitioned (s)", "speedup", "partitions"],
+        note="ComputeRanks = p_im relation build + backward BFS",
+    )
+    with Tracer(TRACE_PATH, benchmark="substrate-smoke") as tracer:
+        t_mono, r_mono, _ = _ranks_timed(name, k, "monolithic", tracer)
+        t_part, r_part, sp = _ranks_timed(name, k, "partitioned", tracer)
+        tracer.flush_counters()
+    # different managers — compare denotations via rank sizes + pim groups
+    assert r_part.pim_groups == r_mono.pim_groups
+    assert r_part.rank_sizes() == r_mono.rank_sizes()
+    assert len(sp.clusters) >= 1
+    figure_report.add_row(
+        FIGURE_RANKS,
+        [f"{name} k={k} (smoke)", t_mono, t_part, t_mono / t_part, len(sp.clusters)],
+    )
+
+
+def test_smoke_synthesis_counters_traced(figure_report):
+    figure_report.register(
+        FIGURE_SYNTH,
+        columns=["case", "mono (s)", "partitioned (s)", "speedup",
+                 "mono peak nodes", "part peak nodes"],
+    )
+    with Tracer(TRACE_PATH + ".synth", benchmark="substrate-smoke") as tracer:
+        t_mono, res_mono, c_mono = _synth_timed("matching", 5, "monolithic", tracer)
+        t_part, res_part, c_part = _synth_timed("matching", 5, "partitioned", tracer)
+        tracer.flush_counters()
+    assert res_mono.success and res_part.success
+    assert res_part.pss_groups == res_mono.pss_groups
+    for counters in (c_mono, c_part):
+        assert counters["gc_runs"] >= 1
+        assert counters["gc_collected"] > 0
+        assert counters["peak_live_nodes"] > 0
+    figure_report.add_row(
+        FIGURE_SYNTH,
+        ["matching k=5 (smoke)", t_mono, t_part, t_mono / t_part,
+         c_mono["peak_live_nodes"], c_part["peak_live_nodes"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# full sweep (local): the named sizes of SUBSTRATE_SCALING.md
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,k", [("coloring", 9), ("matching", 8)])
+def test_ranks_scaling(name, k, figure_report):
+    figure_report.register(
+        FIGURE_RANKS,
+        columns=["case", "mono (s)", "partitioned (s)", "speedup", "partitions"],
+    )
+    with NullTracer() as tracer:
+        t_mono, r_mono, _ = _ranks_timed(name, k, "monolithic", tracer)
+        t_part, r_part, sp = _ranks_timed(name, k, "partitioned", tracer)
+    assert r_part.rank_sizes() == r_mono.rank_sizes()
+    assert t_part < t_mono, "partitioned ComputeRanks must beat monolithic"
+    figure_report.add_row(
+        FIGURE_RANKS,
+        [f"{name} k={k}", t_mono, t_part, t_mono / t_part, len(sp.clusters)],
+    )
+
+
+@pytest.mark.parametrize("name,k", [("coloring", 9), ("matching", 8)])
+def test_synthesis_scaling(name, k, figure_report):
+    figure_report.register(
+        FIGURE_SYNTH,
+        columns=["case", "mono (s)", "partitioned (s)", "speedup",
+                 "mono peak nodes", "part peak nodes"],
+    )
+    with NullTracer() as tracer:
+        t_mono, res_mono, c_mono = _synth_timed(name, k, "monolithic", tracer)
+        t_part, res_part, c_part = _synth_timed(name, k, "partitioned", tracer)
+    assert res_mono.success and res_part.success
+    assert res_part.pss_groups == res_mono.pss_groups
+    assert t_part < t_mono, "partitioned synthesis must beat monolithic"
+    assert c_part["peak_live_nodes"] < c_mono["peak_live_nodes"]
+    figure_report.add_row(
+        FIGURE_SYNTH,
+        [f"{name} k={k}", t_mono, t_part, t_mono / t_part,
+         c_mono["peak_live_nodes"], c_part["peak_live_nodes"]],
+    )
+
+
+def test_gc_reduces_peak_live_nodes(figure_report, monkeypatch):
+    """Ablation: stub out pass-boundary GC and compare peak live nodes."""
+    figure_report.register(
+        FIGURE_GC,
+        columns=["case", "peak (GC on)", "peak (GC off)", "reduction", "collected"],
+    )
+    with NullTracer() as tracer:
+        _t, _res, with_gc = _synth_timed("coloring", 9, "partitioned", tracer)
+        monkeypatch.setattr(
+            SymbolicSynthesisState, "collect_garbage", lambda self, extra=(): 0
+        )
+        _t, _res, without_gc = _synth_timed("coloring", 9, "partitioned", tracer)
+    assert with_gc["gc_collected"] > 0
+    assert without_gc["gc_collected"] == 0
+    assert with_gc["peak_live_nodes"] < without_gc["peak_live_nodes"]
+    figure_report.add_row(
+        FIGURE_GC,
+        ["coloring k=9 partitioned",
+         with_gc["peak_live_nodes"], without_gc["peak_live_nodes"],
+         f"{without_gc['peak_live_nodes'] / with_gc['peak_live_nodes']:.2f}x",
+         with_gc["gc_collected"]],
+    )

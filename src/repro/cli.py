@@ -67,6 +67,10 @@ def _cmd_synthesize(args) -> int:
     try:
         if args.engine == "symbolic":
             with use_tracer(tracer):
+                cluster_kw = (
+                    {} if args.cluster_size is None
+                    else {"cluster_size": args.cluster_size}
+                )
                 if args.protocol != "coloring":
                     from .symbolic import (
                         SymbolicProtocol,
@@ -74,19 +78,24 @@ def _cmd_synthesize(args) -> int:
                     )
 
                     protocol, invariant = _build(args)
-                    sp = SymbolicProtocol(protocol)
-                    inv = sp.sym.from_predicate(invariant)
-                    res = add_strong_convergence_symbolic(
-                        protocol, inv, sp=sp, stats=SynthesisStats(tracer=tracer)
+                    sp = SymbolicProtocol(
+                        protocol, relation_mode=args.relation_mode, **cluster_kw
                     )
+                    inv = sp.sym.from_predicate(invariant)
                 else:
                     from .protocols.coloring import coloring_symbolic
                     from .symbolic import add_strong_convergence_symbolic
 
-                    protocol, sp, inv = coloring_symbolic(args.k or 5)
-                    res = add_strong_convergence_symbolic(
-                        protocol, inv, sp=sp, stats=SynthesisStats(tracer=tracer)
+                    protocol, sp, inv = coloring_symbolic(
+                        args.k or 5,
+                        relation_mode=args.relation_mode,
+                        **cluster_kw,
                     )
+                if args.auto_reorder:
+                    sp.sym.bdd.auto_reorder = True
+                res = add_strong_convergence_symbolic(
+                    protocol, inv, sp=sp, stats=SynthesisStats(tracer=tracer)
+                )
             elapsed = time.perf_counter() - t0
             print(f"success: {res.success} (pass {res.pass_completed}, {elapsed:.2f}s)")
             print(f"recovery groups added: {res.n_added}")
@@ -212,6 +221,27 @@ def make_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a JSONL trace of the run (see 'stsyn trace-report')",
+    )
+    p_syn.add_argument(
+        "--relation-mode",
+        choices=["partitioned", "process", "monolithic"],
+        default="partitioned",
+        help="symbolic transition-relation representation "
+        "(see docs/ARCHITECTURE.md; symbolic engine only)",
+    )
+    p_syn.add_argument(
+        "--cluster-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes per partition cluster (default 3; "
+        "--relation-mode partitioned only)",
+    )
+    p_syn.add_argument(
+        "--auto-reorder",
+        action="store_true",
+        help="enable size-triggered dynamic BDD variable reordering "
+        "(symbolic engine only)",
     )
     p_syn.set_defaults(func=_cmd_synthesize)
 

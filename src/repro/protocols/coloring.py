@@ -68,7 +68,13 @@ def coloring_invariant_bdd(sym, k: int) -> int:
     return sym.bdd.and_all(sym.neq_vars((i - 1) % k, i) for i in range(k))
 
 
-def coloring_symbolic(k: int, colors: int = 3):
+def coloring_symbolic(
+    k: int,
+    colors: int = 3,
+    *,
+    relation_mode: str = "partitioned",
+    cluster_size: int | None = None,
+):
     """Symbolic-engine setup: ``(protocol, SymbolicProtocol, invariant_bdd)``."""
     from ..symbolic.encode import SymbolicProtocol
 
@@ -79,5 +85,6 @@ def coloring_symbolic(k: int, colors: int = 3):
     space = coloring_space(k, colors)
     topology = ring_topology(space, list(range(k)), read_left=True, read_right=True)
     protocol = Protocol.empty(space, topology, name=f"coloring_k{k}_c{colors}")
-    sp = SymbolicProtocol(protocol)
+    kwargs = {} if cluster_size is None else {"cluster_size": cluster_size}
+    sp = SymbolicProtocol(protocol, relation_mode=relation_mode, **kwargs)
     return protocol, sp, coloring_invariant_bdd(sp.sym, k)

@@ -1,6 +1,6 @@
 """Symbolic (BDD) engine: encoding, images, SCCs, ranking and synthesis."""
 
-from .encode import SymbolicProtocol, SymbolicSpace
+from .encode import RELATION_MODES, SymbolicProtocol, SymbolicSpace
 from .engine import (
     SymbolicSynthesisResult,
     SymbolicSynthesisState,
@@ -13,7 +13,9 @@ from .image import (
     postimage_union,
     preimage,
     preimage_union,
+    relation_links,
 )
+from .partition import Partition, make_partition
 from .ranking import (
     SymbolicRanking,
     compute_pim_groups_symbolic,
@@ -22,6 +24,8 @@ from .ranking import (
 from .scc import gentilini_sccs, xie_beerel_sccs
 
 __all__ = [
+    "RELATION_MODES",
+    "Partition",
     "SymbolicProtocol",
     "SymbolicRanking",
     "SymbolicSpace",
@@ -33,9 +37,11 @@ __all__ = [
     "compute_ranks_symbolic",
     "forward_closure",
     "gentilini_sccs",
+    "make_partition",
     "postimage",
     "postimage_union",
     "preimage",
     "preimage_union",
+    "relation_links",
     "xie_beerel_sccs",
 ]

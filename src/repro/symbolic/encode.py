@@ -1,20 +1,47 @@
 """Symbolic encoding of protocols: multi-valued variables over BDD bits.
 
+Variable-ordering convention
+----------------------------
 Each protocol variable with domain ``d`` gets ``ceil(log2 d)`` bit pairs;
 current and next bits are *interleaved* (``cur, next, cur, next, ...``) in
 variable order — the standard ordering that keeps transition-relation BDDs
 small and makes the cur<->next renaming order-preserving (a requirement of
-:meth:`repro.bdd.BDD.rename`).
+:meth:`repro.bdd.BDD.rename`).  The space declares each ``(cur, next)``
+pair as a reorder *block* (:meth:`repro.bdd.BDD.set_reorder_blocks`), so
+dynamic sifting permutes whole pairs and both the full prime/unprime
+renames and the per-partition subset renames stay order-preserving under
+any reached order.
+
+Relation representations
+------------------------
+:class:`SymbolicProtocol` can serve its transition relation in three
+shapes, selected by ``relation_mode``:
+
+``"partitioned"`` (default)
+    Frameless :class:`~repro.symbolic.partition.Partition`\\ s, one per
+    *cluster* of ``cluster_size`` consecutive processes (default 3);
+    images rename/quantify only the cluster's written bits (implicit
+    frames, maximal early quantification).  The fast path.
+``"process"``
+    One full-frame relation BDD per process (the pre-partitioning
+    behaviour); images quantify every bit.
+``"monolithic"``
+    A single union relation BDD — the baseline the substrate-scaling
+    benchmarks measure against.
+
+All three are accepted interchangeably by :mod:`repro.symbolic.image`.
 
 The :class:`SymbolicSpace` offers the combinators the case studies and the
 synthesis engine need (value cubes, variable (in)equalities, frames, group
 relations) plus conversions to/from the explicit engine for differential
-testing.
+testing.  Both classes expose ``gc_roots()`` enumerating every node id
+they cache, so callers can pass them to
+:meth:`repro.bdd.BDD.collect_garbage` between synthesis passes.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -23,6 +50,10 @@ from ..protocol.groups import GroupId
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
 from ..protocol.state_space import StateSpace
+from .partition import Partition, make_partition
+
+#: accepted values of ``SymbolicProtocol.relation_mode``
+RELATION_MODES = ("partitioned", "process", "monolithic")
 
 
 def _bits_for(domain: int) -> int:
@@ -35,7 +66,13 @@ def _bits_for(domain: int) -> int:
 class SymbolicSpace:
     """BDD encoding of a :class:`StateSpace` (current and next copies)."""
 
-    def __init__(self, space: StateSpace):
+    def __init__(
+        self,
+        space: StateSpace,
+        *,
+        auto_reorder: bool = False,
+        reorder_threshold: int | None = None,
+    ):
         self.space = space
         self.n_bits_of: list[int] = [
             _bits_for(v.domain_size) for v in space.variables
@@ -60,6 +97,12 @@ class SymbolicSpace:
         self.all_next = [l for ls in self.next_levels for l in ls]
         self._cur_to_next = {c: n for c, n in zip(self.all_cur, self.all_next)}
         self._next_to_cur = {n: c for c, n in zip(self.all_cur, self.all_next)}
+        # sift interleaved (cur, next) bit pairs as units so every rename
+        # the engine performs stays order-preserving after a reorder
+        self.bdd.set_reorder_blocks(zip(self.all_cur, self.all_next))
+        self.bdd.auto_reorder = auto_reorder
+        if reorder_threshold is not None:
+            self.bdd.reorder_threshold = reorder_threshold
         #: states whose current-bit encoding is a valid domain valuation
         self.domain_cur = self.bdd.and_all(
             self._domain_constraint(i, primed=False)
@@ -162,6 +205,20 @@ class SymbolicSpace:
     def is_empty(self, f: int) -> bool:
         return self.bdd.and_(f, self.domain_cur) == ZERO
 
+    def pick_cube(self, f: int) -> int:
+        """One member state of a state-set BDD as a full current-bits cube
+        (``ZERO`` when empty).  Unlike :meth:`pick_state` this never goes
+        through the explicit state index, so it works on spaces far beyond
+        the explicit limit (don't-care bits default to 0, which is always
+        a valid domain value)."""
+        g = self.bdd.and_(f, self.domain_cur)
+        model = self.bdd.pick(g)
+        if model is None:
+            return ZERO
+        return self.bdd.cube(
+            {b: model.get(b, False) for b in self.all_cur}
+        )
+
     def pick_state(self, f: int) -> int | None:
         """Any member state of a state-set BDD, as an explicit state index."""
         g = self.bdd.and_(f, self.domain_cur)
@@ -246,14 +303,85 @@ class SymbolicSpace:
             self._eq_frame_cache[("frame", key)] = cached
         return cached
 
+    def frame_within(
+        self, written_vars: Iterable[int], among_vars: Iterable[int]
+    ) -> int:
+        """``AND_{v in among \\ written} (v' == v)`` — the *partial* frame
+        that lifts one process's frameless relation into a cluster whose
+        write set is ``among`` (cached per pair of sets)."""
+        wkey = tuple(sorted(written_vars))
+        akey = tuple(sorted(among_vars))
+        key = ("frame_within", wkey, akey)
+        cached = self._eq_frame_cache.get(key)
+        if cached is None:
+            cached = self.bdd.and_all(
+                self.unchanged(v) for v in akey if v not in wkey
+            )
+            self._eq_frame_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # garbage-collection roots
+    # ------------------------------------------------------------------
+    def gc_roots(self) -> Iterator[int]:
+        """Every node id this object caches — pass to ``collect_garbage``."""
+        yield self.domain_cur
+        yield self.domain_next
+        yield from self._eq_frame_cache.values()
+
 
 class SymbolicProtocol:
-    """Symbolic view of a protocol: per-group and per-process relations."""
+    """Symbolic view of a protocol: per-group and per-process relations.
 
-    def __init__(self, protocol: Protocol, sym: SymbolicSpace | None = None):
+    ``relation_mode`` picks the representation served by
+    :meth:`relations_for` (see the module docstring): ``"partitioned"``
+    frameless clustered partitions, ``"process"`` full-frame per-process
+    relations, or ``"monolithic"`` a single union relation.
+
+    ``cluster_size`` tunes the partitioned mode: consecutive processes are
+    merged ``cluster_size`` at a time into one partition each (partial
+    frames re-introduce ``v' = v`` only for the *other* cluster members'
+    write variables).  ``1`` keeps one partition per process; ``>=
+    n_processes`` degenerates to a single frameless union.  The default of
+    3 balances per-image traversal count (which scales with the number of
+    partitions) against partition BDD size (which grows with the frame) —
+    see ``benchmarks/SUBSTRATE_SCALING.md`` for measurements.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        sym: SymbolicSpace | None = None,
+        *,
+        relation_mode: str = "partitioned",
+        cluster_size: int = 3,
+    ):
+        if relation_mode not in RELATION_MODES:
+            raise ValueError(
+                f"relation_mode must be one of {RELATION_MODES}, "
+                f"got {relation_mode!r}"
+            )
+        if cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
         self.protocol = protocol
         self.sym = sym if sym is not None else SymbolicSpace(protocol.space)
+        self.relation_mode = relation_mode
+        self.cluster_size = cluster_size
+        k = protocol.n_processes
+        #: consecutive process runs merged into one partition each
+        self.clusters: tuple[tuple[int, ...], ...] = tuple(
+            tuple(range(lo, min(lo + cluster_size, k)))
+            for lo in range(0, k, cluster_size)
+        )
+        self._cluster_of = [
+            ci for ci, procs in enumerate(self.clusters) for _ in procs
+        ]
+        self._cluster_writes = [
+            sorted({v for j in procs for v in protocol.tables[j].write_vars})
+            for procs in self.clusters
+        ]
         self._group_cache: dict[GroupId, int] = {}
+        self._partition_cache: dict[GroupId, Partition] = {}
         self._frames = [
             self.sym.frame(protocol.topology[j].writes)
             for j in range(protocol.n_processes)
@@ -275,32 +403,144 @@ class SymbolicProtocol:
             self._rcubes[j][rcode] = cached
         return cached
 
+    def _wcube(self, gid: GroupId) -> int:
+        """Next-bit cube of the written valuation of one group."""
+        j, _rcode, wcode = gid
+        table = self.protocol.tables[j]
+        wvals = table.values_of_wcode(wcode)
+        return self.sym.bdd.and_all(
+            self.sym.value_cube(v, val, primed=True)
+            for v, val in zip(table.write_vars, wvals)
+        )
+
     def group_relation(self, gid: GroupId) -> int:
-        """Transition-relation BDD of one group."""
+        """Full-frame transition-relation BDD of one group."""
         cached = self._group_cache.get(gid)
         if cached is None:
-            j, rcode, wcode = gid
-            table = self.protocol.tables[j]
-            wvals = table.values_of_wcode(wcode)
-            wcube = self.sym.bdd.and_all(
-                self.sym.value_cube(v, val, primed=True)
-                for v, val in zip(table.write_vars, wvals)
-            )
+            j, rcode, _wcode = gid
             cached = self.sym.bdd.and_all(
-                [self.rcube(j, rcode), wcube, self._frames[j]]
+                [self.rcube(j, rcode), self._wcube(gid), self._frames[j]]
             )
             self._group_cache[gid] = cached
         return cached
 
+    def group_partition(self, gid: GroupId) -> Partition:
+        """Frameless :class:`Partition` of one group (no frame conjunct)."""
+        cached = self._partition_cache.get(gid)
+        if cached is None:
+            j, rcode, _wcode = gid
+            rel = self.sym.bdd.and_(self.rcube(j, rcode), self._wcube(gid))
+            cached = make_partition(
+                self.sym, j, rel, self.protocol.tables[j].write_vars
+            )
+            self._partition_cache[gid] = cached
+        return cached
+
     def relation_of(self, group_ids: Iterable[GroupId]) -> int:
-        """Union relation of a collection of groups."""
+        """Union (full-frame) relation of a collection of groups."""
         return self.sym.bdd.or_all(self.group_relation(g) for g in group_ids)
+
+    def partition_of(self, j: int, group_ids: Iterable[GroupId]) -> Partition:
+        """Union frameless partition of groups of one process ``j``."""
+        rel = self.sym.bdd.or_all(
+            self.group_partition(g).rel for g in group_ids
+        )
+        return make_partition(
+            self.sym, j, rel, self.protocol.tables[j].write_vars
+        )
 
     def process_relations(
         self, groups: Sequence[Iterable[tuple[int, int]]]
     ) -> list[int]:
-        """One union relation per process (for image computations)."""
+        """One full-frame union relation per process."""
         return [
             self.relation_of((j, r, w) for (r, w) in gs)
             for j, gs in enumerate(groups)
         ]
+
+    def process_partitions(
+        self, groups: Sequence[Iterable[tuple[int, int]]]
+    ) -> list[Partition]:
+        """One frameless :class:`Partition` per process."""
+        return [
+            self.partition_of(j, ((j, r, w) for (r, w) in gs))
+            for j, gs in enumerate(groups)
+        ]
+
+    def cluster_index(self, j: int) -> int:
+        """Index into :meth:`clustered_partitions` of process ``j``'s
+        cluster."""
+        return self._cluster_of[j]
+
+    def cluster_lift(self, j: int, ci: int) -> int:
+        """Partial frame lifting process ``j``'s frameless relation into
+        cluster ``ci`` (``v' = v`` for the other members' write vars)."""
+        return self.sym.frame_within(
+            self.protocol.tables[j].write_vars, self._cluster_writes[ci]
+        )
+
+    def clustered_partitions(
+        self, groups: Sequence[Iterable[tuple[int, int]]]
+    ) -> list[Partition]:
+        """One frameless :class:`Partition` per *cluster* of
+        :attr:`cluster_size` consecutive processes.
+
+        Each member process's frameless relation is conjoined with the
+        partial frame over the cluster's other write variables, so every
+        disjunct constrains the same next-bit set and the frameless union
+        stays well-formed (see :mod:`repro.symbolic.partition`).
+        """
+        out = []
+        for ci, procs in enumerate(self.clusters):
+            rel = self.sym.bdd.or_all(
+                self.sym.bdd.and_(
+                    self.partition_of(
+                        j, ((j, r, w) for (r, w) in groups[j])
+                    ).rel,
+                    self.cluster_lift(j, ci),
+                )
+                for j in procs
+            )
+            process = procs[0] if len(procs) == 1 else -1
+            out.append(
+                make_partition(self.sym, process, rel, self._cluster_writes[ci])
+            )
+        return out
+
+    def relations_for(
+        self, groups: Sequence[Iterable[tuple[int, int]]]
+    ) -> list:
+        """The transition relation in the representation selected by
+        :attr:`relation_mode` (see the module docstring).
+
+        ``"monolithic"`` returns a single-element list; the image
+        functions in :mod:`repro.symbolic.image` accept all three shapes.
+        """
+        if self.relation_mode == "partitioned":
+            return self.clustered_partitions(groups)
+        rels = self.process_relations(groups)
+        if self.relation_mode == "monolithic":
+            return [self.sym.bdd.or_all(rels)]
+        return rels
+
+    def candidate_relation(self, gid: GroupId):
+        """One group's relation in the representation of
+        :attr:`relation_mode` — what cycle resolution appends as a
+        candidate disjunct."""
+        if self.relation_mode == "partitioned":
+            return self.group_partition(gid)
+        return self.group_relation(gid)
+
+    # ------------------------------------------------------------------
+    # garbage-collection roots
+    # ------------------------------------------------------------------
+    def gc_roots(self) -> Iterator[int]:
+        """Every node id this object caches (including the underlying
+        :class:`SymbolicSpace`'s) — pass to ``collect_garbage``."""
+        yield from self.sym.gc_roots()
+        yield from self._group_cache.values()
+        for part in self._partition_cache.values():
+            yield part.rel
+        yield from self._frames
+        for rc in self._rcubes:
+            yield from rc.values()

@@ -5,6 +5,13 @@ semantics) with every *state set* represented as a BDD; transition-group
 bookkeeping stays explicit because candidate group sets are tiny (hundreds)
 even when the state space is ``3^40``.  Cross-engine equivalence on small
 instances is enforced by the test suite.
+
+The transition relation flows through the engine in the representation
+picked by ``SymbolicProtocol.relation_mode`` (frameless per-process
+partitions by default — see :mod:`repro.symbolic.partition`); the rank-
+decrease shortcut keeps one "down" BDD per write set so it works against
+frameless partitions, and pass boundaries run a mark-and-sweep GC rooted
+at the live synthesis state (:meth:`SymbolicSynthesisState.gc_roots`).
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from ..protocol.groups import GroupId
 from ..protocol.protocol import Protocol
 from ..trace.tracer import record_bdd_counters, use_tracer
 from .encode import SymbolicProtocol
-from .image import backward_closure, forward_closure
+from .image import backward_closure, forward_closure, relation_links
+from .partition import Partition
 from .ranking import SymbolicRanking, compute_ranks_symbolic
 from .scc import gentilini_sccs, xie_beerel_sccs
 
@@ -42,8 +50,10 @@ class SymbolicSynthesisState:
     pss_groups: list[set[tuple[int, int]]] = field(init=False)
     added_groups: list[set[tuple[int, int]]] = field(init=False)
     removed_groups: list[set[tuple[int, int]]] = field(init=False)
-    #: per-process union transition relations of pss (kept incrementally)
-    relations: list[int] = field(init=False)
+    #: pss transition relation in ``sp.relation_mode``'s representation,
+    #: kept incrementally: per-cluster :class:`Partition`s (partitioned),
+    #: per-process full-frame BDDs (process), or one union BDD (monolithic)
+    relations: list = field(init=False)
     #: states with at least one outgoing transition (= union of rcubes)
     enabled: int = field(init=False)
 
@@ -63,39 +73,68 @@ class SymbolicSynthesisState:
         # transition of pss|¬I strictly decreases the rank, the relation is
         # acyclic and Identify_Resolve_Cycles can accept candidates whose
         # transitions also all decrease rank, with no SCC search at all.
-        self._down: int | None = None  # ∨_i (Rank_i ∧ Rank_{i-1}')
+        self._ranks: list[int] | None = None
+        # "down" BDDs ∨_i (Rank_i ∧ Rank_{i-1} at the successor), keyed by
+        # write set: None = full-frame prime; a Partition's write_next =
+        # the subset rename that evaluates a predicate at the successor of
+        # a frameless transition (unwritten variables read current bits).
+        self._down_cache: dict[tuple[int, ...] | None, int] = {}
         self._all_decreasing = False
 
     def install_rank_shortcut(self, ranking: "SymbolicRanking") -> None:
         """Enable the Lemma-IV.2 acyclicity shortcut from a ranking."""
-        sym = self.sp.sym
-        down = ZERO
-        for i in range(1, len(ranking.ranks)):
-            down = sym.bdd.or_(
-                down,
-                sym.bdd.and_(
-                    ranking.ranks[i], sym.prime(ranking.ranks[i - 1])
-                ),
-            )
-        self._down = down
-        self._all_decreasing = self._relation_is_decreasing(
-            sym.bdd.or_all(self.relations)
+        self._ranks = ranking.ranks
+        self._down_cache = {}
+        self._all_decreasing = all(
+            self._relation_is_decreasing(rel) for rel in self.relations
         )
 
-    def _relation_is_decreasing(self, relation: int) -> bool:
+    def _down_for(self, part: Partition | None) -> int:
+        """``∨_i Rank_i ∧ Rank_{i-1}[successor]`` for one write set."""
+        assert self._ranks is not None
+        key = None if part is None else part.write_next
+        cached = self._down_cache.get(key)
+        if cached is None:
+            sym = self.sp.sym
+            if part is None:
+                at_succ = sym.prime
+            else:
+                mapping = dict(part.cur_to_next)
+                at_succ = lambda f: sym.bdd.rename(f, mapping)  # noqa: E731
+            cached = ZERO
+            for i in range(1, len(self._ranks)):
+                cached = sym.bdd.or_(
+                    cached,
+                    sym.bdd.and_(self._ranks[i], at_succ(self._ranks[i - 1])),
+                )
+            self._down_cache[key] = cached
+        return cached
+
+    def _relation_is_decreasing(self, relation) -> bool:
         """Is every ``¬I -> ¬I`` transition of ``relation`` strictly
-        rank-decreasing (from Rank[i] into Rank[i-1])?"""
-        assert self._down is not None
+        rank-decreasing (from Rank[i] into Rank[i-1])?
+
+        Accepts either representation: for a frameless partition the
+        successor-side predicates are renamed only on the written bits —
+        against the full-frame ``down`` the unconstrained unwritten next
+        bits would spuriously fail the check.
+        """
         sym = self.sp.sym
         not_i = self.not_i
+        if isinstance(relation, Partition):
+            succ_not_i = sym.bdd.rename(not_i, dict(relation.cur_to_next))
+            restricted = sym.bdd.and_(
+                sym.bdd.and_(relation.rel, not_i), succ_not_i
+            )
+            return sym.bdd.diff(restricted, self._down_for(relation)) == ZERO
         restricted = sym.bdd.and_(
             sym.bdd.and_(relation, not_i), sym.prime(not_i)
         )
-        return sym.bdd.diff(restricted, self._down) == ZERO
+        return sym.bdd.diff(restricted, self._down_for(None)) == ZERO
 
     def _rebuild_relations(self) -> None:
         sym = self.sp.sym
-        self.relations = self.sp.process_relations(self.pss_groups)
+        self.relations = self.sp.relations_for(self.pss_groups)
         self.enabled = sym.bdd.or_all(
             self.sp.rcube(j, rcode)
             for j, gs in enumerate(self.pss_groups)
@@ -142,15 +181,29 @@ class SymbolicSynthesisState:
 
     def commit_group(self, j: int, rcode: int, wcode: int) -> None:
         sym = self.sp.sym
-        if self._all_decreasing and self._down is not None:
+        gid = (j, rcode, wcode)
+        if self._all_decreasing and self._ranks is not None:
             self._all_decreasing = self._relation_is_decreasing(
-                self.sp.group_relation((j, rcode, wcode))
+                self.sp.candidate_relation(gid)
             )
         self.pss_groups[j].add((rcode, wcode))
         self.added_groups[j].add((rcode, wcode))
-        self.relations[j] = sym.bdd.or_(
-            self.relations[j], self.sp.group_relation((j, rcode, wcode))
-        )
+        mode = self.sp.relation_mode
+        if mode == "partitioned":
+            ci = self.sp.cluster_index(j)
+            part = self.relations[ci]
+            lifted = sym.bdd.and_(
+                self.sp.group_partition(gid).rel, self.sp.cluster_lift(j, ci)
+            )
+            self.relations[ci] = part.merged(sym.bdd.or_(part.rel, lifted))
+        elif mode == "process":
+            self.relations[j] = sym.bdd.or_(
+                self.relations[j], self.sp.group_relation(gid)
+            )
+        else:  # monolithic: a single union relation
+            self.relations[0] = sym.bdd.or_(
+                self.relations[0], self.sp.group_relation(gid)
+            )
         self.enabled = sym.bdd.or_(self.enabled, self.sp.rcube(j, rcode))
         self.stats.bump("groups_added")
 
@@ -160,6 +213,29 @@ class SymbolicSynthesisState:
         self.stats.bump("groups_removed")
         self._rebuild_relations()
 
+    def gc_roots(self):
+        """Every node id the synthesis state (and its protocol/space
+        caches) still needs — the root set for pass-boundary GC."""
+        yield from self.sp.gc_roots()
+        yield self.invariant
+        yield self.enabled
+        for rel in self.relations:
+            yield rel.rel if isinstance(rel, Partition) else rel
+        yield from self._rcube2_cache.values()
+        if self._ranks is not None:
+            yield from self._ranks
+        yield from self._down_cache.values()
+
+    def collect_garbage(self, extra_roots: Sequence[int] = ()) -> int:
+        """Mark-and-sweep the BDD manager with this state's roots
+        (called between synthesis passes; returns #nodes collected)."""
+        sym = self.sp.sym
+        roots = list(self.gc_roots())
+        roots.extend(extra_roots)
+        collected = sym.bdd.collect_garbage(roots)
+        self.stats.bump("gc_passes")
+        return collected
+
 
 def identify_resolve_cycles_symbolic(
     state: SymbolicSynthesisState, candidates: list[GroupId]
@@ -168,11 +244,13 @@ def identify_resolve_cycles_symbolic(
     if not candidates:
         return set()
     sym = state.sp.sym
-    if state._all_decreasing and state._down is not None:
-        cand_union = sym.bdd.or_all(
-            state.sp.group_relation(g) for g in candidates
-        )
-        if state._relation_is_decreasing(cand_union):
+    if state._all_decreasing and state._ranks is not None:
+        # a union decreases rank iff every disjunct does, so candidates
+        # can be checked one by one against the cached per-write-set downs
+        if all(
+            state._relation_is_decreasing(state.sp.candidate_relation(g))
+            for g in candidates
+        ):
             state.stats.bump("scc_skipped_by_rank_shortcut")
             return set()
     state.stats.bump("identify_resolve_cycles_calls")
@@ -180,7 +258,7 @@ def identify_resolve_cycles_symbolic(
         "identify_resolve_cycles", n_candidates=len(candidates)
     ) as span:
         not_i = state.not_i
-        cand_rels = [state.sp.group_relation(g) for g in candidates]
+        cand_rels = [state.sp.candidate_relation(g) for g in candidates]
         srcs = sym.bdd.and_(
             sym.bdd.or_all(state.sp.rcube(g[0], g[1]) for g in candidates),
             not_i,
@@ -191,7 +269,44 @@ def identify_resolve_cycles_symbolic(
             ),
             not_i,
         )
-        relations = list(state.relations) + cand_rels
+        # For the closures and the SCC search the candidates are merged
+        # into as few disjuncts as the representation allows — every
+        # symbolic step pays one traversal per disjunct, so candidate
+        # count must not inflate the relation list.  Partitioned mode
+        # folds the candidates straight into copies of the committed
+        # cluster partitions (lifting each process's frameless relation
+        # with the cluster's partial frame keeps the union well-formed),
+        # so the step cost stays at the cluster count.
+        by_proc: dict[int, list[GroupId]] = {}
+        for g in candidates:
+            by_proc.setdefault(g[0], []).append(g)
+        if state.sp.relation_mode == "partitioned":
+            aug: dict[int, int] = {}
+            for j, gs in by_proc.items():
+                ci = state.sp.cluster_index(j)
+                lifted = sym.bdd.and_(
+                    state.sp.partition_of(j, gs).rel,
+                    state.sp.cluster_lift(j, ci),
+                )
+                aug[ci] = sym.bdd.or_(aug.get(ci, ZERO), lifted)
+            relations = [
+                part
+                if ci not in aug
+                else part.merged(sym.bdd.or_(part.rel, aug[ci]))
+                for ci, part in enumerate(state.relations)
+            ]
+        elif state.sp.relation_mode == "monolithic":
+            cand_union = sym.bdd.or_all(
+                state.sp.group_relation(g) for g in candidates
+            )
+            relations = [sym.bdd.or_(state.relations[0], cand_union)]
+        else:  # process: fold into the owning process's full-frame relation
+            relations = list(state.relations)
+            for j, gs in by_proc.items():
+                relations[j] = sym.bdd.or_(
+                    relations[j],
+                    sym.bdd.or_all(state.sp.group_relation(g) for g in gs),
+                )
         # Any new cycle contains a candidate edge (s, t) with t reaching s,
         # so it is confined to backward(srcs) ∩ forward(dsts).  The backward
         # closure is computed first: candidate sources are deadlock-ish
@@ -225,10 +340,7 @@ def identify_resolve_cycles_symbolic(
         bad: set[GroupId] = set()
         for gid, rel in zip(candidates, cand_rels):
             for scc in sccs:
-                inside = sym.bdd.and_(
-                    sym.bdd.and_(rel, scc), sym.prime(scc)
-                )
-                if inside != ZERO:
+                if relation_links(sym, rel, scc, scc):
                     bad.add(gid)
                     state.stats.bump("groups_rejected_cycles")
                     break
@@ -404,6 +516,11 @@ def _preprocess_cycles_symbolic(
     state: SymbolicSynthesisState, options: HeuristicOptions
 ) -> None:
     sym = state.sp.sym
+    if all(
+        (rel.rel if isinstance(rel, Partition) else rel) == ZERO
+        for rel in state.relations
+    ):
+        return  # an empty relation has no cycles (common: empty input protocol)
     algorithm = (
         gentilini_sccs if state.scc_algorithm == "gentilini" else xie_beerel_sccs
     )
@@ -418,9 +535,9 @@ def _preprocess_cycles_symbolic(
     offenders: list[GroupId] = []
     for j, gs in enumerate(state.pss_groups):
         for rcode, wcode in sorted(gs):
-            rel = state.sp.group_relation((j, rcode, wcode))
+            rel = state.sp.candidate_relation((j, rcode, wcode))
             for scc in sccs:
-                if sym.bdd.and_(sym.bdd.and_(rel, scc), sym.prime(scc)) != ZERO:
+                if relation_links(sym, rel, scc, scc):
                     if state.rcode_touches_i(j, rcode):
                         raise UnresolvableCycleError(
                             f"input protocol has a non-progress cycle through "
@@ -490,6 +607,9 @@ def add_strong_convergence_symbolic(
 
         def make_result(success: bool, pass_no: int) -> SymbolicSynthesisResult:
             record_bdd_counters(stats.tracer, sp.sym.bdd)
+            stats.tracer.counter_set(
+                "symbolic.partition_count", len(state.relations)
+            )
             return SymbolicSynthesisResult(
                 success=success,
                 sp=sp,
@@ -507,6 +627,13 @@ def add_strong_convergence_symbolic(
             return make_result(True, 0)
 
         sym = sp.sym
+        # ranking roots beyond what the state itself tracks
+        gc_extra = (ranking.unreachable,)
+        # Dead intermediates of the closure/SCC/ranking phases are the bulk
+        # of the manager at this point; sweep them before the passes start
+        # and again at every pass boundary so no pass drags the previous
+        # one's garbage through its image computations.
+        state.collect_garbage(gc_extra)
         for pass_no, enabled in ((1, options.enable_pass1), (2, options.enable_pass2)):
             if not enabled:
                 continue
@@ -526,6 +653,7 @@ def add_strong_convergence_symbolic(
                 span["done"] = done
             if done:
                 return make_result(True, pass_no)
+            state.collect_garbage(gc_extra)
 
         if options.enable_pass3:
             stats.bump("pass3_runs")

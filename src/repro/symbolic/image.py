@@ -1,52 +1,127 @@
-"""Symbolic image computations (relational products)."""
+"""Symbolic image computations (relational products).
+
+Two relation representations are accepted everywhere, and may be mixed
+within one sequence:
+
+* a plain ``int`` — a *full-frame* relation BDD over all current and next
+  bits (the monolithic/legacy representation): images quantify every bit
+  of one copy and rename every bit of the other;
+* a :class:`repro.symbolic.partition.Partition` — a *frameless* per-process
+  disjunct: images rename and quantify **only the written variables'
+  bits**, the implicit-frame optimisation that makes partitioned image
+  computation cheap (see :mod:`repro.symbolic.partition` for why this is
+  the maximal early-quantification schedule for a disjunctive
+  partitioning).
+
+``preimage_union``/``postimage_union`` compute the image under the union
+relation ``∨ T_j`` as the union of per-partition images — disjunction
+distributes over ∃, so no cross-partition conjunction is ever built.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 from ..bdd import ZERO
 from .encode import SymbolicSpace
+from .partition import Partition
+
+#: one disjunct of a transition relation: full-frame BDD or frameless partition
+RelationLike = Union[int, Partition]
 
 
-def preimage(sym: SymbolicSpace, relation: int, states: int) -> int:
+def preimage(sym: SymbolicSpace, relation: RelationLike, states: int) -> int:
     """``pre(T, S) = ∃v'. T(v, v') ∧ S(v')`` — predecessors of ``states``."""
+    if states == ZERO:
+        return ZERO
+    if isinstance(relation, Partition):
+        if relation.rel == ZERO:
+            return ZERO
+        return sym.bdd.rel_product_pre(
+            relation.rel, states, relation.cur_to_next
+        )
+    if relation == ZERO:
+        return ZERO
     primed = sym.prime(states)
     return sym.bdd.and_exists(relation, primed, sym.all_next)
 
 
-def postimage(sym: SymbolicSpace, relation: int, states: int) -> int:
+def postimage(sym: SymbolicSpace, relation: RelationLike, states: int) -> int:
     """``post(T, S) = (∃v. T(v, v') ∧ S(v))[v'/v]`` — successors of ``states``."""
+    if states == ZERO:
+        return ZERO
+    if isinstance(relation, Partition):
+        if relation.rel == ZERO:
+            return ZERO
+        return sym.bdd.rel_product_post(
+            relation.rel, states, relation.cur_to_next
+        )
+    if relation == ZERO:
+        return ZERO
     shifted = sym.bdd.and_exists(relation, states, sym.all_cur)
     return sym.unprime(shifted)
 
 
 def preimage_union(
-    sym: SymbolicSpace, relations: Sequence[int], states: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], states: int
 ) -> int:
     """Predecessors under a disjunctively partitioned relation."""
-    primed = sym.prime(states)
+    if states == ZERO:
+        return ZERO
+    parts = [
+        r for r in relations if isinstance(r, Partition) and r.rel != ZERO
+    ]
+    full = [
+        r for r in relations if not isinstance(r, Partition) and r != ZERO
+    ]
     out = ZERO
-    for rel in relations:
+    if full:
+        primed = sym.prime(states)
+        for rel in full:
+            out = sym.bdd.or_(
+                out, sym.bdd.and_exists(rel, primed, sym.all_next)
+            )
+    for part in parts:
         out = sym.bdd.or_(
-            out, sym.bdd.and_exists(rel, primed, sym.all_next)
+            out, sym.bdd.rel_product_pre(part.rel, states, part.cur_to_next)
         )
     return out
 
 
 def postimage_union(
-    sym: SymbolicSpace, relations: Sequence[int], states: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], states: int
 ) -> int:
     out = ZERO
     for rel in relations:
-        out = sym.bdd.or_(
-            out, sym.unprime(sym.bdd.and_exists(rel, states, sym.all_cur))
-        )
+        out = sym.bdd.or_(out, postimage(sym, rel, states))
     return out
+
+
+def relation_links(
+    sym: SymbolicSpace, relation: RelationLike, sources: int, targets: int
+) -> bool:
+    """Does ``relation`` contain a transition from ``sources`` into
+    ``targets``?  (The SCC-membership test of cycle resolution.)"""
+    bdd = sym.bdd
+    if sources == ZERO or targets == ZERO:
+        return False
+    if isinstance(relation, Partition):
+        if relation.rel == ZERO:
+            return False
+        hit = bdd.and_(relation.rel, sources)
+        if hit == ZERO:
+            return False
+        shifted = bdd.rename(targets, dict(relation.cur_to_next))
+        return bdd.and_(hit, shifted) != ZERO
+    return (
+        relation != ZERO
+        and bdd.and_(bdd.and_(relation, sources), sym.prime(targets)) != ZERO
+    )
 
 
 def forward_closure(
     sym: SymbolicSpace,
-    relations: Sequence[int],
+    relations: Sequence[RelationLike],
     start: int,
     within: int | None = None,
 ) -> int:
@@ -65,7 +140,7 @@ def forward_closure(
 
 def backward_closure(
     sym: SymbolicSpace,
-    relations: Sequence[int],
+    relations: Sequence[RelationLike],
     start: int,
     within: int | None = None,
 ) -> int:

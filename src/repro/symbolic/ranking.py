@@ -74,11 +74,14 @@ def compute_ranks_symbolic(
     tracer = tracer if tracer is not None else current_tracer()
     sym = sp.sym
     pim = compute_pim_groups_symbolic(sp, invariant)
-    relations = sp.process_relations(pim)
+    relations = sp.relations_for(pim)
+    tracer.counter_set("symbolic.partition_count", len(relations))
     invariant = sym.bdd.and_(invariant, sym.domain_cur)
     ranks = [invariant]
     explored = invariant
-    with tracer.span("symbolic.rank.backward_bfs") as span:
+    with tracer.span(
+        "symbolic.rank.backward_bfs", partition_count=len(relations)
+    ) as span:
         while True:
             frontier = sym.bdd.and_(
                 preimage_union(sym, relations, ranks[-1]), sym.domain_cur

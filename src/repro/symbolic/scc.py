@@ -20,26 +20,26 @@ from typing import Sequence
 from ..bdd import ZERO
 from ..trace.tracer import current_tracer
 from .encode import SymbolicSpace
-from .image import postimage_union, preimage_union
+from .image import RelationLike, postimage_union, preimage_union
 
 
-def _pre(sym: SymbolicSpace, relations: Sequence[int], states: int, v: int) -> int:
+def _pre(sym: SymbolicSpace, relations: Sequence[RelationLike], states: int, v: int) -> int:
     return sym.bdd.and_(preimage_union(sym, relations, states), v)
 
 
-def _post(sym: SymbolicSpace, relations: Sequence[int], states: int, v: int) -> int:
+def _post(sym: SymbolicSpace, relations: Sequence[RelationLike], states: int, v: int) -> int:
     return sym.bdd.and_(postimage_union(sym, relations, states), v)
 
 
 def _pick_singleton(sym: SymbolicSpace, states: int) -> int:
     """A one-state subset of ``states`` as a BDD cube."""
-    s = sym.pick_state(states)
-    assert s is not None
-    return sym.state_cube(sym.space.decode(s))
+    cube = sym.pick_cube(states)
+    assert cube != ZERO
+    return cube
 
 
 def _scc_of(
-    sym: SymbolicSpace, relations: Sequence[int], node: int, fw: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], node: int, fw: int
 ) -> int:
     """The SCC containing ``node``: backward closure of ``node`` inside its
     forward set (the inner loop of both algorithms)."""
@@ -52,7 +52,7 @@ def _scc_of(
 
 
 def xie_beerel_sccs(
-    sym: SymbolicSpace, relations: Sequence[int], universe: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], universe: int
 ) -> list[int]:
     """All cyclic SCCs within ``universe`` (a current-bits state set)."""
     tracer = current_tracer()
@@ -76,7 +76,7 @@ def xie_beerel_sccs(
 
 
 def _forward_set(
-    sym: SymbolicSpace, relations: Sequence[int], start: int, v: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], start: int, v: int
 ) -> int:
     fw = sym.bdd.and_(start, v)
     frontier = fw
@@ -100,7 +100,7 @@ class _Task:
 
 
 def _skel_forward(
-    sym: SymbolicSpace, relations: Sequence[int], v: int, node: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], v: int, node: int
 ) -> tuple[int, int, int]:
     """Forward set of ``node`` in ``v`` plus a skeleton of a longest
     BFS path: returns ``(FW, newS, newN)``."""
@@ -125,7 +125,7 @@ def _skel_forward(
 
 
 def gentilini_sccs(
-    sym: SymbolicSpace, relations: Sequence[int], universe: int
+    sym: SymbolicSpace, relations: Sequence[RelationLike], universe: int
 ) -> list[int]:
     """Gentilini et al.'s SCC decomposition in a linear number of symbolic
     steps (the paper's ``Detect_SCC``).  Returns cyclic SCCs only."""

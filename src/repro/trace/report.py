@@ -132,6 +132,12 @@ def render_report(summary: TraceSummary) -> str:
     bdd.add("op-cache lookups", op_lookups)
     bdd.add("op-cache hit rate (%)", safe_percent(op_hits, op_lookups))
     bdd.add("unique-table nodes", summary.counters.get("bdd.unique_nodes", 0))
+    bdd.add("live nodes (final)", summary.counters.get("bdd.live_nodes", 0))
+    bdd.add("peak live nodes", summary.counters.get("bdd.peak_live_nodes", 0))
+    bdd.add("gc runs", summary.counters.get("bdd.gc_runs", 0))
+    bdd.add("gc nodes collected", summary.counters.get("bdd.gc_collected", 0))
+    bdd.add("reorder runs", summary.counters.get("bdd.reorder_runs", 0))
+    bdd.add("reorder swaps", summary.counters.get("bdd.reorder_swaps", 0))
     tables.append(bdd)
 
     counters = ResultTable("Counters", ["counter", "value"])

@@ -1,0 +1,306 @@
+"""Sifting reordering, garbage collection, and the fused relational
+products of the ROBDD manager.
+
+Reorder rewrites nodes *in place*, so a node id must denote the same
+function before and after a ``reorder()`` — that contract (and the
+order-preserving subset rename it protects) is checked property-style on
+random expression trees.  GC is checked for liveness (rooted nodes
+survive and keep evaluating), slot reuse, and counter bookkeeping; the
+fused ``rel_product_pre``/``rel_product_post`` are differentially tested
+against their unfused ``rename`` + ``and_exists`` compositions.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, ONE, ZERO
+
+N_VARS = 8  # 4 interleaved (cur, next) pairs
+ASSIGNMENTS = list(itertools.product([False, True], repeat=N_VARS))
+
+_LEAVES = st.one_of(
+    st.booleans().map(lambda b: ("const", b)),
+    st.integers(0, N_VARS - 1).map(lambda i: ("var", i)),
+)
+
+
+def _extend(children):
+    return st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(st.sampled_from(["and", "or", "xor"]), children, children),
+    )
+
+
+EXPRESSIONS = st.recursive(_LEAVES, _extend, max_leaves=16)
+
+
+def build(bdd, expr):
+    tag = expr[0]
+    if tag == "const":
+        return ONE if expr[1] else ZERO
+    if tag == "var":
+        return bdd.var(expr[1])
+    if tag == "not":
+        return bdd.not_(build(bdd, expr[1]))
+    op = {"and": bdd.and_, "or": bdd.or_, "xor": bdd.xor}[tag]
+    return op(build(bdd, expr[1]), build(bdd, expr[2]))
+
+
+def truth_table(bdd, f):
+    return [bdd.eval(f, a) for a in ASSIGNMENTS]
+
+
+# ----------------------------------------------------------------------
+# sifting reordering
+# ----------------------------------------------------------------------
+
+
+class TestReorder:
+    @settings(max_examples=60, deadline=None)
+    @given(EXPRESSIONS)
+    def test_reorder_preserves_denotation(self, expr):
+        bdd = BDD(N_VARS)
+        f = build(bdd, expr)
+        before = truth_table(bdd, f)
+        bdd.reorder()
+        assert truth_table(bdd, f) == before
+        assert sorted(bdd.var_order()) == list(range(N_VARS))
+
+    @settings(max_examples=40, deadline=None)
+    @given(EXPRESSIONS)
+    def test_block_reorder_keeps_pairs_adjacent(self, expr):
+        bdd = BDD(N_VARS)
+        pairs = [(2 * i, 2 * i + 1) for i in range(N_VARS // 2)]
+        bdd.set_reorder_blocks(pairs)
+        f = build(bdd, expr)
+        before = truth_table(bdd, f)
+        bdd.reorder()
+        assert truth_table(bdd, f) == before
+        for cur, nxt in pairs:
+            assert bdd.level_of_var(nxt) == bdd.level_of_var(cur) + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(EXPRESSIONS)
+    def test_rename_still_valid_after_block_reorder(self, expr):
+        """The cur->next subset rename must stay order-preserving after a
+        block reorder (the property partitioned images rely on)."""
+        bdd = BDD(N_VARS)
+        pairs = [(2 * i, 2 * i + 1) for i in range(N_VARS // 2)]
+        bdd.set_reorder_blocks(pairs)
+        # a function over current bits only
+        cur_expr = _on_cur_bits(expr)
+        f = build(bdd, cur_expr)
+        bdd.reorder()
+        g = bdd.rename(f, {c: n for c, n in pairs})
+        # renaming back must round-trip
+        assert bdd.rename(g, {n: c for c, n in pairs}) == f
+
+    def test_reorder_shrinks_adversarial_order(self):
+        # ∑ x_i ∧ x_{i+n/2} is exponential in the identity order and
+        # linear once the pairs are adjacent — sifting must find that.
+        bdd = BDD(N_VARS)
+        half = N_VARS // 2
+        f = bdd.or_all(
+            bdd.and_(bdd.var(i), bdd.var(i + half)) for i in range(half)
+        )
+        before = bdd.size(f)
+        swaps = bdd.reorder(max_growth=4.0)  # let the sift cross the hump
+        assert bdd.size(f) < before
+        assert swaps > 0
+        assert bdd.counters()["reorder_runs"] == 1
+        assert bdd.counters()["reorder_swaps"] >= swaps
+
+    def test_auto_reorder_triggers(self):
+        bdd = BDD(N_VARS)
+        bdd.auto_reorder = True
+        bdd.reorder_threshold = 8  # absurdly low: first sized op triggers
+        half = N_VARS // 2
+        f = bdd.or_all(
+            bdd.and_(bdd.var(i), bdd.var(i + half)) for i in range(half)
+        )
+        bdd.and_(f, bdd.var(0))
+        assert bdd.counters()["reorder_runs"] >= 1
+
+    def test_op_results_correct_after_reorder(self):
+        """Level-keyed operation caches must not leak stale entries across
+        a reorder (regression: ``and_exists`` keyed by pre-reorder levels)."""
+        bdd = BDD(N_VARS)
+        f = bdd.or_(bdd.and_(bdd.var(0), bdd.var(4)), bdd.var(2))
+        g = bdd.and_(bdd.var(0), bdd.var(1))
+        before = bdd.and_exists(f, g, [0, 1])
+        table = truth_table(bdd, before)
+        bdd.reorder()
+        again = bdd.and_exists(f, g, [0, 1])
+        assert truth_table(bdd, again) == table
+
+
+# ----------------------------------------------------------------------
+# garbage collection
+# ----------------------------------------------------------------------
+
+
+class TestGarbageCollection:
+    def test_rooted_nodes_survive_and_evaluate(self):
+        bdd = BDD(N_VARS)
+        keep = bdd.xor(bdd.var(0), bdd.var(3))
+        table = truth_table(bdd, keep)
+        for i in range(N_VARS - 1):  # garbage
+            bdd.and_(bdd.xor(bdd.var(i), bdd.var(i + 1)), bdd.var(0))
+        before = bdd.num_nodes()
+        collected = bdd.collect_garbage([keep])
+        assert collected > 0
+        assert bdd.num_nodes() == before - collected
+        assert truth_table(bdd, keep) == table
+        counters = bdd.counters()
+        assert counters["gc_runs"] == 1
+        assert counters["gc_collected"] == collected
+
+    def test_freed_slots_are_reused(self):
+        bdd = BDD(N_VARS)
+        bdd.and_(bdd.var(0), bdd.var(1))
+        slots_before = len(bdd._level)  # total slots ever allocated
+        bdd.collect_garbage([])
+        # rebuilding allocates from the free list: no new slot appears
+        bdd.and_(bdd.var(2), bdd.var(3))
+        assert len(bdd._level) == slots_before
+
+    def test_ref_deref_protect(self):
+        bdd = BDD(N_VARS)
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        bdd.ref(f)
+        bdd.collect_garbage([])  # no explicit roots: ref keeps f alive
+        assert truth_table(bdd, f) == [
+            a[0] and a[1] for a in ASSIGNMENTS
+        ]
+        bdd.deref(f)
+        g = bdd.or_(bdd.var(2), bdd.var(3))
+        with bdd.protect(g):
+            bdd.collect_garbage([])
+            assert bdd.eval(g, [False] * 2 + [True] + [False] * 5)
+        # after the protect block both are collectable
+        collected = bdd.collect_garbage([])
+        assert collected > 0
+
+    def test_ops_stay_correct_after_gc(self):
+        """All memo caches are dropped at GC; results must not change."""
+        bdd = BDD(N_VARS)
+        f = bdd.xor(bdd.var(0), bdd.var(2))
+        g = bdd.implies(bdd.var(1), bdd.var(3))
+        h1 = bdd.and_(f, g)
+        table = truth_table(bdd, h1)
+        bdd.collect_garbage([f, g])
+        assert truth_table(bdd, bdd.and_(f, g)) == table
+
+    def test_peak_live_counter_monotone(self):
+        bdd = BDD(N_VARS)
+        f = bdd.or_all(bdd.var(i) for i in range(N_VARS))
+        peak = bdd.counters()["peak_live_nodes"]
+        bdd.collect_garbage([f])
+        assert bdd.counters()["peak_live_nodes"] == peak
+        assert bdd.counters()["live_nodes"] <= peak
+
+
+# ----------------------------------------------------------------------
+# rename guard (regression) and and_exists cache keys
+# ----------------------------------------------------------------------
+
+
+class TestRenameAndCacheKeys:
+    def test_rename_rejects_crossing_unmapped_support(self):
+        # {0: 3} is pairwise monotone but moves x0 past the unmapped x1 in
+        # the support of x0 ∧ x1 — accepting it would corrupt the unique
+        # table (regression test for the seed's silent corruption).
+        bdd = BDD(4)
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        with pytest.raises(ValueError):
+            bdd.rename(f, {0: 3})
+
+    def test_rename_accepts_interleaved_subset(self):
+        bdd = BDD(4)  # pairs (0,1), (2,3)
+        f = bdd.and_(bdd.var(0), bdd.var(2))
+        g = bdd.rename(f, {0: 1, 2: 3})
+        assert g == bdd.and_(bdd.var(1), bdd.var(3))
+
+    def test_and_exists_cache_distinguishes_quantifier_sets(self):
+        bdd = BDD(4)
+        f = bdd.or_(bdd.var(0), bdd.var(1))
+        g = bdd.or_(bdd.var(2), bdd.var(0))
+        r01 = bdd.and_exists(f, g, [0])
+        r23 = bdd.and_exists(f, g, [1])
+        r_none = bdd.and_exists(f, g, [3])
+        assert r_none == bdd.and_(f, g)
+        assert r01 != r23  # same (f, g), different vs — distinct entries
+        assert r01 == bdd.exists([0], bdd.and_(f, g))
+        assert r23 == bdd.exists([1], bdd.and_(f, g))
+
+
+# ----------------------------------------------------------------------
+# fused relational products
+# ----------------------------------------------------------------------
+
+PAIRS_ALL = tuple((2 * i, 2 * i + 1) for i in range(N_VARS // 2))
+
+
+@st.composite
+def _rel_and_states(draw):
+    rel = draw(EXPRESSIONS)
+    # states over current bits only (even vars), as images require
+    states = draw(EXPRESSIONS)
+    return rel, _on_cur_bits(states)
+
+
+def _on_cur_bits(expr):
+    tag = expr[0]
+    if tag == "const":
+        return expr
+    if tag == "var":
+        return ("var", (expr[1] // 2) * 2)
+    if tag == "not":
+        return ("not", _on_cur_bits(expr[1]))
+    return (expr[0],) + tuple(_on_cur_bits(e) for e in expr[1:])
+
+
+class TestFusedProducts:
+    @settings(max_examples=80, deadline=None)
+    @given(_rel_and_states(), st.integers(1, N_VARS // 2))
+    def test_rel_product_pre_matches_composition(self, rs, n_written):
+        rel_e, states_e = rs
+        bdd = BDD(N_VARS)
+        rel = build(bdd, rel_e)
+        states = build(bdd, states_e)
+        pairs = PAIRS_ALL[:n_written]
+        fused = bdd.rel_product_pre(rel, states, pairs)
+        shifted = bdd.rename(states, {c: n for c, n in pairs})
+        ref = bdd.and_exists(rel, shifted, [n for _, n in pairs])
+        assert fused == ref
+
+    @settings(max_examples=80, deadline=None)
+    @given(_rel_and_states(), st.integers(1, N_VARS // 2))
+    def test_rel_product_post_matches_composition(self, rs, n_written):
+        rel_e, states_e = rs
+        bdd = BDD(N_VARS)
+        rel = build(bdd, rel_e)
+        states = build(bdd, states_e)
+        pairs = PAIRS_ALL[:n_written]
+        fused = bdd.rel_product_post(rel, states, pairs)
+        img = bdd.and_exists(rel, states, [c for c, _ in pairs])
+        ref = bdd.rename(img, {n: c for c, n in pairs})
+        assert fused == ref
+
+    def test_fused_products_correct_after_reorder(self):
+        """The per-write-set argument cache is level-based and must be
+        rebuilt after a reorder moves levels."""
+        bdd = BDD(N_VARS)
+        pairs = PAIRS_ALL[:2]
+        bdd.set_reorder_blocks(PAIRS_ALL)
+        rel = bdd.and_(bdd.var(0), bdd.xor(bdd.var(1), bdd.var(4)))
+        states = bdd.or_(bdd.var(0), bdd.var(2))
+        before = bdd.rel_product_pre(rel, states, pairs)
+        table = truth_table(bdd, before)
+        bdd.reorder()
+        assert truth_table(bdd, bdd.rel_product_pre(rel, states, pairs)) == table

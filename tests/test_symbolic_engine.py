@@ -71,6 +71,48 @@ class TestCaseStudyEquivalence:
         assert gent.pss_groups == xb.pss_groups
 
 
+class TestRelationModeEquivalence:
+    """Every relation representation must synthesize the same protocol —
+    the explicit engine is the shared ground truth."""
+
+    MODES = [
+        ("monolithic", None),
+        ("process", None),
+        ("partitioned", 1),
+        ("partitioned", 2),
+        ("partitioned", 3),
+        ("partitioned", 99),
+    ]
+
+    @pytest.mark.parametrize(
+        "case", [lambda: matching(4), lambda: coloring(5)], ids=["matching", "coloring"]
+    )
+    @pytest.mark.parametrize(
+        "mode,cluster", MODES, ids=[f"{m}-c{c}" if c else m for m, c in MODES]
+    )
+    def test_modes_match_explicit(self, case, mode, cluster):
+        protocol, invariant = case()
+        explicit = add_strong_convergence(protocol, invariant)
+        kwargs = {} if cluster is None else {"cluster_size": cluster}
+        sp = SymbolicProtocol(protocol, relation_mode=mode, **kwargs)
+        inv = sp.sym.from_predicate(invariant)
+        symbolic = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        assert symbolic.success == explicit.success
+        assert symbolic.pss_groups == explicit.protocol.groups
+        assert symbolic.pass_completed == explicit.pass_completed
+
+    def test_auto_reorder_run_matches_default(self):
+        """Synthesis with sifting enabled must not change the result."""
+        protocol, invariant = matching(4)
+        sp = SymbolicProtocol(protocol)
+        sp.sym.bdd.auto_reorder = True
+        sp.sym.bdd.reorder_threshold = 2_000
+        inv = sp.sym.from_predicate(invariant)
+        with_reorder = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        explicit = add_strong_convergence(protocol, invariant)
+        assert with_reorder.pss_groups == explicit.protocol.groups
+
+
 class TestRandomEquivalence:
     @pytest.mark.parametrize("seed", range(10))
     def test_same_outcome_and_groups(self, seed):

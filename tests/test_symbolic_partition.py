@@ -1,0 +1,169 @@
+"""Partitioned transition relations: representation equivalence.
+
+All three ``relation_mode`` representations (clustered frameless
+partitions, per-process full-frame relations, one monolithic union) must
+compute *identical* images.  The protocols under test share one
+:class:`SymbolicSpace`, so equality is checked on raw BDD node ids — the
+strongest form the canonical manager offers.
+"""
+
+import pytest
+
+from repro.bdd import ZERO
+from repro.protocols import coloring, matching
+from repro.symbolic import (
+    RELATION_MODES,
+    Partition,
+    SymbolicProtocol,
+    compute_ranks_symbolic,
+    preimage_union,
+    postimage_union,
+    relation_links,
+)
+from repro.symbolic.encode import SymbolicSpace
+from repro.symbolic.image import preimage, postimage
+
+CASES = [
+    ("matching", lambda: matching(5)),
+    ("coloring", lambda: coloring(5)),
+]
+
+
+def _setups(build, cluster_sizes=(1, 2, 99)):
+    """One SymbolicProtocol per representation, all sharing one space."""
+    protocol, invariant = build()
+    sym = SymbolicSpace(protocol.space)
+    sps = [
+        SymbolicProtocol(protocol, sym, relation_mode=m)
+        for m in ("monolithic", "process")
+    ]
+    sps += [
+        SymbolicProtocol(
+            protocol, sym, relation_mode="partitioned", cluster_size=c
+        )
+        for c in cluster_sizes
+    ]
+    inv = sym.from_predicate(invariant)
+    return protocol, sym, inv, sps
+
+
+def _state_sets(sym, inv):
+    return [
+        inv,
+        sym.bdd.diff(sym.domain_cur, inv),
+        sym.domain_cur,
+        sym.pick_cube(inv),
+        sym.pick_cube(sym.bdd.diff(sym.domain_cur, inv)),
+    ]
+
+
+class TestImageEquivalence:
+    @pytest.mark.parametrize(
+        "build", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_images_identical_across_representations(self, build):
+        protocol, sym, inv, sps = _setups(build)
+        rel_lists = [sp.relations_for(protocol.groups) for sp in sps]
+        for states in _state_sets(sym, inv):
+            pres = [preimage_union(sym, rels, states) for rels in rel_lists]
+            posts = [postimage_union(sym, rels, states) for rels in rel_lists]
+            assert len(set(pres)) == 1  # identical node ids
+            assert len(set(posts)) == 1
+
+    @pytest.mark.parametrize(
+        "build", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_single_relation_images_match_union_of_groups(self, build):
+        """A frameless partition's image equals the full-frame relation's."""
+        protocol, sym, inv, sps = _setups(build, cluster_sizes=(1,))
+        sp_mono, _sp_proc, sp_part = sps[0], sps[1], sps[2]
+        states = sym.bdd.diff(sym.domain_cur, inv)
+        for j in range(protocol.n_processes):
+            gids = [(j, r, w) for (r, w) in protocol.groups[j]]
+            if not gids:
+                continue
+            full = sp_mono.relation_of(gids)
+            part = sp_part.partition_of(j, gids)
+            assert isinstance(part, Partition)
+            assert preimage(sym, part, states) == preimage(sym, full, states)
+            assert postimage(sym, part, states) == postimage(sym, full, states)
+
+    @pytest.mark.parametrize(
+        "build", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_relation_links_equivalent(self, build):
+        protocol, sym, inv, sps = _setups(build, cluster_sizes=(1,))
+        sp_mono, sp_part = sps[0], sps[2]
+        not_i = sym.bdd.diff(sym.domain_cur, inv)
+        for j in range(protocol.n_processes):
+            for (r, w) in sorted(protocol.groups[j])[:3]:
+                gid = (j, r, w)
+                for src, dst in [(not_i, not_i), (inv, not_i), (not_i, inv)]:
+                    assert relation_links(
+                        sym, sp_part.group_partition(gid), src, dst
+                    ) == relation_links(
+                        sym, sp_mono.group_relation(gid), src, dst
+                    )
+
+
+class TestClustering:
+    def test_cluster_partition_write_sets(self):
+        protocol, invariant = matching(6)
+        sp = SymbolicProtocol(protocol, relation_mode="partitioned", cluster_size=2)
+        assert sp.clusters == ((0, 1), (2, 3), (4, 5))
+        parts = sp.clustered_partitions(protocol.groups)
+        for procs, part in zip(sp.clusters, parts):
+            expected_vars = sorted(
+                {v for j in procs for v in protocol.tables[j].write_vars}
+            )
+            expected_bits = tuple(
+                b for v in expected_vars for b in sp.sym.cur_levels[v]
+            )
+            assert part.write_cur == expected_bits
+
+    def test_cluster_index_covers_all_processes(self):
+        protocol, _ = matching(7)
+        sp = SymbolicProtocol(protocol, relation_mode="partitioned", cluster_size=3)
+        assert sp.clusters == ((0, 1, 2), (3, 4, 5), (6,))
+        for j in range(7):
+            assert j in sp.clusters[sp.cluster_index(j)]
+
+    def test_invalid_modes_rejected(self):
+        protocol, _ = matching(4)
+        with pytest.raises(ValueError):
+            SymbolicProtocol(protocol, relation_mode="nonsense")
+        with pytest.raises(ValueError):
+            SymbolicProtocol(protocol, cluster_size=0)
+        assert set(RELATION_MODES) == {"partitioned", "process", "monolithic"}
+
+
+class TestRankingEquivalence:
+    @pytest.mark.parametrize(
+        "build", [c[1] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_ranks_identical_across_representations(self, build):
+        protocol, sym, inv, sps = _setups(build)
+        rankings = [compute_ranks_symbolic(sp, inv) for sp in sps]
+        first = rankings[0]
+        for other in rankings[1:]:
+            assert other.ranks == first.ranks  # node-id equality
+            assert other.unreachable == first.unreachable
+            assert other.pim_groups == first.pim_groups
+
+
+class TestPickCube:
+    def test_pick_cube_is_singleton_subset(self):
+        protocol, invariant = coloring(5)
+        sp = SymbolicProtocol(protocol)
+        sym = sp.sym
+        inv = sym.from_predicate(invariant)
+        for states in (inv, sym.bdd.diff(sym.domain_cur, inv), sym.domain_cur):
+            cube = sym.pick_cube(states)
+            assert cube != ZERO
+            assert sym.bdd.and_(cube, states) == cube  # subset
+            assert sym.count_states(cube) == 1
+
+    def test_pick_cube_of_empty_is_zero(self):
+        protocol, _ = coloring(5)
+        sp = SymbolicProtocol(protocol)
+        assert sp.sym.pick_cube(ZERO) == ZERO
