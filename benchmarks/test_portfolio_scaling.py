@@ -1,0 +1,159 @@
+"""Portfolio engine scaling: per-worker recompute vs shared precompute vs cache.
+
+Pins the PR-3 claims of ``benchmarks/PORTFOLIO_SCALING.md`` to measured
+numbers on the four explicit-engine case studies:
+
+* **naive** — ``share_precompute=False``: every worker job rebuilds the
+  protocol and reruns closure + input-cycle SCC + ``ComputeRanks`` (the
+  pre-PR-3 fan-out);
+* **shared** — the schedule-independent precompute runs once in the parent
+  and is inherited zero-copy (fork) or shipped via shared memory (spawn);
+  this leg runs cold against a fresh ``--cache-dir`` and populates it;
+* **warm cache** — the same run again: every config resolves from the
+  on-disk memo without spawning a single worker.
+
+Besides wall-clock, the worker-reported timers give noise-free evidence:
+under shared precompute no worker ever records a ``ranking`` timer.
+
+Emits ``BENCH_portfolio.json`` (path via ``PORTFOLIO_BENCH_JSON``) for the
+CI artifact::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_portfolio_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.parallel import synthesize_parallel
+from repro.protocols import coloring, matching, token_ring, two_ring
+
+FIGURE = "Portfolio: per-worker recompute vs shared precompute vs warm cache"
+
+BENCH_JSON = os.environ.get("PORTFOLIO_BENCH_JSON", "BENCH_portfolio.json")
+
+N_WORKERS = 2
+
+#: (label, builder, builder_args, timing repeats) — two-ring is heavy enough
+#: that one repeat suffices (its run time dwarfs scheduler noise)
+CASES = [
+    ("token-ring k=4 d=3", token_ring, (4, 3), 3),
+    ("matching k=5", matching, (5,), 3),
+    ("coloring k=5", coloring, (5,), 3),
+    ("two-ring", two_ring, (), 1),
+]
+
+
+def _timed_race(builder, builder_args, *, repeats, **kwargs):
+    """Best-of-``repeats`` wall clock for one portfolio race."""
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        winner, completed = synthesize_parallel(
+            builder, builder_args, n_workers=N_WORKERS, **kwargs
+        )
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, winner, completed)
+    return best
+
+
+def _worker_ranking_seconds(completed) -> float:
+    """Total worker-side ``ComputeRanks`` time — redundant work the shared
+    precompute eliminates."""
+    return sum(
+        o.timers.get("ranking", 0.0) for o in completed if not o.cached
+    )
+
+
+def test_portfolio_scaling(figure_report, tmp_path):
+    figure_report.register(
+        FIGURE,
+        columns=["case", "naive (s)", "shared (s)", "speedup",
+                 "warm cache (s)", "worker rank (s) naive/shared"],
+        note=f"{N_WORKERS} workers, best of N races; "
+             "shared leg runs cold against the cache the warm leg reuses",
+    )
+    rows = []
+    wins = 0
+    for label, builder, builder_args, repeats in CASES:
+        t_naive, w_naive, c_naive = _timed_race(
+            builder, builder_args, repeats=repeats, share_precompute=False
+        )
+        # fresh cache dir per repeat so every shared race is genuinely cold;
+        # the last one is kept for the warm leg
+        cache_dir = None
+        best_shared = None
+        for rep in range(repeats):
+            candidate = tmp_path / f"{label}-{rep}"
+            t0 = time.perf_counter()
+            winner, completed = synthesize_parallel(
+                builder, builder_args, n_workers=N_WORKERS,
+                cache_dir=candidate,
+            )
+            elapsed = time.perf_counter() - t0
+            if best_shared is None or elapsed < best_shared[0]:
+                best_shared = (elapsed, winner, completed)
+            cache_dir = candidate
+        t_shared, w_shared, c_shared = best_shared
+
+        t0 = time.perf_counter()
+        w_warm, c_warm = synthesize_parallel(
+            builder, builder_args, n_workers=N_WORKERS, cache_dir=cache_dir
+        )
+        t_warm = time.perf_counter() - t0
+
+        assert w_naive.success and w_shared.success and w_warm.success
+        assert w_warm.cached
+        # noise-free evidence: naive workers recompute the ranking,
+        # shared-precompute workers never do
+        rank_naive = _worker_ranking_seconds(c_naive)
+        rank_shared = _worker_ranking_seconds(c_shared)
+        assert rank_naive > 0.0
+        assert rank_shared == 0.0
+        # the warm cache answers in near-constant time, independent of how
+        # long the cold synthesis took
+        assert t_warm < 0.5
+        assert t_warm < t_naive
+
+        if t_shared <= t_naive:
+            wins += 1
+        rows.append(
+            {
+                "case": label,
+                "naive_s": round(t_naive, 4),
+                "shared_s": round(t_shared, 4),
+                "speedup": round(t_naive / t_shared, 3),
+                "warm_cache_s": round(t_warm, 4),
+                "worker_ranking_s_naive": round(rank_naive, 4),
+                "worker_ranking_s_shared": round(rank_shared, 4),
+                "outcomes": len(c_shared),
+                "success": w_shared.success,
+            }
+        )
+        figure_report.add_row(
+            FIGURE,
+            [label, t_naive, t_shared, t_naive / t_shared, t_warm,
+             f"{rank_naive:.3f}/{rank_shared:.3f}"],
+        )
+
+    payload = {
+        "benchmark": "portfolio-scaling",
+        "n_workers": N_WORKERS,
+        "legs": ["naive (share_precompute=False)", "shared precompute (cold cache)",
+                 "warm cache"],
+        "cases": rows,
+        "shared_wins": wins,
+        "n_cases": len(rows),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    # one slow case may tie within scheduler noise on a loaded box; the
+    # shared precompute must still win the clear majority
+    assert wins >= 3, (
+        f"shared precompute beat per-worker recompute on only {wins}/4 cases: "
+        f"{rows}"
+    )

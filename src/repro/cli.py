@@ -19,27 +19,45 @@ import sys
 import time
 
 
-def _build(args):
-    from . import coloring, matching, token_ring, two_ring
-    from .protocols import gouda_acharya_matching
+def _dsl_builder(source: str):
+    """Top-level (picklable) builder for ``--file`` protocols, so spawn-started
+    portfolio workers can recompile the source text themselves."""
+    from .dsl import compile_protocol
+
+    return compile_protocol(source)
+
+
+def _builder_spec(args):
+    """``(builder, builder_args)`` for the parallel portfolio — a picklable
+    top-level callable plus plain arguments (satisfies both fork and spawn)."""
+    from .protocols import (
+        coloring,
+        gouda_acharya_matching,
+        matching,
+        token_ring,
+        two_ring,
+    )
 
     if getattr(args, "file", None):
-        from .dsl import compile_protocol
-
         with open(args.file) as handle:
-            return compile_protocol(handle.read())
+            return _dsl_builder, (handle.read(),)
     name = args.protocol
     if name == "token-ring":
-        return token_ring(args.k or 4, args.domain or 3)
+        return token_ring, (args.k or 4, args.domain or 3)
     if name == "matching":
-        return matching(args.k or 5)
+        return matching, (args.k or 5,)
     if name == "coloring":
-        return coloring(args.k or 5)
+        return coloring, (args.k or 5,)
     if name == "two-ring":
-        return two_ring()
+        return two_ring, ()
     if name == "gouda-acharya":
-        return gouda_acharya_matching(args.k or 5)
+        return gouda_acharya_matching, (args.k or 5,)
     raise SystemExit(f"unknown protocol {name!r}")
+
+
+def _build(args):
+    builder, builder_args = _builder_spec(args)
+    return builder(*builder_args)
 
 
 def _make_tracer(args):
@@ -61,6 +79,11 @@ def _cmd_synthesize(args) -> int:
     from .dsl.pretty import format_protocol
     from .metrics import SynthesisStats
     from .trace import use_tracer
+
+    if args.engine == "explicit" and (
+        args.workers is not None or args.cache_dir is not None
+    ):
+        return _synthesize_portfolio(args)
 
     tracer = _make_tracer(args)
     t0 = time.perf_counter()
@@ -126,6 +149,49 @@ def _cmd_synthesize(args) -> int:
         return 0 if portfolio.success else 1
     finally:
         tracer.close()
+
+
+def _synthesize_portfolio(args) -> int:
+    """Multi-process portfolio run (``--workers`` / ``--cache-dir``).
+
+    Shares the schedule-independent precompute across workers, memoises
+    outcomes on disk when ``--cache-dir`` is given, and — with ``--trace``
+    interpreted as a *directory* — writes per-worker traces plus the
+    parent's ``portfolio.jsonl``, merged into ``merged.jsonl``.
+    """
+    import os
+
+    from .parallel import synthesize_parallel
+
+    builder, builder_args = _builder_spec(args)
+    trace_dir = args.trace or None
+    t0 = time.perf_counter()
+    winner, completed = synthesize_parallel(
+        builder,
+        builder_args,
+        n_workers=args.workers,
+        trace_dir=trace_dir,
+        cache_dir=args.cache_dir,
+    )
+    elapsed = time.perf_counter() - t0
+    print(f"portfolio outcomes: {len(completed)} "
+          f"({sum(1 for o in completed if o.cached)} from cache)")
+    if winner.success:
+        print(f"winning config    : {winner.config.describe()}"
+              + (" [cached]" if winner.cached else ""))
+    else:
+        print("no configuration succeeded")
+        print(f"best attempt      : {winner.config.describe()} "
+              f"({winner.remaining_deadlocks} deadlocks remain)")
+    print(f"wall time: {elapsed:.2f}s")
+    if args.print_actions and winner.success:
+        from .dsl.pretty import format_protocol
+
+        protocol, _invariant = builder(*builder_args)
+        print(format_protocol(protocol.with_groups(winner.pss_groups)))
+    if trace_dir is not None:
+        print(f"traces written to {os.path.join(trace_dir, 'merged.jsonl')}")
+    return 0 if winner.success else 1
 
 
 def _cmd_trace_report(args) -> int:
@@ -220,7 +286,23 @@ def make_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="write a JSONL trace of the run (see 'stsyn trace-report')",
+        help="write a JSONL trace of the run (see 'stsyn trace-report'); "
+        "with --workers/--cache-dir this is a trace *directory*",
+    )
+    p_syn.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="race the portfolio across N worker processes with shared "
+        "precompute (explicit engine only)",
+    )
+    p_syn.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk synthesis memo cache: repeat runs of an already-solved "
+        "(protocol, schedule, options) config return without spawning workers",
     )
     p_syn.add_argument(
         "--relation-mode",

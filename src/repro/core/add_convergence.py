@@ -55,6 +55,10 @@ class SynthesisState:
     #: schedules — the paper's one-instance-per-configuration strategy
     #: (Figure 1).
     cycle_resolution_mode: str = "batch"
+    #: schedule-independent precomputed inputs (shared across a portfolio);
+    #: ``init_out_counts`` is copied, ``init_rcode_touches_i`` is read-only
+    init_out_counts: np.ndarray | None = None
+    init_rcode_touches_i: list[np.ndarray] | None = None
     pss_groups: list[set[tuple[int, int]]] = field(init=False)
     added_groups: list[set[tuple[int, int]]] = field(init=False)
     removed_groups: list[set[tuple[int, int]]] = field(init=False)
@@ -66,11 +70,19 @@ class SynthesisState:
         self.pss_groups = [set(g) for g in self.protocol.groups]
         self.added_groups = [set() for _ in self.protocol.groups]
         self.removed_groups = [set() for _ in self.protocol.groups]
-        self.out_counts = self.protocol.out_counts()
-        self.rcode_touches_i = [
-            rvals_intersecting(table, self.invariant.mask)
-            for table in self.protocol.tables
-        ]
+        self.out_counts = (
+            self.init_out_counts.copy()
+            if self.init_out_counts is not None
+            else self.protocol.out_counts()
+        )
+        self.rcode_touches_i = (
+            list(self.init_rcode_touches_i)
+            if self.init_rcode_touches_i is not None
+            else [
+                rvals_intersecting(table, self.invariant.mask)
+                for table in self.protocol.tables
+            ]
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -38,6 +38,20 @@ class UnresolvableCycleError(SynthesisError):
     heuristic exits (preprocessing step, Section V)."""
 
 
+class SynthesisCancelled(SynthesisError):
+    """The run observed its cancellation token at a pass/rank boundary.
+
+    Raised cooperatively by :func:`~repro.core.heuristic.add_strong_convergence`
+    when the portfolio scheduler signals that a winner has been verified (or a
+    soft deadline expired), so losing workers stop burning CPU without waiting
+    for a hard ``pool.terminate``.
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class HeuristicFailure(SynthesisError):
     """All three passes completed but deadlock states remain.
 

@@ -36,6 +36,7 @@ from .add_convergence import SynthesisState, add_convergence
 from .exceptions import (
     HeuristicFailure,
     NoStabilizingVersionError,
+    SynthesisCancelled,
     UnresolvableCycleError,
 )
 from .ranking import compute_ranks
@@ -66,17 +67,49 @@ class HeuristicOptions:
     stall_seconds: float = 0.0
 
 
-def _preprocess_input_cycles(
-    state: SynthesisState, options: HeuristicOptions
-) -> None:
-    """Detect/eliminate non-progress cycles already present in ``δp | ¬I``."""
-    from ..explicit.graph import TransitionView
+def _check_cancel(cancel) -> None:
+    """Raise :class:`SynthesisCancelled` if the token has fired.
 
+    ``cancel`` is any object with ``is_set() -> bool`` (a
+    ``multiprocessing.Event``, a :class:`repro.parallel.CancelToken`, ...)
+    and optionally a ``reason`` attribute/method naming why.
+    """
+    if cancel is None or not cancel.is_set():
+        return
+    reason = getattr(cancel, "reason", "cancelled")
+    if callable(reason):
+        reason = reason()
+    raise SynthesisCancelled(
+        f"synthesis cancelled cooperatively ({reason})", reason=str(reason)
+    )
+
+
+def _interruptible_sleep(seconds: float, cancel) -> None:
+    """``time.sleep`` in short slices so a stalled run still observes
+    cancellation (the paper's slow heterogeneous machines should not need a
+    hard kill to stop)."""
+    deadline = time.monotonic() + seconds
+    while True:
+        _check_cancel(cancel)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(0.05, remaining))
+
+
+def find_input_cycle_offenders(state: SynthesisState) -> list[tuple[int, int, int]]:
+    """Groups of ``δp`` participating in a non-progress cycle in ``¬I``.
+
+    Raises :class:`UnresolvableCycleError` when such a group has groupmates
+    starting in ``I`` (it could never be removed without changing ``δp|I``).
+    Schedule-independent — the portfolio precompute runs this once and ships
+    the offender list to every worker.
+    """
     with state.stats.timer("scc"):
         view = state.pss_view()
         sccs = cyclic_sccs(view, state.space.size, state.not_i)
     if not sccs:
-        return
+        return []
     state.stats.record_sccs([len(c) for c in sccs])
     in_scc = np.zeros(state.space.size, dtype=bool)
     for comp in sccs:
@@ -97,6 +130,24 @@ def _preprocess_input_cycles(
                     f"cannot be removed without changing δp|I"
                 )
             offenders.append((j, rcode, wcode))
+    return offenders
+
+
+def _preprocess_input_cycles(
+    state: SynthesisState,
+    options: HeuristicOptions,
+    offenders: Sequence[tuple[int, int, int]] | None = None,
+) -> None:
+    """Detect/eliminate non-progress cycles already present in ``δp | ¬I``.
+
+    ``offenders`` short-circuits detection with a precomputed list (the
+    shared-precompute portfolio path); removal stays per-run because it is
+    gated on each config's ``options.remove_input_cycles``.
+    """
+    if offenders is None:
+        offenders = find_input_cycle_offenders(state)
+    if not offenders:
+        return
     if not options.remove_input_cycles:
         raise UnresolvableCycleError(
             f"input protocol {state.protocol.name!r} has non-progress "
@@ -113,6 +164,8 @@ def add_strong_convergence(
     schedule: Sequence[int] | None = None,
     options: HeuristicOptions | None = None,
     stats: SynthesisStats | None = None,
+    precompute=None,
+    cancel=None,
 ) -> SynthesisResult:
     """Run the full heuristic for one recovery schedule.
 
@@ -121,6 +174,14 @@ def add_strong_convergence(
     :class:`UnresolvableCycleError` on the complete negative answers.  A
     plain heuristic failure is returned as a result with
     ``success == False`` (or raised, with ``options.raise_on_failure``).
+
+    ``precompute`` (a :class:`repro.parallel.PortfolioPrecompute` or anything
+    shaped like one) supplies the schedule-independent preprocessing — closure
+    check, input-cycle offenders, C1 cache, out-degree counts and the full
+    ``ComputeRanks`` result — so portfolio members skip straight to the
+    schedule-specific passes.  ``cancel`` is a cooperative cancellation token
+    (``is_set() -> bool``) observed at pass and rank-level boundaries;
+    tripping it raises :class:`SynthesisCancelled`.
     """
     options = options or HeuristicOptions()
     stats = stats if stats is not None else SynthesisStats()
@@ -132,22 +193,39 @@ def add_strong_convergence(
     )
 
     if options.stall_seconds > 0:
-        time.sleep(options.stall_seconds)
+        _interruptible_sleep(options.stall_seconds, cancel)
 
     with stats.timer("total"):
-        check_closure(protocol, invariant)
+        if precompute is None:
+            check_closure(protocol, invariant)
         state = SynthesisState(
             protocol,
             invariant,
             stats,
             resolve_cycles=not options.disable_cycle_resolution,
             cycle_resolution_mode=options.cycle_resolution_mode,
+            init_out_counts=(
+                precompute.out_counts if precompute is not None else None
+            ),
+            init_rcode_touches_i=(
+                precompute.rcode_touches_i if precompute is not None else None
+            ),
         )
 
         # ---------------- preprocessing ----------------
         with stats.tracer.span("heuristic.preprocess"):
-            _preprocess_input_cycles(state, options)
-        ranking = compute_ranks(protocol, invariant, stats=stats)
+            _preprocess_input_cycles(
+                state,
+                options,
+                offenders=(
+                    precompute.offenders if precompute is not None else None
+                ),
+            )
+        if precompute is not None:
+            ranking = precompute.ranking
+            stats.bump("precompute_reused")
+        else:
+            ranking = compute_ranks(protocol, invariant, stats=stats)
         if not ranking.admits_stabilization():
             raise NoStabilizingVersionError(
                 f"{ranking.n_infinite} states have rank ∞; no stabilizing "
@@ -179,10 +257,12 @@ def add_strong_convergence(
         for pass_no, enabled in ((1, options.enable_pass1), (2, options.enable_pass2)):
             if not enabled:
                 continue
+            _check_cancel(cancel)
             stats.bump(f"pass{pass_no}_runs")
             done = False
             with stats.tracer.span(f"heuristic.pass{pass_no}") as span:
                 for i in range(1, ranking.max_rank + 1):
+                    _check_cancel(cancel)
                     from_mask = state.deadlock_mask() & ranking.rank_mask(i)
                     if not from_mask.any():
                         continue
@@ -198,6 +278,7 @@ def add_strong_convergence(
 
         # ---------------- pass 3 ----------------
         if options.enable_pass3:
+            _check_cancel(cancel)
             stats.bump("pass3_runs")
             with stats.tracer.span("heuristic.pass3") as span:
                 from_mask = state.deadlock_mask()

@@ -33,10 +33,15 @@ def rvals_intersecting(table: ProcessGroupTable, mask: np.ndarray) -> np.ndarray
     """
     out = np.empty(table.n_rvals, dtype=bool)
     offsets = table.unread_offsets
-    # One vectorised gather per rcode; n_rvals is small (product of readable
-    # domains), so this loop is not a hot spot.
-    for rcode in range(table.n_rvals):
-        out[rcode] = bool(mask[table.bases[rcode] + offsets].any())
+    bases = table.bases
+    # Vectorised over the unread axis: one 2-D gather covers a whole block of
+    # rcodes at once.  The cylinders partition the space, so the full grid is
+    # exactly |Sp| gathers — chunked to bound the temporary at ~32 MB.
+    chunk = max(1, (1 << 22) // max(1, len(offsets)))
+    for start in range(0, table.n_rvals, chunk):
+        stop = min(start + chunk, table.n_rvals)
+        grid = bases[start:stop, None] + offsets[None, :]
+        out[start:stop] = mask[grid].any(axis=1)
     return out
 
 
@@ -136,36 +141,41 @@ def compute_ranks(
         rank[invariant.mask] = 0
         frontier = invariant.mask.copy()
 
-        # Flatten (table, rcode, delta-per-wcode) once; grouping by rcode lets
-        # each level reuse the source array across the rcode's wcodes.
-        flat: list[tuple[ProcessGroupTable, int, list[int]]] = []
+        # Materialise the (src, dst) endpoint arrays of every p_im group ONCE,
+        # outside the level loop (they were previously regenerated from
+        # bases/offsets/deltas at every BFS level).  Each level is then two
+        # fused gathers over the flat edge list — no per-group Python loop.
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
         for j, gs in enumerate(pim_list):
             table = protocol.tables[j]
             by_rcode: dict[int, list[int]] = {}
             for rcode, wcode in gs:
                 by_rcode.setdefault(rcode, []).append(wcode)
             for rcode, wcodes in sorted(by_rcode.items()):
-                flat.append((table, rcode, sorted(wcodes)))
+                src = table.bases[rcode] + table.unread_offsets
+                for wcode in sorted(wcodes):
+                    srcs.append(src)
+                    dsts.append(src + table.deltas[rcode, wcode])
+        if srcs:
+            edge_src = np.concatenate(srcs)
+            edge_dst = np.concatenate(dsts)
+        else:
+            edge_src = np.empty(0, dtype=rank.dtype)
+            edge_dst = np.empty(0, dtype=rank.dtype)
+        del srcs, dsts
 
         level = 0
         with stats.tracer.span("rank.backward_bfs") as span:
             while True:
                 level += 1
-                new_mask = np.zeros(space.size, dtype=bool)
-                found = False
-                for table, rcode, wcodes in flat:
-                    src = table.bases[rcode] + table.unread_offsets
-                    unexplored = rank[src] == INF_RANK
-                    if not unexplored.any():
-                        continue
-                    for wcode in wcodes:
-                        dst = src + table.deltas[rcode, wcode]
-                        hit = src[unexplored & frontier[dst]]
-                        if len(hit):
-                            new_mask[hit] = True
-                            found = True
-                if not found:
+                hit = edge_src[
+                    (rank[edge_src] == INF_RANK) & frontier[edge_dst]
+                ]
+                if not len(hit):
                     break
+                new_mask = np.zeros(space.size, dtype=bool)
+                new_mask[hit] = True
                 rank[new_mask] = level
                 frontier = new_mask
             max_rank = level - 1

@@ -103,7 +103,13 @@ def synthesize(
     fewest remaining deadlock states.  A ``tracer`` profiles every attempt
     (one ``portfolio.attempt`` span each, with the per-pass spans nested
     under the attempt's stats).
+
+    The schedule-independent preprocessing (closure check, input-cycle SCC
+    pass, C1 cache, ``ComputeRanks``) is computed **once** and shared across
+    all attempts — the same :class:`~repro.parallel.PortfolioPrecompute` the
+    multi-process portfolio ships to its workers.
     """
+    from ..parallel.precompute import precompute_portfolio
     from ..verify.stabilization import check_solution
 
     config_list = (
@@ -115,6 +121,10 @@ def synthesize(
         config_list = config_list[:max_attempts]
     if not config_list:
         raise ValueError("empty portfolio")
+
+    precompute = precompute_portfolio(
+        protocol, invariant, stats=SynthesisStats.traced(tracer)
+    )
 
     attempts: list[tuple[SynthesisConfig, bool, int]] = []
     best: tuple[int, SynthesisResult, SynthesisConfig] | None = None
@@ -129,6 +139,7 @@ def synthesize(
                 schedule=config.schedule,
                 options=replace(config.options, raise_on_failure=False),
                 stats=stats,
+                precompute=precompute,
             )
             if result.success and verify:
                 with stats.tracer.span("verify.check_solution"):

@@ -1,5 +1,29 @@
-"""Multi-process portfolio synthesis (one heuristic instance per worker)."""
+"""Multi-process portfolio synthesis with shared precompute, adaptive
+scheduling and an on-disk synthesis cache (one heuristic instance per
+worker, paper Figure 1)."""
 
+from .cache import SynthesisCache, config_key, protocol_fingerprint
 from .pool import ParallelOutcome, merge_worker_traces, synthesize_parallel
+from .precompute import (
+    PortfolioPrecompute,
+    PrecomputeSpec,
+    SharedRankArray,
+    precompute_portfolio,
+)
+from .scheduler import CancelToken, CostModel, order_portfolio
 
-__all__ = ["ParallelOutcome", "merge_worker_traces", "synthesize_parallel"]
+__all__ = [
+    "CancelToken",
+    "CostModel",
+    "ParallelOutcome",
+    "PortfolioPrecompute",
+    "PrecomputeSpec",
+    "SharedRankArray",
+    "SynthesisCache",
+    "config_key",
+    "merge_worker_traces",
+    "order_portfolio",
+    "precompute_portfolio",
+    "protocol_fingerprint",
+    "synthesize_parallel",
+]

@@ -1,0 +1,135 @@
+"""On-disk synthesis memo cache.
+
+Benchmark sweeps and repeated CLI runs re-solve the exact same
+(protocol, schedule, options) configurations over and over; related
+synthesis tools amortise that work across candidates.  Here every completed
+portfolio outcome is memoised under a content key:
+
+``protocol_fingerprint``
+    SHA-256 over the state space (variable names + radices), the topology
+    (per-process read/write sets), the transition groups ``δp`` and the
+    invariant mask — everything that determines the synthesis answer.
+``config_key``
+    the fingerprint combined with the recovery schedule and the full
+    ``HeuristicOptions`` record.
+
+One JSON file per key under ``cache_dir`` (human-inspectable, safe to
+delete).  A hit reconstructs the :class:`~repro.parallel.ParallelOutcome`
+without spawning a single worker, so a warm re-run returns in near-constant
+time.  Cancelled/timed-out runs are never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+#: bump when the stored schema changes; stale entries are ignored
+CACHE_SCHEMA = 1
+
+
+def protocol_fingerprint(protocol: Protocol, invariant: Predicate) -> str:
+    """Content hash of everything that determines the synthesis answer."""
+    h = hashlib.sha256()
+    space = protocol.space
+    h.update(repr([v.name for v in space.variables]).encode())
+    h.update(repr([int(r) for r in space.radices]).encode())
+    for spec in protocol.topology:
+        h.update(
+            repr((spec.name, tuple(spec.reads), tuple(spec.writes))).encode()
+        )
+    for j, gs in enumerate(protocol.groups):
+        h.update(repr((j, sorted(gs))).encode())
+    h.update(invariant.mask.tobytes())
+    return h.hexdigest()
+
+
+def config_key(fingerprint: str, config) -> str:
+    """Cache key for one portfolio entry (protocol × schedule × options)."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "schedule": list(config.schedule),
+            "options": asdict(config.options),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SynthesisCache:
+    """A directory of memoised portfolio outcomes, one JSON file per key."""
+
+    def __init__(self, cache_dir: str | os.PathLike):
+        self.cache_dir = os.fspath(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, fingerprint: str, config):
+        """Return the memoised :class:`ParallelOutcome` or ``None``."""
+        from .pool import ParallelOutcome
+
+        path = self._path(config_key(fingerprint, config))
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("schema") != CACHE_SCHEMA:
+            self.misses += 1
+            return None
+        self.hits += 1
+        pss = record.get("pss_groups")
+        return ParallelOutcome(
+            config=config,
+            success=bool(record["success"]),
+            pss_groups=(
+                [set(map(tuple, g)) for g in pss] if pss is not None else None
+            ),
+            remaining_deadlocks=int(record.get("remaining_deadlocks", 0)),
+            timers=dict(record.get("timers", {})),
+            counters=dict(record.get("counters", {})),
+            cached=True,
+        )
+
+    def put(self, fingerprint: str, outcome) -> str | None:
+        """Memoise a completed outcome; returns the file path (None when the
+        outcome is not cacheable, e.g. it was cancelled)."""
+        if outcome.cancelled or outcome.cached:
+            return None
+        record = {
+            "schema": CACHE_SCHEMA,
+            "config": outcome.config.describe(),
+            "success": outcome.success,
+            "pss_groups": (
+                [sorted(g) for g in outcome.pss_groups]
+                if outcome.pss_groups is not None
+                else None
+            ),
+            "remaining_deadlocks": outcome.remaining_deadlocks,
+            "timers": outcome.timers,
+            "counters": outcome.counters,
+        }
+        path = self._path(config_key(fingerprint, outcome.config))
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)  # atomic: concurrent sweeps never read half a file
+        return path
+
+    def __len__(self) -> int:
+        return sum(
+            1 for n in os.listdir(self.cache_dir) if n.endswith(".json")
+        )

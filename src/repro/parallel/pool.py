@@ -1,25 +1,41 @@
-"""Parallel portfolio synthesis (paper Figure 1).
+"""Parallel portfolio synthesis (paper Figure 1), with shared precompute.
 
 "For each schedule, we can instantiate one instance of our heuristic on a
 separate machine" — here, on worker *processes* via ``multiprocessing``.
 Workers race over the configuration portfolio; the first verified success
 wins and the rest are cancelled.
 
-Protocols are rebuilt inside each worker from a picklable spec (a builder
-callable plus arguments) rather than shipping numpy-heavy objects through
-pickle.
+The engine has four cooperating parts (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.parallel.precompute` — all schedule-independent work (protocol
+  build, closure check, input-cycle SCC pass, C1 cache, ``ComputeRanks``)
+  runs once in the parent and is shipped to workers zero-copy under fork, or
+  via a picklable spec plus a ``shared_memory``-backed rank array under
+  spawn;
+* :mod:`repro.parallel.scheduler` — the config queue is cost-ordered
+  (cheapest first, from wall-clock observed in earlier runs), portfolios may
+  oversubscribe the pool (more configs than workers), and every worker gets
+  a :class:`~repro.parallel.scheduler.CancelToken` combining the race-wide
+  winner event with a per-config soft deadline;
+* :mod:`repro.parallel.cache` — completed outcomes are memoised on disk
+  keyed by (protocol fingerprint, schedule, options); warm re-runs return
+  without spawning workers;
+* this module — the race itself.  Losers observe the cancellation event at
+  pass/rank boundaries inside ``add_strong_convergence`` and exit cleanly;
+  ``pool.terminate`` after a short grace period remains the backstop.
 
 With ``trace_dir`` set, every worker streams its own JSONL trace
-(``worker_<index>.jsonl``); because lines are flushed per event, a loser
-cancelled mid-run still leaves a readable partial trace.  The parent merges
-whatever exists into ``merged.jsonl`` after the race, so the winning
-schedule's profile survives cancellation of everything else.
+(``worker_<index>.jsonl``) and the parent writes ``portfolio.jsonl``
+(precompute span, cache hits/misses, queue order); because lines are flushed
+per event, a loser cancelled mid-run still leaves a readable partial trace.
+The parent merges whatever exists into ``merged.jsonl`` after the race.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -27,9 +43,20 @@ from ..core.heuristic import HeuristicOptions
 from ..core.synthesizer import SynthesisConfig, default_portfolio
 from ..metrics.stats import SynthesisStats
 from ..trace.tracer import NULL_TRACER, Tracer
+from .cache import SynthesisCache, protocol_fingerprint
+from .precompute import (
+    PortfolioPrecompute,
+    PrecomputeSpec,
+    SharedRankArray,
+    precompute_portfolio,
+)
+from .scheduler import CancelToken, CostModel, order_portfolio
 
 #: builder: () -> (protocol, invariant); must be a picklable top-level callable
 Builder = Callable[[], tuple]
+
+#: name of the parent-side trace file inside ``trace_dir``
+PARENT_TRACE = "portfolio.jsonl"
 
 
 @dataclass
@@ -44,29 +71,105 @@ class ParallelOutcome:
     counters: dict[str, int] = field(default_factory=dict)
     #: this worker's JSONL trace file (None when tracing was off)
     trace_path: str | None = None
+    #: True when the run stopped cooperatively instead of completing
+    cancelled: bool = False
+    #: why: "cancelled" (a winner verified first) or "deadline" (over budget)
+    cancel_reason: str | None = None
+    #: True when the outcome came from the on-disk cache (no worker ran)
+    cached: bool = False
+    #: worker wall-clock in seconds (0.0 for cached outcomes)
+    duration: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# worker-process state (set once per worker by the pool initializer)
+# ----------------------------------------------------------------------
+
+#: per-worker context: event, soft deadline, builder, precompute
+_WORKER_CTX: dict | None = None
+
+#: parent-side stash read by fork children through copy-on-write; must be
+#: populated *before* the pool is created and cleared afterwards
+_FORK_PRECOMPUTE: PortfolioPrecompute | None = None
+
+
+def _init_worker(event, soft_deadline, builder, builder_args, spec) -> None:
+    """Pool initializer: runs once in every worker process.
+
+    Under fork the precompute is inherited zero-copy via
+    :data:`_FORK_PRECOMPUTE`; under spawn it is rebuilt from the picklable
+    ``spec`` (rank array attached from shared memory).  ``spec`` and the
+    stash are both ``None`` when precompute sharing is disabled, in which
+    case each job rebuilds everything from the builder (the pre-PR-3
+    behaviour, kept for benchmarking the speedup honestly).
+    """
+    global _WORKER_CTX
+    if spec is not None:
+        precompute = spec.rebuild()
+    else:
+        precompute = _FORK_PRECOMPUTE
+    _WORKER_CTX = {
+        "event": event,
+        "soft_deadline": soft_deadline,
+        "builder": builder,
+        "builder_args": builder_args,
+        "precompute": precompute,
+    }
 
 
 def _worker(args) -> ParallelOutcome:
-    builder, builder_args, config, index, trace_path = args
+    config, index, trace_path = args
+    from ..core.exceptions import SynthesisCancelled
     from ..core.heuristic import add_strong_convergence
     from ..verify.stabilization import check_solution
 
+    ctx = _WORKER_CTX or {}
+    precompute = ctx.get("precompute")
+    cancel = CancelToken.with_budget(
+        event=ctx.get("event"), budget=ctx.get("soft_deadline")
+    )
     tracer = (
         Tracer(trace_path, worker=index, config=config.describe())
         if trace_path is not None
         else NULL_TRACER
     )
+    t0 = time.perf_counter()
     try:
-        protocol, invariant = builder(*builder_args)
-        tracer.event("worker.start", protocol=protocol.name)
-        stats = SynthesisStats(tracer=tracer)
-        result = add_strong_convergence(
-            protocol,
-            invariant,
-            schedule=config.schedule,
-            options=config.options,
-            stats=stats,
+        if precompute is not None:
+            protocol, invariant = precompute.protocol, precompute.invariant
+        else:
+            builder, builder_args = ctx["builder"], ctx["builder_args"]
+            protocol, invariant = builder(*builder_args)
+        tracer.event(
+            "worker.start",
+            protocol=protocol.name,
+            shared_precompute=precompute is not None,
         )
+        stats = SynthesisStats(tracer=tracer)
+        try:
+            result = add_strong_convergence(
+                protocol,
+                invariant,
+                schedule=config.schedule,
+                options=config.options,
+                stats=stats,
+                precompute=precompute,
+                cancel=cancel,
+            )
+        except SynthesisCancelled as exc:
+            tracer.event("worker.cancelled", reason=exc.reason)
+            return ParallelOutcome(
+                config=config,
+                success=False,
+                pss_groups=None,
+                remaining_deadlocks=-1,
+                timers=dict(stats.timers),
+                counters=dict(stats.counters),
+                trace_path=trace_path,
+                cancelled=True,
+                cancel_reason=exc.reason,
+                duration=time.perf_counter() - t0,
+            )
         success = result.success
         if success:
             with tracer.span("verify.check_solution"):
@@ -84,14 +187,16 @@ def _worker(args) -> ParallelOutcome:
             timers=dict(stats.timers),
             counters=dict(stats.counters),
             trace_path=trace_path,
+            duration=time.perf_counter() - t0,
         )
     finally:
         tracer.close()
 
 
 def merge_worker_traces(trace_dir: str | os.PathLike) -> str | None:
-    """Merge every ``worker_*.jsonl`` under ``trace_dir`` into
-    ``merged.jsonl``; returns its path (None when no worker files exist)."""
+    """Merge ``portfolio.jsonl`` (parent) and every ``worker_*.jsonl`` under
+    ``trace_dir`` into ``merged.jsonl``; returns its path (None when no
+    trace files exist)."""
     from ..trace.report import merge_traces
 
     trace_dir = os.fspath(trace_dir)
@@ -100,11 +205,36 @@ def merge_worker_traces(trace_dir: str | os.PathLike) -> str | None:
         for name in os.listdir(trace_dir)
         if name.startswith("worker_") and name.endswith(".jsonl")
     )
+    parent = os.path.join(trace_dir, PARENT_TRACE)
+    if os.path.exists(parent):
+        paths.insert(0, parent)
     if not paths:
         return None
     merged = os.path.join(trace_dir, "merged.jsonl")
     merge_traces(paths, merged)
     return merged
+
+
+def _get_mp_context(start_method: str | None):
+    """The multiprocessing context: fork where available (zero-copy
+    precompute), spawn elsewhere (Windows, macOS default)."""
+    available = mp.get_all_start_methods()
+    if start_method is None:
+        start_method = "fork" if "fork" in available else "spawn"
+    elif start_method not in available:
+        raise ValueError(
+            f"start method {start_method!r} unavailable (have {available})"
+        )
+    return mp.get_context(start_method), start_method
+
+
+def _pick_best(outcomes: Sequence[ParallelOutcome]) -> ParallelOutcome:
+    """Best failure: fewest remaining deadlocks among completed runs;
+    cancelled runs (unknown deadlock count) only as a last resort."""
+    finished = [o for o in outcomes if not o.cancelled]
+    if finished:
+        return min(finished, key=lambda o: o.remaining_deadlocks)
+    return outcomes[0]
 
 
 def synthesize_parallel(
@@ -115,18 +245,35 @@ def synthesize_parallel(
     n_workers: int | None = None,
     base_options: HeuristicOptions | None = None,
     trace_dir: str | os.PathLike | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    soft_deadline: float | None = None,
+    share_precompute: bool = True,
+    start_method: str | None = None,
+    cancel_grace: float = 2.0,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
     """Race the portfolio across worker processes.
 
-    Returns ``(winner_or_best, all_completed_outcomes)``.  Workers that were
-    still running when a success arrived are terminated (``pool.terminate``
-    after the ``imap_unordered`` short-circuit), mirroring "first machine to
-    find a solution wins".  With ``trace_dir``, each worker writes
-    ``trace_dir/worker_<index>.jsonl`` and the parent merges all surviving
-    files — winner and cancelled losers alike — into
-    ``trace_dir/merged.jsonl``.
+    Returns ``(winner_or_best, completed_outcomes)``.  The protocol is built
+    **once** in the parent; its schedule-independent preprocessing is shared
+    with every worker (``share_precompute=False`` restores the old
+    recompute-everything fan-out, for benchmarking).  The config queue is
+    cost-ordered from earlier observed timings (persisted in ``cache_dir``),
+    may hold more configs than workers, and drains adaptively: when a
+    success verifies, the shared event cancels the losers cooperatively at
+    their next pass/rank boundary, then ``pool.terminate`` lands after
+    ``cancel_grace`` seconds as a backstop.  Race-cancelled losers are
+    dropped from ``completed_outcomes``; deadline-cancelled runs are kept
+    (marked ``cancelled``/``cancel_reason="deadline"``).
+
+    With ``cache_dir``, completed outcomes are memoised on disk and repeat
+    runs resolve from cache without spawning workers.  With ``trace_dir``,
+    each worker writes ``worker_<index>.jsonl``, the parent writes
+    ``portfolio.jsonl``, and everything surviving merges into
+    ``merged.jsonl``.
     """
-    protocol, _ = builder(*builder_args)
+    global _FORK_PRECOMPUTE
+
+    protocol, invariant = builder(*builder_args)
     config_list = (
         list(configs)
         if configs is not None
@@ -134,35 +281,164 @@ def synthesize_parallel(
     )
     if not config_list:
         raise ValueError("empty portfolio")
-    n_workers = n_workers or min(len(config_list), mp.cpu_count())
+
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
-    jobs = [
-        (
-            builder,
-            builder_args,
-            config,
-            index,
-            (
-                os.path.join(os.fspath(trace_dir), f"worker_{index}.jsonl")
-                if trace_dir is not None
-                else None
-            ),
+        tracer = Tracer(
+            os.path.join(os.fspath(trace_dir), PARENT_TRACE),
+            role="portfolio-parent",
+            protocol=protocol.name,
         )
-        for index, config in enumerate(config_list)
-    ]
-    completed: list[ParallelOutcome] = []
-    winner: ParallelOutcome | None = None
-    ctx = mp.get_context("fork")
-    with ctx.Pool(processes=n_workers) as pool:
-        for outcome in pool.imap_unordered(_worker, jobs):
-            completed.append(outcome)
-            if outcome.success:
-                winner = outcome
-                pool.terminate()
-                break
-    if trace_dir is not None:
-        merge_worker_traces(trace_dir)
-    if winner is None:
-        winner = min(completed, key=lambda o: o.remaining_deadlocks)
-    return winner, completed
+    else:
+        tracer = NULL_TRACER
+
+    cache = SynthesisCache(cache_dir) if cache_dir is not None else None
+    cost_model = CostModel.in_dir(cache_dir)
+    fingerprint = (
+        protocol_fingerprint(protocol, invariant)
+        if cache_dir is not None
+        else ""
+    )
+
+    try:
+        config_list = order_portfolio(
+            config_list, fingerprint, cost_model if cache_dir else None
+        )
+
+        # ------------------------------------------------------------------
+        # cache sweep: known outcomes never reach the pool
+        # ------------------------------------------------------------------
+        completed: list[ParallelOutcome] = []
+        winner: ParallelOutcome | None = None
+        pending: list[SynthesisConfig] = []
+        for config in config_list:
+            hit = cache.get(fingerprint, config) if cache is not None else None
+            if hit is None:
+                if cache is not None:
+                    tracer.event("cache.miss", config=config.describe())
+                    tracer.count("portfolio.cache_misses")
+                pending.append(config)
+                continue
+            tracer.event(
+                "cache.hit", config=config.describe(), success=hit.success
+            )
+            tracer.count("portfolio.cache_hits")
+            completed.append(hit)
+            if hit.success and winner is None:
+                winner = hit
+        if winner is not None:
+            tracer.event(
+                "portfolio.winner",
+                config=winner.config.describe(),
+                cached=True,
+            )
+            return winner, completed
+        if not pending:
+            return _pick_best(completed), completed
+
+        # ------------------------------------------------------------------
+        # shared precompute (one-shot, parent-side)
+        # ------------------------------------------------------------------
+        ctx, method = _get_mp_context(start_method)
+        precompute: PortfolioPrecompute | None = None
+        spec: PrecomputeSpec | None = None
+        shared_rank: SharedRankArray | None = None
+        if share_precompute:
+            precompute = precompute_portfolio(
+                protocol, invariant, stats=SynthesisStats(tracer=tracer)
+            )
+            if method != "fork":
+                shared_rank = SharedRankArray.create(precompute.ranking.rank)
+                spec = PrecomputeSpec.from_precompute(
+                    precompute, builder, builder_args, shared_rank
+                )
+
+        n_workers = n_workers or min(len(pending), mp.cpu_count())
+        tracer.event(
+            "portfolio.schedule",
+            n_configs=len(pending),
+            n_workers=n_workers,
+            start_method=method,
+            shared_precompute=share_precompute,
+            order=[c.describe() for c in pending],
+        )
+
+        jobs = [
+            (
+                config,
+                index,
+                (
+                    os.path.join(
+                        os.fspath(trace_dir), f"worker_{index}.jsonl"
+                    )
+                    if trace_dir is not None
+                    else None
+                ),
+            )
+            for index, config in enumerate(pending)
+        ]
+
+        event = ctx.Event()
+        if method == "fork" and share_precompute:
+            _FORK_PRECOMPUTE = precompute
+        try:
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_init_worker,
+                initargs=(event, soft_deadline, builder, builder_args, spec),
+            ) as pool:
+                results = pool.imap_unordered(_worker, jobs)
+                for outcome in results:
+                    if outcome.cancelled and outcome.cancel_reason == "cancelled":
+                        tracer.count("portfolio.losers_cancelled")
+                        continue
+                    completed.append(outcome)
+                    if not outcome.cancelled:
+                        cost_model.observe(
+                            fingerprint, outcome.config, outcome.duration
+                        )
+                        if cache is not None:
+                            cache.put(fingerprint, outcome)
+                    if outcome.success:
+                        winner = outcome
+                        event.set()
+                        # grace window: losers exit cooperatively at their
+                        # next pass/rank boundary and keep their traces
+                        deadline = time.monotonic() + cancel_grace
+                        while True:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                break
+                            try:
+                                late = results.next(timeout=remaining)
+                            except StopIteration:
+                                break
+                            except mp.TimeoutError:
+                                break
+                            if late.cancelled and late.cancel_reason == "cancelled":
+                                tracer.count("portfolio.losers_cancelled")
+                                continue
+                            completed.append(late)
+                            if not late.cancelled:
+                                cost_model.observe(
+                                    fingerprint, late.config, late.duration
+                                )
+                                if cache is not None:
+                                    cache.put(fingerprint, late)
+                        break
+        finally:
+            _FORK_PRECOMPUTE = None
+            if shared_rank is not None:
+                shared_rank.close()
+                shared_rank.unlink()
+        cost_model.save()
+        if winner is not None:
+            tracer.event(
+                "portfolio.winner", config=winner.config.describe(), cached=False
+            )
+            return winner, completed
+        return _pick_best(completed), completed
+    finally:
+        tracer.close()
+        if trace_dir is not None:
+            merge_worker_traces(trace_dir)

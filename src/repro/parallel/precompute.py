@@ -1,0 +1,207 @@
+"""Schedule-independent portfolio precompute (done once, shared by workers).
+
+Every configuration of the paper's portfolio (Figure 1) runs the *same*
+preprocessing before any schedule-specific work starts: build the protocol,
+check closure of ``I``, find the input protocol's non-progress cycles, build
+the C1 cache (``rcode_touches_i``), and run the full ``ComputeRanks``
+backward BFS.  The naive fan-out repeated all of it in every worker; this
+module hoists it into a one-shot parent-side :class:`PortfolioPrecompute`.
+
+Shipping to workers:
+
+* **fork** start method (Linux default) — the parent stashes the object in a
+  module global before creating the pool; children inherit every page
+  zero-copy via copy-on-write.  Nothing is pickled.
+* **spawn** start method (Windows, macOS default) — children re-import the
+  world, so the precompute is rebuilt from a picklable
+  :class:`PrecomputeSpec`: the protocol comes back from the (cheap, picklable)
+  builder callable, the small set-valued fields ride through pickle, and the
+  big rank array is mapped from a ``multiprocessing.shared_memory`` segment
+  created by the parent — one copy total, regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.add_convergence import SynthesisState
+from ..core.heuristic import find_input_cycle_offenders
+from ..core.ranking import RankingResult, compute_ranks
+from ..core.weak import check_closure
+from ..metrics.stats import SynthesisStats
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+GroupId = tuple[int, int, int]
+
+
+@dataclass
+class PortfolioPrecompute:
+    """Everything ``add_strong_convergence`` needs that no schedule changes.
+
+    Passed as the ``precompute=`` argument of
+    :func:`repro.core.heuristic.add_strong_convergence`; closure is already
+    verified, so the callee skips ``check_closure`` entirely.
+    """
+
+    protocol: Protocol
+    invariant: Predicate
+    #: input-cycle groups each run must remove (or refuse to, per its options)
+    offenders: list[GroupId]
+    #: per process: rcodes whose cylinder intersects I (constraint C1 cache)
+    rcode_touches_i: list[np.ndarray]
+    #: out-degree of every state under the *input* ``δp`` (pre-removal)
+    out_counts: np.ndarray
+    ranking: RankingResult
+
+
+def precompute_portfolio(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    stats: SynthesisStats | None = None,
+) -> PortfolioPrecompute:
+    """Run the schedule-independent preprocessing once.
+
+    Raises the same *complete negative answers* the heuristic would —
+    :class:`~repro.core.exceptions.NotClosedError`,
+    :class:`~repro.core.exceptions.UnresolvableCycleError` (groupmates-in-I
+    case), :class:`~repro.core.exceptions.NoStabilizingVersionError` is left
+    to the caller via ``ranking.admits_stabilization()`` — so a doomed
+    portfolio fails fast in the parent instead of ``n_workers`` times.
+    """
+    stats = stats if stats is not None else SynthesisStats()
+    with stats.tracer.span("portfolio.precompute"):
+        check_closure(protocol, invariant)
+        state = SynthesisState(protocol, invariant, stats)
+        offenders = find_input_cycle_offenders(state)
+        ranking = compute_ranks(protocol, invariant, stats=stats)
+    return PortfolioPrecompute(
+        protocol=protocol,
+        invariant=invariant,
+        offenders=offenders,
+        rcode_touches_i=state.rcode_touches_i,
+        out_counts=state.out_counts,
+        ranking=ranking,
+    )
+
+
+# ----------------------------------------------------------------------
+# spawn-safe shipping
+# ----------------------------------------------------------------------
+
+
+class SharedRankArray:
+    """A rank array backed by ``multiprocessing.shared_memory``.
+
+    The parent :meth:`create`\\ s the segment (one copy of the array);
+    workers :meth:`attach` a read-only view by name.  The parent must keep
+    the instance alive while workers run and :meth:`unlink` it afterwards.
+    """
+
+    def __init__(self, shm, shape: tuple[int, ...], dtype: str, *, owner: bool):
+        self._shm = shm
+        self.shape = tuple(shape)
+        self.dtype = str(dtype)
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedRankArray":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm, array.shape, array.dtype.str, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, shape: Sequence[int], dtype: str
+    ) -> "SharedRankArray":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        # Workers share the parent's resource tracker (the fd is inherited),
+        # so attaching re-registers the same name idempotently; the parent's
+        # unlink() after the race is the single point of cleanup.
+        return cls(shm, tuple(shape), dtype, owner=False)
+
+    def asarray(self) -> np.ndarray:
+        view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf)
+        view.setflags(write=False)
+        return view
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._shm.unlink()
+
+
+@dataclass
+class PrecomputeSpec:
+    """Picklable recipe for rebuilding a :class:`PortfolioPrecompute` in a
+    spawn-started worker."""
+
+    builder: Callable
+    builder_args: tuple
+    offenders: list[GroupId]
+    rcode_touches_i: list[np.ndarray]
+    pim_groups: list[list[tuple[int, int]]]
+    max_rank: int
+    rank_shm_name: str
+    rank_shape: tuple[int, ...]
+    rank_dtype: str
+    #: workers keep their attached segment here so it stays mapped
+    _attached: SharedRankArray | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_precompute(
+        cls,
+        pre: PortfolioPrecompute,
+        builder: Callable,
+        builder_args: tuple,
+        shared_rank: SharedRankArray,
+    ) -> "PrecomputeSpec":
+        return cls(
+            builder=builder,
+            builder_args=builder_args,
+            offenders=list(pre.offenders),
+            rcode_touches_i=[a.copy() for a in pre.rcode_touches_i],
+            pim_groups=[sorted(g) for g in pre.ranking.pim_groups],
+            max_rank=pre.ranking.max_rank,
+            rank_shm_name=shared_rank.name,
+            rank_shape=shared_rank.shape,
+            rank_dtype=shared_rank.dtype,
+        )
+
+    def rebuild(self) -> PortfolioPrecompute:
+        """Reconstruct the precompute inside a spawn worker (called once per
+        worker process, from the pool initializer)."""
+        protocol, invariant = self.builder(*self.builder_args)
+        self._attached = SharedRankArray.attach(
+            self.rank_shm_name, self.rank_shape, self.rank_dtype
+        )
+        ranking = RankingResult(
+            protocol=protocol,
+            invariant=invariant,
+            rank=self._attached.asarray(),
+            max_rank=self.max_rank,
+            pim_groups=[set(g) for g in self.pim_groups],
+        )
+        return PortfolioPrecompute(
+            protocol=protocol,
+            invariant=invariant,
+            offenders=list(self.offenders),
+            rcode_touches_i=list(self.rcode_touches_i),
+            out_counts=protocol.out_counts(),
+            ranking=ranking,
+        )

@@ -78,7 +78,9 @@ def summarize(paths: Sequence[str | os.PathLike]) -> TraceSummary:
     summary = TraceSummary()
     for path in paths:
         summary.n_files += 1
-        file_counters: dict[str, int] = {}
+        # cumulative: last snapshot wins *per source* — a merged file holds
+        # one stream per original file, tagged "src" by merge_traces
+        source_counters: dict[str | None, dict] = {}
         for record in iter_events(path):
             summary.n_events += 1
             kind = record.get("type")
@@ -88,12 +90,15 @@ def summarize(paths: Sequence[str | os.PathLike]) -> TraceSummary:
             elif kind == "counters":
                 values = record.get("values")
                 if isinstance(values, dict):
-                    file_counters = values  # cumulative: last snapshot wins
+                    source_counters[record.get("src")] = values
             elif kind == "meta":
                 summary.metas.append(record)
-        for name, value in file_counters.items():
-            if isinstance(value, (int, float)):
-                summary.counters[name] = summary.counters.get(name, 0) + int(value)
+        for values in source_counters.values():
+            for name, value in values.items():
+                if isinstance(value, (int, float)):
+                    summary.counters[name] = (
+                        summary.counters.get(name, 0) + int(value)
+                    )
     return summary
 
 
@@ -140,9 +145,35 @@ def render_report(summary: TraceSummary) -> str:
     bdd.add("reorder swaps", summary.counters.get("bdd.reorder_swaps", 0))
     tables.append(bdd)
 
+    portfolio_counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("portfolio.") or name == "precompute_reused"
+    }
+    if portfolio_counters:
+        portfolio = ResultTable(
+            "Portfolio scheduler",
+            ["counter", "value"],
+            note="shared-precompute portfolio: cache + cooperative cancellation",
+        )
+        hits = portfolio_counters.get("portfolio.cache_hits", 0)
+        misses = portfolio_counters.get("portfolio.cache_misses", 0)
+        portfolio.add("cache hits", hits)
+        portfolio.add("cache misses", misses)
+        portfolio.add("cache hit rate (%)", safe_percent(hits, hits + misses))
+        portfolio.add(
+            "losers cancelled cooperatively",
+            portfolio_counters.get("portfolio.losers_cancelled", 0),
+        )
+        portfolio.add(
+            "precompute reuses (workers)",
+            portfolio_counters.get("precompute_reused", 0),
+        )
+        tables.append(portfolio)
+
     counters = ResultTable("Counters", ["counter", "value"])
     for name in sorted(summary.counters):
-        if name.startswith("bdd."):
+        if name.startswith("bdd.") or name.startswith("portfolio."):
             continue
         counters.add(name, summary.counters[name])
     tables.append(counters)
