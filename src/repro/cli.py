@@ -163,6 +163,8 @@ def _synthesize_portfolio(args) -> int:
 
     from .parallel import synthesize_parallel
 
+    if args.resume and not args.cache_dir:
+        raise SystemExit("--resume requires --cache-dir")
     builder, builder_args = _builder_spec(args)
     trace_dir = args.trace or None
     t0 = time.perf_counter()
@@ -172,10 +174,19 @@ def _synthesize_portfolio(args) -> int:
         n_workers=args.workers,
         trace_dir=trace_dir,
         cache_dir=args.cache_dir,
+        hard_deadline=args.hard_deadline,
+        max_retries=args.max_retries,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - t0
+    n_cached = sum(1 for o in completed if o.cached)
+    n_resumed = sum(1 for o in completed if o.resumed)
+    n_crashed = sum(1 for o in completed if o.crashed)
     print(f"portfolio outcomes: {len(completed)} "
-          f"({sum(1 for o in completed if o.cached)} from cache)")
+          f"({n_cached} from cache, {n_resumed} from journal)")
+    if n_crashed:
+        print(f"crashed out       : {n_crashed} config(s) "
+              f"(retries exhausted; see trace counters)")
     if winner.success:
         print(f"winning config    : {winner.config.describe()}"
               + (" [cached]" if winner.cached else ""))
@@ -303,6 +314,28 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="on-disk synthesis memo cache: repeat runs of an already-solved "
         "(protocol, schedule, options) config return without spawning workers",
+    )
+    p_syn.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip configs already journaled in --cache-dir's "
+        "portfolio_state.jsonl (checkpoint/resume after a killed sweep)",
+    )
+    p_syn.add_argument(
+        "--hard-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: terminate and requeue a worker stuck on one config "
+        "longer than this (distinct from the cooperative soft deadline)",
+    )
+    p_syn.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requeue a crashed/hung config at most N times "
+        "(capped exponential backoff); default 2",
     )
     p_syn.add_argument(
         "--relation-mode",

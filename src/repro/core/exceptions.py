@@ -52,6 +52,15 @@ class SynthesisCancelled(SynthesisError):
         self.reason = reason
 
 
+class PortfolioError(SynthesisError):
+    """The portfolio race ended without a single reportable outcome.
+
+    Raised instead of an opaque ``IndexError`` when every run was dropped as
+    race-cancelled (or crashed out before producing anything), so callers can
+    distinguish "the race broke" from "the heuristic failed".
+    """
+
+
 class HeuristicFailure(SynthesisError):
     """All three passes completed but deadlock states remain.
 

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ..explicit.scc import cyclic_sccs
+from ..faults.runtime import fault_point
 from ..metrics.stats import SynthesisStats
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
@@ -258,6 +259,7 @@ def add_strong_convergence(
             if not enabled:
                 continue
             _check_cancel(cancel)
+            fault_point(f"pass.{pass_no}")
             stats.bump(f"pass{pass_no}_runs")
             done = False
             with stats.tracer.span(f"heuristic.pass{pass_no}") as span:
@@ -279,6 +281,7 @@ def add_strong_convergence(
         # ---------------- pass 3 ----------------
         if options.enable_pass3:
             _check_cancel(cancel)
+            fault_point("pass.3")
             stats.bump("pass3_runs")
             with stats.tracer.span("heuristic.pass3") as span:
                 from_mask = state.deadlock_mask()

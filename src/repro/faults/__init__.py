@@ -1,7 +1,16 @@
-"""Transient faults, daemons and the execution simulator."""
+"""Transient faults, daemons, the execution simulator — and runtime fault
+injection for the portfolio engine (:mod:`repro.faults.runtime`)."""
 
 from .daemons import AdversarialDaemon, Daemon, RandomDaemon, RoundRobinDaemon
 from .injection import FaultModel, random_state, random_states
+from .runtime import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    active_fault_plan,
+    fault_point,
+    install_fault_plan,
+    set_fault_context,
+)
 from .simulator import (
     ConvergenceStats,
     Trace,
@@ -14,13 +23,19 @@ __all__ = [
     "AdversarialDaemon",
     "ConvergenceStats",
     "Daemon",
+    "FAULT_PLAN_ENV",
     "FaultModel",
+    "FaultPlan",
     "RandomDaemon",
     "RoundRobinDaemon",
     "Trace",
+    "active_fault_plan",
+    "fault_point",
+    "install_fault_plan",
     "measure_convergence",
     "random_state",
     "random_states",
     "run",
     "run_with_faults",
+    "set_fault_context",
 ]

@@ -1,0 +1,152 @@
+"""Deterministic runtime fault injection for the portfolio engine.
+
+Distinct from the *protocol-level* transient-fault machinery in
+:mod:`repro.faults.injection` (which perturbs protocol state to measure
+convergence): this module injects *infrastructure* failures — worker
+crashes, hangs, cache corruption, lost trace files — at named hook points,
+so every failure mode the fault-tolerant portfolio runtime guards against
+is reproducible in tests and CI instead of only observable in production.
+
+A :class:`FaultPlan` is a small, picklable record of what to break and
+where.  Hook points call :func:`fault_point` (worker start, heuristic pass
+boundaries) or the ``should_*`` predicates (cache writes, trace merging);
+with no plan installed every hook is a cheap no-op.
+
+Targets are matched with ``"<site>@<substring>"`` specs: the part before
+``@`` names the hook site (``worker.start``, ``pass.1`` ...), the part
+after it is a substring of the worker's config description (for cache and
+trace faults: the config description / trace file name).  A bare spec with
+no ``@`` matches any site.  Worker faults fire only while the job's attempt
+number is below ``max_fires`` — so a crash-on-first-attempt plan lets the
+retry succeed, deterministically.
+
+Environment knob: ``REPRO_FAULT_PLAN`` holds a JSON object of
+:class:`FaultPlan` fields; :func:`repro.parallel.synthesize_parallel`
+auto-loads it, so CI can run fault drills without touching code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass
+
+#: environment variable holding a JSON-encoded :class:`FaultPlan`
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, where, and how often (all fields optional)."""
+
+    #: ``"<site>@<config substring>"`` — ``os._exit`` the worker there
+    crash_worker_at: str | None = None
+    #: ``"<site>@<config substring>"`` — sleep ``hang_seconds`` there,
+    #: ignoring every cancellation token (only the watchdog can stop it)
+    hang_worker_at: str | None = None
+    #: config-description substring — truncate the cache entry just written
+    corrupt_cache_entry: str | None = None
+    #: trace-file-name substring — delete the file before traces merge
+    drop_trace_file: str | None = None
+    #: exit code for :attr:`crash_worker_at` (1 ≈ segfault/OOM-kill victim)
+    crash_exit_code: int = 1
+    hang_seconds: float = 3600.0
+    #: worker faults fire only while ``attempt < max_fires``
+    max_fires: int = 1
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """Parse :data:`FAULT_PLAN_ENV` (None when unset/empty)."""
+        raw = (os.environ if environ is None else environ).get(FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{FAULT_PLAN_ENV} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"{FAULT_PLAN_ENV} must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"{FAULT_PLAN_ENV} has unknown keys: {unknown}")
+        return cls(**payload)
+
+    def to_env(self) -> str:
+        """JSON string for :data:`FAULT_PLAN_ENV` (round-trips ``from_env``)."""
+        return json.dumps(dataclasses.asdict(self))
+
+
+# ----------------------------------------------------------------------
+# per-process active plan + worker context
+# ----------------------------------------------------------------------
+
+_PLAN: FaultPlan | None = None
+_CONTEXT: dict = {"config": "", "attempt": 0}
+
+
+def install_fault_plan(plan: FaultPlan | None) -> None:
+    """Activate ``plan`` for this process (None deactivates)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def active_fault_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def set_fault_context(config: str, attempt: int) -> None:
+    """Tell the hooks which job this process is currently running."""
+    _CONTEXT["config"] = config
+    _CONTEXT["attempt"] = int(attempt)
+
+
+def _spec_matches(spec: str | None, site: str, needle: str) -> bool:
+    if not spec or not needle:
+        return False
+    pattern = spec
+    if "@" in spec:
+        want_site, _, pattern = spec.partition("@")
+        if want_site and want_site != site:
+            return False
+    return pattern in needle
+
+
+def fault_point(site: str, **info) -> None:
+    """Worker-side hook: crash or hang here if the active plan says so.
+
+    Called at worker start and heuristic pass boundaries.  A crash is an
+    ``os._exit`` — no cleanup, no excepthook, exactly what an OOM kill looks
+    like from the parent.  A hang is a plain sleep that ignores every
+    cancellation token, so only the parent watchdog can reclaim the worker.
+    """
+    plan = _PLAN
+    if plan is None or _CONTEXT["attempt"] >= plan.max_fires:
+        return
+    config = _CONTEXT["config"]
+    if _spec_matches(plan.crash_worker_at, site, config):
+        os._exit(plan.crash_exit_code)
+    if _spec_matches(plan.hang_worker_at, site, config):
+        deadline = time.monotonic() + plan.hang_seconds
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+
+
+def should_corrupt_cache(config_description: str) -> bool:
+    """Parent-side hook: corrupt the cache entry just written for this config?"""
+    plan = _PLAN
+    return plan is not None and _spec_matches(
+        plan.corrupt_cache_entry, "cache.put", config_description
+    )
+
+
+def should_drop_trace(filename: str) -> bool:
+    """Parent-side hook: delete this worker trace before merging?"""
+    plan = _PLAN
+    return plan is not None and _spec_matches(
+        plan.drop_trace_file, "trace.merge", filename
+    )

@@ -1,8 +1,11 @@
 """Multi-process portfolio synthesis with shared precompute, adaptive
-scheduling and an on-disk synthesis cache (one heuristic instance per
-worker, paper Figure 1)."""
+scheduling, an on-disk synthesis cache and a fault-tolerant supervised
+runtime — crash isolation with retries, a hard-deadline watchdog and
+journal-based checkpoint/resume (one heuristic instance per worker, paper
+Figure 1)."""
 
 from .cache import SynthesisCache, config_key, protocol_fingerprint
+from .journal import PortfolioJournal
 from .pool import ParallelOutcome, merge_worker_traces, synthesize_parallel
 from .precompute import (
     PortfolioPrecompute,
@@ -16,6 +19,7 @@ __all__ = [
     "CancelToken",
     "CostModel",
     "ParallelOutcome",
+    "PortfolioJournal",
     "PortfolioPrecompute",
     "PrecomputeSpec",
     "SharedRankArray",

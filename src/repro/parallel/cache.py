@@ -16,7 +16,13 @@ portfolio outcome is memoised under a content key:
 One JSON file per key under ``cache_dir`` (human-inspectable, safe to
 delete).  A hit reconstructs the :class:`~repro.parallel.ParallelOutcome`
 without spawning a single worker, so a warm re-run returns in near-constant
-time.  Cancelled/timed-out runs are never cached.
+time.  Cancelled/timed-out/crashed runs are never cached.
+
+A torn or truncated entry (power loss mid-write, disk corruption, or an
+injected :mod:`repro.faults.runtime` fault) is **quarantined**: renamed to
+``<key>.json.corrupt`` and treated as a miss, so the evidence survives for
+diagnosis while the sweep recomputes the config instead of silently
+trusting — or repeatedly tripping over — a bad file.
 """
 
 from __future__ import annotations
@@ -71,43 +77,74 @@ class SynthesisCache:
         os.makedirs(self.cache_dir, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _quarantine_path(self, path: str) -> None:
+        """Move a bad entry aside (``*.corrupt``) instead of deleting it."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            return
+        self.quarantined += 1
+
+    def quarantine(self, fingerprint: str, config) -> None:
+        """Quarantine the entry for one config (e.g. a cached winner that
+        failed re-verification against ``check_solution``)."""
+        self._quarantine_path(self._path(config_key(fingerprint, config)))
+
     def get(self, fingerprint: str, config):
-        """Return the memoised :class:`ParallelOutcome` or ``None``."""
+        """Return the memoised :class:`ParallelOutcome` or ``None``.
+
+        A file that exists but cannot be parsed back into an outcome is
+        quarantined to ``*.corrupt`` and reported as a miss.
+        """
         from .pool import ParallelOutcome
 
         path = self._path(config_key(fingerprint, config))
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
         try:
             with open(path) as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            if not isinstance(record, dict):
+                raise ValueError("cache entry is not a JSON object")
+            if record.get("schema") != CACHE_SCHEMA:
+                # a schema bump is staleness, not corruption: plain miss
+                self.misses += 1
+                return None
+            pss = record.get("pss_groups")
+            outcome = ParallelOutcome(
+                config=config,
+                success=bool(record["success"]),
+                pss_groups=(
+                    [set(map(tuple, g)) for g in pss]
+                    if pss is not None
+                    else None
+                ),
+                remaining_deadlocks=int(record.get("remaining_deadlocks", 0)),
+                timers=dict(record.get("timers", {})),
+                counters=dict(record.get("counters", {})),
+                cached=True,
+            )
+        except OSError:
             self.misses += 1
             return None
-        if record.get("schema") != CACHE_SCHEMA:
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._quarantine_path(path)
             self.misses += 1
             return None
         self.hits += 1
-        pss = record.get("pss_groups")
-        return ParallelOutcome(
-            config=config,
-            success=bool(record["success"]),
-            pss_groups=(
-                [set(map(tuple, g)) for g in pss] if pss is not None else None
-            ),
-            remaining_deadlocks=int(record.get("remaining_deadlocks", 0)),
-            timers=dict(record.get("timers", {})),
-            counters=dict(record.get("counters", {})),
-            cached=True,
-        )
+        return outcome
 
     def put(self, fingerprint: str, outcome) -> str | None:
         """Memoise a completed outcome; returns the file path (None when the
-        outcome is not cacheable, e.g. it was cancelled)."""
-        if outcome.cancelled or outcome.cached:
+        outcome is not cacheable, e.g. it was cancelled or crashed)."""
+        if outcome.cancelled or outcome.cached or outcome.crashed:
             return None
         record = {
             "schema": CACHE_SCHEMA,
@@ -127,6 +164,13 @@ class SynthesisCache:
         with open(tmp, "w") as handle:
             json.dump(record, handle)
         os.replace(tmp, path)  # atomic: concurrent sweeps never read half a file
+        from ..faults.runtime import should_corrupt_cache
+
+        if should_corrupt_cache(outcome.config.describe()):
+            # fault drill: leave a torn half-written entry on disk
+            payload = json.dumps(record)
+            with open(path, "w") as handle:
+                handle.write(payload[: max(1, len(payload) // 2)])
         return path
 
     def __len__(self) -> int:

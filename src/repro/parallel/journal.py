@@ -1,0 +1,78 @@
+"""Crash-safe checkpoint journal for portfolio sweeps.
+
+A long sweep killed by SIGKILL or power loss used to lose every partial
+outcome; related synthesis tools treat exhaustive searches as restartable
+batch jobs.  Here the parent appends one JSON line per settled config —
+completed, deadline-cancelled or crashed-out — to ``portfolio_state.jsonl``
+in the cache directory, and ``synthesize_parallel(resume=True)`` replays
+those lines instead of re-running the configs.
+
+The journal is append-only: each line is written, flushed and fsynced in a
+single call, so a kill can at worst truncate the final line — and
+:meth:`PortfolioJournal.load` skips unparseable or wrong-schema lines
+rather than failing the resume.  Keys are the same
+:func:`~repro.parallel.cache.config_key` content hashes the memo cache
+uses, so a journal never resurrects outcomes for a different protocol or
+option set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: bump when the journaled record schema changes; old lines are ignored
+JOURNAL_SCHEMA = 1
+
+
+class PortfolioJournal:
+    """Append-only JSONL journal of settled portfolio outcomes."""
+
+    FILENAME = "portfolio_state.jsonl"
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+
+    @classmethod
+    def in_dir(cls, directory: str | os.PathLike) -> "PortfolioJournal":
+        return cls(os.path.join(os.fspath(directory), cls.FILENAME))
+
+    def reset(self) -> None:
+        """Start a fresh race: truncate any journal from a previous sweep."""
+        with open(self.path, "w"):
+            pass
+
+    def append(self, key: str, record: dict) -> None:
+        """Durably append one settled outcome (single write + flush + fsync)."""
+        line = json.dumps({"schema": JOURNAL_SCHEMA, "key": key, **record})
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> dict[str, dict]:
+        """Keyed records of every settled config; malformed lines (a kill can
+        truncate the last one) and wrong-schema lines are skipped."""
+        entries: dict[str, dict] = {}
+        if not os.path.exists(self.path):
+            return entries
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("schema") != JOURNAL_SCHEMA
+                    or "key" not in record
+                ):
+                    continue
+                entries[str(record["key"])] = record
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -1,34 +1,44 @@
-"""Parallel portfolio synthesis (paper Figure 1), with shared precompute.
+"""Parallel portfolio synthesis (paper Figure 1): a fault-tolerant race.
 
 "For each schedule, we can instantiate one instance of our heuristic on a
-separate machine" — here, on worker *processes* via ``multiprocessing``.
-Workers race over the configuration portfolio; the first verified success
-wins and the rest are cancelled.
+separate machine" — here, on worker *processes*.  Workers race over the
+configuration portfolio; the first verified success wins and the rest are
+cancelled.  One machine per schedule only pays off at scale if a single
+lost machine cannot take down the whole race, so the runtime is built for
+survivability (see ``docs/ARCHITECTURE.md``, "Fault tolerance"):
 
-The engine has four cooperating parts (see ``docs/ARCHITECTURE.md``):
+* **supervised dispatch** — jobs travel to dedicated worker processes over
+  pipes (no shared ``Pool`` plumbing), so a worker killed by the OOM killer
+  or a segfault costs exactly its own config: the parent sees the pipe go
+  EOF, requeues the config with capped exponential backoff, spawns a
+  replacement worker and keeps the race going;
+* **watchdog** — a per-config *hard* deadline (distinct from the
+  cooperative ``soft_deadline`` that workers poll themselves): a worker
+  wedged past it is terminated and replaced, its config requeued.  The
+  effective limit is ``hard_deadline + options.stall_seconds`` so the
+  simulated slow machines of the paper's heterogeneous setting are not
+  penalised for their stall;
+* **checkpoint/resume** — with ``cache_dir`` set, every settled outcome is
+  journaled to ``portfolio_state.jsonl`` (:mod:`repro.parallel.journal`);
+  ``resume=True`` replays journaled configs instead of re-running them
+  after a SIGKILL or power loss;
+* **fault injection** — a :class:`repro.faults.FaultPlan` (or the
+  ``REPRO_FAULT_PLAN`` environment variable) deterministically crashes or
+  hangs targeted workers, corrupts cache entries and drops trace files, so
+  all of the above is testable in CI.
 
-* :mod:`repro.parallel.precompute` — all schedule-independent work (protocol
-  build, closure check, input-cycle SCC pass, C1 cache, ``ComputeRanks``)
-  runs once in the parent and is shipped to workers zero-copy under fork, or
-  via a picklable spec plus a ``shared_memory``-backed rank array under
-  spawn;
-* :mod:`repro.parallel.scheduler` — the config queue is cost-ordered
-  (cheapest first, from wall-clock observed in earlier runs), portfolios may
-  oversubscribe the pool (more configs than workers), and every worker gets
-  a :class:`~repro.parallel.scheduler.CancelToken` combining the race-wide
-  winner event with a per-config soft deadline;
-* :mod:`repro.parallel.cache` — completed outcomes are memoised on disk
-  keyed by (protocol fingerprint, schedule, options); warm re-runs return
-  without spawning workers;
-* this module — the race itself.  Losers observe the cancellation event at
-  pass/rank boundaries inside ``add_strong_convergence`` and exit cleanly;
-  ``pool.terminate`` after a short grace period remains the backstop.
+Crash/kill/retry activity flows into the parent trace as the
+``portfolio.worker_crashes`` / ``portfolio.watchdog_kills`` /
+``portfolio.retries`` counters, rendered by ``stsyn trace-report``.
 
-With ``trace_dir`` set, every worker streams its own JSONL trace
-(``worker_<index>.jsonl``) and the parent writes ``portfolio.jsonl``
-(precompute span, cache hits/misses, queue order); because lines are flushed
-per event, a loser cancelled mid-run still leaves a readable partial trace.
-The parent merges whatever exists into ``merged.jsonl`` after the race.
+The other cooperating parts are unchanged from the shared-precompute
+engine: :mod:`repro.parallel.precompute` (one-shot schedule-independent
+work, zero-copy under fork, shared-memory rank array under spawn),
+:mod:`repro.parallel.scheduler` (cost-ordered queue, soft deadlines,
+cooperative :class:`CancelToken`) and :mod:`repro.parallel.cache` (on-disk
+memo with quarantine of corrupt entries).  With ``trace_dir`` set, every
+worker attempt streams its own JSONL trace and the parent writes
+``portfolio.jsonl``; whatever survives merges into ``merged.jsonl``.
 """
 
 from __future__ import annotations
@@ -36,14 +46,21 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Callable, Sequence
 
+from ..core.exceptions import PortfolioError
 from ..core.heuristic import HeuristicOptions
 from ..core.synthesizer import SynthesisConfig, default_portfolio
+from ..faults import runtime as fault_runtime
+from ..faults.runtime import FaultPlan
 from ..metrics.stats import SynthesisStats
 from ..trace.tracer import NULL_TRACER, Tracer
-from .cache import SynthesisCache, protocol_fingerprint
+from .cache import SynthesisCache, config_key, protocol_fingerprint
+from .journal import PortfolioJournal
 from .precompute import (
     PortfolioPrecompute,
     PrecomputeSpec,
@@ -57,6 +74,9 @@ Builder = Callable[[], tuple]
 
 #: name of the parent-side trace file inside ``trace_dir``
 PARENT_TRACE = "portfolio.jsonl"
+
+#: supervisor poll interval: result wait, liveness and watchdog checks
+POLL_INTERVAL = 0.05
 
 
 @dataclass
@@ -79,22 +99,36 @@ class ParallelOutcome:
     cached: bool = False
     #: worker wall-clock in seconds (0.0 for cached outcomes)
     duration: float = 0.0
+    #: True when every attempt died (crash or watchdog kill) — the config
+    #: was retried ``retries`` times and never produced an answer
+    crashed: bool = False
+    #: how many times the config was requeued after a crash/kill
+    retries: int = 0
+    #: True when the outcome was replayed from the resume journal
+    resumed: bool = False
 
 
 # ----------------------------------------------------------------------
-# worker-process state (set once per worker by the pool initializer)
+# worker-process state (set once per worker by the initializer)
 # ----------------------------------------------------------------------
 
 #: per-worker context: event, soft deadline, builder, precompute
 _WORKER_CTX: dict | None = None
 
 #: parent-side stash read by fork children through copy-on-write; must be
-#: populated *before* the pool is created and cleared afterwards
+#: populated *before* workers spawn and cleared after the race
 _FORK_PRECOMPUTE: PortfolioPrecompute | None = None
 
 
-def _init_worker(event, soft_deadline, builder, builder_args, spec) -> None:
-    """Pool initializer: runs once in every worker process.
+def _set_fork_precompute(pre: PortfolioPrecompute | None) -> None:
+    global _FORK_PRECOMPUTE
+    _FORK_PRECOMPUTE = pre
+
+
+def _init_worker(
+    event, soft_deadline, builder, builder_args, spec, fault_plan=None
+) -> None:
+    """Runs once in every worker process.
 
     Under fork the precompute is inherited zero-copy via
     :data:`_FORK_PRECOMPUTE`; under spawn it is rebuilt from the picklable
@@ -115,21 +149,25 @@ def _init_worker(event, soft_deadline, builder, builder_args, spec) -> None:
         "builder_args": builder_args,
         "precompute": precompute,
     }
+    fault_runtime.install_fault_plan(fault_plan)
 
 
 def _worker(args) -> ParallelOutcome:
-    config, index, trace_path = args
+    config, index, trace_path, attempt = args
     from ..core.exceptions import SynthesisCancelled
     from ..core.heuristic import add_strong_convergence
     from ..verify.stabilization import check_solution
 
+    fault_runtime.set_fault_context(config.describe(), attempt)
     ctx = _WORKER_CTX or {}
     precompute = ctx.get("precompute")
     cancel = CancelToken.with_budget(
         event=ctx.get("event"), budget=ctx.get("soft_deadline")
     )
     tracer = (
-        Tracer(trace_path, worker=index, config=config.describe())
+        Tracer(
+            trace_path, worker=index, attempt=attempt, config=config.describe()
+        )
         if trace_path is not None
         else NULL_TRACER
     )
@@ -145,6 +183,7 @@ def _worker(args) -> ParallelOutcome:
             protocol=protocol.name,
             shared_precompute=precompute is not None,
         )
+        fault_runtime.fault_point("worker.start")
         stats = SynthesisStats(tracer=tracer)
         try:
             result = add_strong_convergence(
@@ -169,6 +208,7 @@ def _worker(args) -> ParallelOutcome:
                 cancelled=True,
                 cancel_reason=exc.reason,
                 duration=time.perf_counter() - t0,
+                retries=attempt,
             )
         success = result.success
         if success:
@@ -188,23 +228,74 @@ def _worker(args) -> ParallelOutcome:
             counters=dict(stats.counters),
             trace_path=trace_path,
             duration=time.perf_counter() - t0,
+            retries=attempt,
         )
     finally:
         tracer.close()
 
 
+class _WorkerError:
+    """Envelope for an exception raised inside a worker.
+
+    Complete negative answers (``NotClosedError``,
+    ``NoStabilizingVersionError``, ...) and genuine bugs must abort the race
+    and re-raise in the parent — they are answers, not infrastructure
+    failures, so they are never retried.
+    """
+
+    __slots__ = ("exception",)
+
+    def __init__(self, exception: BaseException):
+        self.exception = exception
+
+
+def _worker_loop(
+    conn, event, soft_deadline, builder, builder_args, spec, fault_plan
+) -> None:
+    """Entry point of one supervised worker process.
+
+    Receives job tuples over its pipe, runs them, sends outcomes back; a
+    ``None`` job is the shutdown sentinel.  Exceptions travel back wrapped
+    in :class:`_WorkerError` so the parent can re-raise them.
+    """
+    _init_worker(event, soft_deadline, builder, builder_args, spec, fault_plan)
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if job is None:
+            return
+        try:
+            message = _worker(job)
+        except Exception as exc:
+            message = _WorkerError(exc)
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):
+            return
+
+
 def merge_worker_traces(trace_dir: str | os.PathLike) -> str | None:
     """Merge ``portfolio.jsonl`` (parent) and every ``worker_*.jsonl`` under
     ``trace_dir`` into ``merged.jsonl``; returns its path (None when no
-    trace files exist)."""
+    trace files exist).  Honours an active fault plan's ``drop_trace_file``
+    (the drill for a worker trace lost to a full disk or node failure)."""
     from ..trace.report import merge_traces
 
     trace_dir = os.fspath(trace_dir)
-    paths = sorted(
-        os.path.join(trace_dir, name)
-        for name in os.listdir(trace_dir)
-        if name.startswith("worker_") and name.endswith(".jsonl")
-    )
+    paths = []
+    for name in sorted(os.listdir(trace_dir)):
+        if not (name.startswith("worker_") and name.endswith(".jsonl")):
+            continue
+        path = os.path.join(trace_dir, name)
+        if fault_runtime.should_drop_trace(name):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            continue
+        paths.append(path)
     parent = os.path.join(trace_dir, PARENT_TRACE)
     if os.path.exists(parent):
         paths.insert(0, parent)
@@ -213,6 +304,21 @@ def merge_worker_traces(trace_dir: str | os.PathLike) -> str | None:
     merged = os.path.join(trace_dir, "merged.jsonl")
     merge_traces(paths, merged)
     return merged
+
+
+def _clear_stale_traces(trace_dir: str | os.PathLike) -> None:
+    """Remove ``worker_*.jsonl`` / ``merged.jsonl`` left by a previous run in
+    the same directory, so :func:`merge_worker_traces` cannot resurrect
+    another race's traces into this run's ``merged.jsonl``."""
+    trace_dir = os.fspath(trace_dir)
+    for name in os.listdir(trace_dir):
+        if name == "merged.jsonl" or (
+            name.startswith("worker_") and name.endswith(".jsonl")
+        ):
+            try:
+                os.remove(os.path.join(trace_dir, name))
+            except OSError:
+                pass
 
 
 def _get_mp_context(start_method: str | None):
@@ -230,11 +336,367 @@ def _get_mp_context(start_method: str | None):
 
 def _pick_best(outcomes: Sequence[ParallelOutcome]) -> ParallelOutcome:
     """Best failure: fewest remaining deadlocks among completed runs;
-    cancelled runs (unknown deadlock count) only as a last resort."""
-    finished = [o for o in outcomes if not o.cancelled]
+    crashed-out and cancelled runs (unknown deadlock count) only as a last
+    resort.  Raises :class:`PortfolioError` when nothing survived at all."""
+    if not outcomes:
+        raise PortfolioError(
+            "portfolio produced no reportable outcome: every run was "
+            "race-cancelled or lost before completing"
+        )
+    finished = [o for o in outcomes if not o.cancelled and not o.crashed]
     if finished:
         return min(finished, key=lambda o: o.remaining_deadlocks)
+    crashed = [o for o in outcomes if o.crashed]
+    if crashed:
+        return crashed[0]
     return outcomes[0]
+
+
+# ----------------------------------------------------------------------
+# the supervisor: crash isolation, watchdog, capped retries
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Job:
+    config: SynthesisConfig
+    index: int
+    attempt: int = 0
+    #: monotonic instant before which the job must not be dispatched
+    eligible_at: float = 0.0
+
+
+class _Slot:
+    """One supervised worker: its process, pipe and current assignment."""
+
+    __slots__ = ("proc", "conn", "job", "started")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.job: _Job | None = None
+        self.started = 0.0
+
+
+def _retry_delay(
+    attempt: int, index: int, base: float, cap: float
+) -> float:
+    """Capped exponential backoff with deterministic jitter (no shared RNG:
+    the jitter is a hash of (job index, attempt), so retries of different
+    configs spread out and tests replay identically)."""
+    delay = min(base * (2.0 ** attempt), cap)
+    jitter = ((index * 2654435761 + attempt * 40503) % 1000) / 1000.0
+    return delay * (1.0 + 0.25 * jitter)
+
+
+class _Supervisor:
+    """Supervised dispatch loop replacing the bare ``Pool.imap_unordered``.
+
+    Each job goes to a dedicated worker over a pipe; a dead worker is
+    detected by pipe EOF / liveness checks, its config is requeued with
+    backoff (up to ``max_retries``) and a replacement worker is spawned.  A
+    worker running one config past the hard deadline is terminated by the
+    watchdog and handled the same way.  When a winner verifies, losers get
+    ``cancel_grace`` seconds to exit cooperatively (keeping their traces)
+    before shutdown terminates whatever is left.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        worker_args: tuple,
+        n_workers: int,
+        jobs: Sequence[_Job],
+        *,
+        event,
+        tracer,
+        trace_path_for: Callable[[int, int], str | None],
+        hard_deadline: float | None,
+        max_retries: int,
+        retry_backoff: float,
+        retry_backoff_cap: float,
+        cancel_grace: float,
+        on_result: Callable[[ParallelOutcome], None],
+    ):
+        self.ctx = ctx
+        self.worker_args = worker_args
+        self.n_workers = n_workers
+        self.pending: deque[_Job] = deque(jobs)
+        self.event = event
+        self.tracer = tracer
+        self.trace_path_for = trace_path_for
+        self.hard_deadline = hard_deadline
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.cancel_grace = cancel_grace
+        self.on_result = on_result
+        self.slots: list[_Slot] = []
+        self.completed: list[ParallelOutcome] = []
+        self.winner: ParallelOutcome | None = None
+        self.error: BaseException | None = None
+        self.grace_deadline = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self) -> tuple[ParallelOutcome | None, list[ParallelOutcome]]:
+        self.slots = [
+            self._spawn() for _ in range(min(self.n_workers, len(self.pending)))
+        ]
+        try:
+            while not self._done():
+                self._dispatch()
+                self._collect()
+                self._check_liveness()
+        finally:
+            self._shutdown()
+        if self.error is not None:
+            raise self.error
+        return self.winner, self.completed
+
+    def _done(self) -> bool:
+        if self.error is not None:
+            return True
+        busy = any(s.job is not None for s in self.slots)
+        if self.winner is not None:
+            return not busy or time.monotonic() >= self.grace_deadline
+        return not busy and not self.pending
+
+    @property
+    def _racing(self) -> bool:
+        return self.winner is None and self.error is None
+
+    def _spawn(self) -> _Slot:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, *self.worker_args),
+            daemon=True,
+        )
+        proc.start()
+        # the parent must not hold the child's pipe end open, or a dead
+        # worker would never surface as EOF
+        child_conn.close()
+        return _Slot(proc, parent_conn)
+
+    # -- dispatch ------------------------------------------------------
+    def _pop_eligible(self, now: float) -> _Job | None:
+        for i, job in enumerate(self.pending):
+            if job.eligible_at <= now:
+                del self.pending[i]
+                return job
+        return None
+
+    def _dispatch(self) -> None:
+        if not self._racing:
+            return
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.proc is None or slot.job is not None:
+                continue
+            job = self._pop_eligible(now)
+            if job is None:
+                return
+            slot.job = job
+            slot.started = now
+            payload = (
+                job.config,
+                job.index,
+                self.trace_path_for(job.index, job.attempt),
+                job.attempt,
+            )
+            try:
+                slot.conn.send(payload)
+            except (BrokenPipeError, OSError):
+                self._fail(slot, kind="crash")
+
+    # -- results -------------------------------------------------------
+    def _collect(self) -> None:
+        by_conn = {
+            s.conn: s
+            for s in self.slots
+            if s.proc is not None and s.job is not None
+        }
+        if not by_conn:
+            # only backoff-delayed retries (or nothing) remain runnable
+            time.sleep(POLL_INTERVAL)
+            return
+        for conn in mp_connection.wait(list(by_conn), timeout=POLL_INTERVAL):
+            slot = by_conn[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._fail(slot, kind="crash")
+                continue
+            slot.job = None
+            if isinstance(message, _WorkerError):
+                self.error = message.exception
+                return
+            self._record(message)
+
+    def _record(self, outcome: ParallelOutcome) -> None:
+        if outcome.cancelled and outcome.cancel_reason == "cancelled":
+            self.tracer.count("portfolio.losers_cancelled")
+            return
+        self.completed.append(outcome)
+        self.on_result(outcome)
+        if outcome.success and self.winner is None:
+            self.winner = outcome
+            self.event.set()
+            # grace window: losers exit cooperatively at their next
+            # pass/rank boundary and keep their traces
+            self.grace_deadline = time.monotonic() + self.cancel_grace
+
+    # -- crash isolation + watchdog ------------------------------------
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.proc is None or slot.job is None:
+                continue
+            if not slot.proc.is_alive():
+                self._fail(slot, kind="crash")
+            elif self._racing and self.hard_deadline is not None:
+                limit = (
+                    self.hard_deadline + slot.job.config.options.stall_seconds
+                )
+                if now - slot.started > limit:
+                    self._fail(slot, kind="watchdog")
+
+    def _fail(self, slot: _Slot, *, kind: str) -> None:
+        job, started = slot.job, slot.started
+        proc = slot.proc
+        slot.job = None
+        slot.proc = None
+        if kind == "watchdog":
+            self.tracer.count("portfolio.watchdog_kills")
+            self.tracer.event(
+                "portfolio.watchdog_kill",
+                config=job.config.describe(),
+                attempt=job.attempt,
+            )
+            proc.terminate()
+        else:
+            self.tracer.count("portfolio.worker_crashes")
+            self.tracer.event(
+                "portfolio.worker_crash",
+                config=job.config.describe(),
+                attempt=job.attempt,
+                exitcode=proc.exitcode,
+            )
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if self._racing and job.attempt < self.max_retries:
+            delay = _retry_delay(
+                job.attempt, job.index, self.retry_backoff,
+                self.retry_backoff_cap,
+            )
+            self.pending.append(
+                _Job(
+                    job.config,
+                    job.index,
+                    job.attempt + 1,
+                    time.monotonic() + delay,
+                )
+            )
+            self.tracer.count("portfolio.retries")
+            self.tracer.event(
+                "portfolio.retry",
+                config=job.config.describe(),
+                attempt=job.attempt + 1,
+                delay=round(delay, 3),
+            )
+        else:
+            self._record(
+                ParallelOutcome(
+                    config=job.config,
+                    success=False,
+                    pss_groups=None,
+                    remaining_deadlocks=-1,
+                    timers={},
+                    crashed=True,
+                    retries=job.attempt,
+                    duration=time.monotonic() - started,
+                )
+            )
+        if self._racing and self.pending:
+            self.slots[self.slots.index(slot)] = self._spawn()
+
+    # -- teardown ------------------------------------------------------
+    def _shutdown(self) -> None:
+        for slot in self.slots:
+            if slot.proc is not None and slot.job is None:
+                try:
+                    slot.conn.send(None)  # shutdown sentinel
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + 1.0
+        for slot in self.slots:
+            if slot.proc is None:
+                continue
+            slot.proc.join(timeout=max(0.05, deadline - time.monotonic()))
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=2.0)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=2.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# journal record <-> outcome
+# ----------------------------------------------------------------------
+
+
+def _journal_record(outcome: ParallelOutcome) -> dict:
+    return {
+        "config": outcome.config.describe(),
+        "success": outcome.success,
+        "crashed": outcome.crashed,
+        "cancelled": outcome.cancelled,
+        "cancel_reason": outcome.cancel_reason,
+        "retries": outcome.retries,
+        "remaining_deadlocks": outcome.remaining_deadlocks,
+        "pss_groups": (
+            [sorted(g) for g in outcome.pss_groups]
+            if outcome.pss_groups is not None
+            else None
+        ),
+        "duration": outcome.duration,
+    }
+
+
+def _outcome_from_journal(config: SynthesisConfig, record: dict) -> ParallelOutcome:
+    pss = record.get("pss_groups")
+    return ParallelOutcome(
+        config=config,
+        success=bool(record.get("success", False)),
+        pss_groups=(
+            [set(map(tuple, g)) for g in pss] if pss is not None else None
+        ),
+        remaining_deadlocks=int(record.get("remaining_deadlocks", -1)),
+        timers={},
+        counters={},
+        cancelled=bool(record.get("cancelled", False)),
+        cancel_reason=record.get("cancel_reason"),
+        crashed=bool(record.get("crashed", False)),
+        retries=int(record.get("retries", 0)),
+        duration=float(record.get("duration", 0.0)),
+        resumed=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# the race
+# ----------------------------------------------------------------------
 
 
 def synthesize_parallel(
@@ -247,11 +709,17 @@ def synthesize_parallel(
     trace_dir: str | os.PathLike | None = None,
     cache_dir: str | os.PathLike | None = None,
     soft_deadline: float | None = None,
+    hard_deadline: float | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.5,
+    retry_backoff_cap: float = 8.0,
+    resume: bool = False,
+    fault_plan: FaultPlan | None = None,
     share_precompute: bool = True,
     start_method: str | None = None,
     cancel_grace: float = 2.0,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
-    """Race the portfolio across worker processes.
+    """Race the portfolio across supervised worker processes.
 
     Returns ``(winner_or_best, completed_outcomes)``.  The protocol is built
     **once** in the parent; its schedule-independent preprocessing is shared
@@ -260,18 +728,37 @@ def synthesize_parallel(
     cost-ordered from earlier observed timings (persisted in ``cache_dir``),
     may hold more configs than workers, and drains adaptively: when a
     success verifies, the shared event cancels the losers cooperatively at
-    their next pass/rank boundary, then ``pool.terminate`` lands after
-    ``cancel_grace`` seconds as a backstop.  Race-cancelled losers are
-    dropped from ``completed_outcomes``; deadline-cancelled runs are kept
-    (marked ``cancelled``/``cancel_reason="deadline"``).
+    their next pass/rank boundary, with termination after ``cancel_grace``
+    seconds as the backstop.  Race-cancelled losers are dropped from
+    ``completed_outcomes``; deadline-cancelled runs are kept (marked
+    ``cancelled``/``cancel_reason="deadline"``).
 
-    With ``cache_dir``, completed outcomes are memoised on disk and repeat
-    runs resolve from cache without spawning workers.  With ``trace_dir``,
-    each worker writes ``worker_<index>.jsonl``, the parent writes
+    Fault tolerance: a worker that dies (OOM kill, segfault, ``os._exit``)
+    or exceeds ``hard_deadline`` (watchdog) loses only its own config, which
+    is requeued up to ``max_retries`` times with capped exponential backoff
+    (``retry_backoff`` .. ``retry_backoff_cap`` seconds, deterministic
+    jitter); after exhaustion the config settles as a
+    ``ParallelOutcome(crashed=True, retries=N)``.  With ``cache_dir``,
+    settled outcomes are journaled to ``portfolio_state.jsonl`` and
+    ``resume=True`` replays them instead of re-running (a sweep killed by
+    SIGKILL restarts where it stopped).  ``fault_plan`` (default: parsed
+    from ``REPRO_FAULT_PLAN``) injects deterministic crashes/hangs/
+    corruption for drills.
+
+    With ``cache_dir``, completed outcomes are also memoised on disk and
+    repeat runs resolve from cache without spawning workers; cached winners
+    are re-verified with ``check_solution`` and corrupt entries are
+    quarantined to ``*.corrupt``.  With ``trace_dir``, each worker attempt
+    writes ``worker_<index>[_r<attempt>].jsonl``, the parent writes
     ``portfolio.jsonl``, and everything surviving merges into
-    ``merged.jsonl``.
+    ``merged.jsonl`` (stale traces from earlier runs are removed first).
     """
-    global _FORK_PRECOMPUTE
+    from ..verify.stabilization import check_solution
+
+    if resume and cache_dir is None:
+        raise ValueError("resume=True requires cache_dir")
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
 
     protocol, invariant = builder(*builder_args)
     config_list = (
@@ -284,6 +771,7 @@ def synthesize_parallel(
 
     if trace_dir is not None:
         os.makedirs(trace_dir, exist_ok=True)
+        _clear_stale_traces(trace_dir)
         tracer = Tracer(
             os.path.join(os.fspath(trace_dir), PARENT_TRACE),
             role="portfolio-parent",
@@ -299,20 +787,61 @@ def synthesize_parallel(
         if cache_dir is not None
         else ""
     )
+    journal = (
+        PortfolioJournal.in_dir(cache_dir) if cache_dir is not None else None
+    )
 
+    previous_plan = fault_runtime.active_fault_plan()
+    fault_runtime.install_fault_plan(fault_plan)  # parent-side hooks
     try:
         config_list = order_portfolio(
             config_list, fingerprint, cost_model if cache_dir else None
         )
 
+        def verified(pss_groups) -> bool:
+            if pss_groups is None:
+                return False
+            rebuilt = protocol.with_groups([set(g) for g in pss_groups])
+            return check_solution(protocol, rebuilt, invariant).ok
+
         # ------------------------------------------------------------------
-        # cache sweep: known outcomes never reach the pool
+        # resume + cache sweep: settled configs never reach the workers
         # ------------------------------------------------------------------
+        journaled: dict[str, dict] = {}
+        if journal is not None:
+            if resume:
+                journaled = journal.load()
+            else:
+                journal.reset()
+
         completed: list[ParallelOutcome] = []
         winner: ParallelOutcome | None = None
         pending: list[SynthesisConfig] = []
         for config in config_list:
+            key = config_key(fingerprint, config) if cache_dir else ""
+            record = journaled.get(key)
+            if record is not None:
+                outcome = _outcome_from_journal(config, record)
+                # a journaled winner is re-verified like a cached one; a
+                # record that fails verification falls through and re-runs
+                if not outcome.success or verified(outcome.pss_groups):
+                    tracer.event(
+                        "portfolio.resume_skip",
+                        config=config.describe(),
+                        success=outcome.success,
+                        crashed=outcome.crashed,
+                    )
+                    tracer.count("portfolio.resume_skips")
+                    completed.append(outcome)
+                    if outcome.success and winner is None:
+                        winner = outcome
+                    continue
             hit = cache.get(fingerprint, config) if cache is not None else None
+            if hit is not None and hit.success and not verified(hit.pss_groups):
+                # the entry parses but its solution no longer verifies:
+                # quarantine and recompute instead of returning a bad winner
+                cache.quarantine(fingerprint, config)
+                hit = None
             if hit is None:
                 if cache is not None:
                     tracer.event("cache.miss", config=config.describe())
@@ -326,6 +855,10 @@ def synthesize_parallel(
             completed.append(hit)
             if hit.success and winner is None:
                 winner = hit
+        if cache is not None and cache.quarantined:
+            tracer.counter_set(
+                "portfolio.cache_quarantined", cache.quarantined
+            )
         if winner is not None:
             tracer.event(
                 "portfolio.winner",
@@ -337,100 +870,85 @@ def synthesize_parallel(
             return _pick_best(completed), completed
 
         # ------------------------------------------------------------------
-        # shared precompute (one-shot, parent-side)
+        # shared precompute (one-shot, parent-side) + supervised race
         # ------------------------------------------------------------------
         ctx, method = _get_mp_context(start_method)
-        precompute: PortfolioPrecompute | None = None
-        spec: PrecomputeSpec | None = None
-        shared_rank: SharedRankArray | None = None
-        if share_precompute:
-            precompute = precompute_portfolio(
-                protocol, invariant, stats=SynthesisStats(tracer=tracer)
+        with ExitStack() as stack:
+            precompute: PortfolioPrecompute | None = None
+            spec: PrecomputeSpec | None = None
+            if share_precompute:
+                precompute = precompute_portfolio(
+                    protocol, invariant, stats=SynthesisStats(tracer=tracer)
+                )
+                if method != "fork":
+                    shared_rank = SharedRankArray.create(
+                        precompute.ranking.rank
+                    )
+                    # cleanup runs even if anything below raises (spec
+                    # construction, worker spawn, the race itself), so
+                    # spawn-mode failures cannot leak /dev/shm segments
+                    stack.callback(shared_rank.unlink)
+                    stack.callback(shared_rank.close)
+                    spec = PrecomputeSpec.from_precompute(
+                        precompute, builder, builder_args, shared_rank
+                    )
+            if method == "fork" and share_precompute:
+                _set_fork_precompute(precompute)
+                stack.callback(_set_fork_precompute, None)
+
+            n_workers = n_workers or min(len(pending), mp.cpu_count())
+            tracer.event(
+                "portfolio.schedule",
+                n_configs=len(pending),
+                n_workers=n_workers,
+                start_method=method,
+                shared_precompute=share_precompute,
+                hard_deadline=hard_deadline,
+                max_retries=max_retries,
+                resume=resume,
+                fault_plan=fault_plan is not None,
+                order=[c.describe() for c in pending],
             )
-            if method != "fork":
-                shared_rank = SharedRankArray.create(precompute.ranking.rank)
-                spec = PrecomputeSpec.from_precompute(
-                    precompute, builder, builder_args, shared_rank
+
+            def trace_path_for(index: int, attempt: int) -> str | None:
+                if trace_dir is None:
+                    return None
+                suffix = f"_r{attempt}" if attempt else ""
+                return os.path.join(
+                    os.fspath(trace_dir), f"worker_{index}{suffix}.jsonl"
                 )
 
-        n_workers = n_workers or min(len(pending), mp.cpu_count())
-        tracer.event(
-            "portfolio.schedule",
-            n_configs=len(pending),
-            n_workers=n_workers,
-            start_method=method,
-            shared_precompute=share_precompute,
-            order=[c.describe() for c in pending],
-        )
-
-        jobs = [
-            (
-                config,
-                index,
-                (
-                    os.path.join(
-                        os.fspath(trace_dir), f"worker_{index}.jsonl"
+            def on_result(outcome: ParallelOutcome) -> None:
+                if not outcome.cancelled and not outcome.crashed:
+                    cost_model.observe(
+                        fingerprint, outcome.config, outcome.duration
                     )
-                    if trace_dir is not None
-                    else None
-                ),
-            )
-            for index, config in enumerate(pending)
-        ]
+                    if cache is not None:
+                        cache.put(fingerprint, outcome)
+                if journal is not None:
+                    journal.append(
+                        config_key(fingerprint, outcome.config),
+                        _journal_record(outcome),
+                    )
 
-        event = ctx.Event()
-        if method == "fork" and share_precompute:
-            _FORK_PRECOMPUTE = precompute
-        try:
-            with ctx.Pool(
-                processes=n_workers,
-                initializer=_init_worker,
-                initargs=(event, soft_deadline, builder, builder_args, spec),
-            ) as pool:
-                results = pool.imap_unordered(_worker, jobs)
-                for outcome in results:
-                    if outcome.cancelled and outcome.cancel_reason == "cancelled":
-                        tracer.count("portfolio.losers_cancelled")
-                        continue
-                    completed.append(outcome)
-                    if not outcome.cancelled:
-                        cost_model.observe(
-                            fingerprint, outcome.config, outcome.duration
-                        )
-                        if cache is not None:
-                            cache.put(fingerprint, outcome)
-                    if outcome.success:
-                        winner = outcome
-                        event.set()
-                        # grace window: losers exit cooperatively at their
-                        # next pass/rank boundary and keep their traces
-                        deadline = time.monotonic() + cancel_grace
-                        while True:
-                            remaining = deadline - time.monotonic()
-                            if remaining <= 0:
-                                break
-                            try:
-                                late = results.next(timeout=remaining)
-                            except StopIteration:
-                                break
-                            except mp.TimeoutError:
-                                break
-                            if late.cancelled and late.cancel_reason == "cancelled":
-                                tracer.count("portfolio.losers_cancelled")
-                                continue
-                            completed.append(late)
-                            if not late.cancelled:
-                                cost_model.observe(
-                                    fingerprint, late.config, late.duration
-                                )
-                                if cache is not None:
-                                    cache.put(fingerprint, late)
-                        break
-        finally:
-            _FORK_PRECOMPUTE = None
-            if shared_rank is not None:
-                shared_rank.close()
-                shared_rank.unlink()
+            event = ctx.Event()
+            supervisor = _Supervisor(
+                ctx,
+                (event, soft_deadline, builder, builder_args, spec, fault_plan),
+                n_workers,
+                [_Job(config, index) for index, config in enumerate(pending)],
+                event=event,
+                tracer=tracer,
+                trace_path_for=trace_path_for,
+                hard_deadline=hard_deadline,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                retry_backoff_cap=retry_backoff_cap,
+                cancel_grace=cancel_grace,
+                on_result=on_result,
+            )
+            winner, raced = supervisor.run()
+            completed.extend(raced)
         cost_model.save()
         if winner is not None:
             tracer.event(
@@ -442,3 +960,4 @@ def synthesize_parallel(
         tracer.close()
         if trace_dir is not None:
             merge_worker_traces(trace_dir)
+        fault_runtime.install_fault_plan(previous_plan)

@@ -104,11 +104,19 @@ class CostModel:
         entry[key] = seconds if prev is None else 0.5 * prev + 0.5 * seconds
 
     def save(self) -> None:
+        """Merge into the on-disk file instead of last-writer-wins: two
+        concurrent sweeps (or a sweep racing a resume) each keep their own
+        observations, with this model's values winning per (fingerprint,
+        config) key."""
         if self.path is None:
             return
+        merged = CostModel(self.path)._data  # reload what others wrote
+        for fingerprint, entry in self._data.items():
+            merged.setdefault(fingerprint, {}).update(entry)
+        self._data = merged
         tmp = self.path + ".tmp"
         with open(tmp, "w") as handle:
-            json.dump(self._data, handle, indent=0, sort_keys=True)
+            json.dump(merged, handle, indent=0, sort_keys=True)
         os.replace(tmp, self.path)
 
 

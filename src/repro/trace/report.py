@@ -169,6 +169,26 @@ def render_report(summary: TraceSummary) -> str:
             "precompute reuses (workers)",
             portfolio_counters.get("precompute_reused", 0),
         )
+        portfolio.add(
+            "worker crashes",
+            portfolio_counters.get("portfolio.worker_crashes", 0),
+        )
+        portfolio.add(
+            "watchdog kills",
+            portfolio_counters.get("portfolio.watchdog_kills", 0),
+        )
+        portfolio.add(
+            "retries (requeued configs)",
+            portfolio_counters.get("portfolio.retries", 0),
+        )
+        portfolio.add(
+            "resume skips (journal)",
+            portfolio_counters.get("portfolio.resume_skips", 0),
+        )
+        portfolio.add(
+            "cache entries quarantined",
+            portfolio_counters.get("portfolio.cache_quarantined", 0),
+        )
         tables.append(portfolio)
 
     counters = ResultTable("Counters", ["counter", "value"])
