@@ -13,6 +13,15 @@ Quickstart::
     assert check_solution(protocol, result.protocol, invariant).ok
 """
 
+from .cert import (
+    CertificateError,
+    CertificateViolation,
+    ConvergenceCertificate,
+    check_certificate,
+    check_certificate_symbolic,
+    emit_certificate,
+    validate_certificate,
+)
 from .core import (
     HeuristicFailure,
     PortfolioResult,
@@ -61,6 +70,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Action",
+    "CertificateError",
+    "CertificateViolation",
+    "ConvergenceCertificate",
     "HeuristicFailure",
     "NULL_TRACER",
     "Tracer",
@@ -82,8 +94,11 @@ __all__ = [
     "__version__",
     "add_strong_convergence",
     "analyze_stabilization",
+    "check_certificate",
+    "check_certificate_symbolic",
     "check_solution",
     "coloring",
+    "emit_certificate",
     "compute_ranks",
     "current_tracer",
     "dijkstra_stabilizing_token_ring",
@@ -99,5 +114,6 @@ __all__ = [
     "trace_report",
     "two_ring",
     "use_tracer",
+    "validate_certificate",
     "weakly_converges",
 ]

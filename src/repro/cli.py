@@ -10,6 +10,8 @@ Examples::
     stsyn rank token-ring -k 4 -d 3
     stsyn synthesize token-ring -k 4 --trace run.jsonl
     stsyn trace-report run.jsonl
+    stsyn certify token-ring -k 4 -d 3 --out tr.cert.json
+    stsyn check-cert tr.cert.json token-ring -k 4 -d 3
 """
 
 from __future__ import annotations
@@ -124,6 +126,9 @@ def _cmd_synthesize(args) -> int:
             print(f"recovery groups added: {res.n_added}")
             if args.print_actions and res.success:
                 print(format_protocol(res.to_protocol(), added_only=res.added_groups))
+            if args.emit_cert and res.success:
+                res.certificate().save(args.emit_cert)
+                print(f"certificate written to {args.emit_cert}")
             if tracer.enabled:
                 print(f"trace written to {args.trace}")
             return 0 if res.success else 1
@@ -144,6 +149,9 @@ def _cmd_synthesize(args) -> int:
                     added_only=portfolio.result.added_groups,
                 )
             )
+        if args.emit_cert and portfolio.success:
+            portfolio.result.certificate().save(args.emit_cert)
+            print(f"certificate written to {args.emit_cert}")
         if tracer.enabled:
             print(f"trace written to {args.trace}")
         return 0 if portfolio.success else 1
@@ -177,6 +185,7 @@ def _synthesize_portfolio(args) -> int:
         hard_deadline=args.hard_deadline,
         max_retries=args.max_retries,
         resume=args.resume,
+        paranoid=args.paranoid,
     )
     elapsed = time.perf_counter() - t0
     n_cached = sum(1 for o in completed if o.cached)
@@ -200,6 +209,25 @@ def _synthesize_portfolio(args) -> int:
 
         protocol, _invariant = builder(*builder_args)
         print(format_protocol(protocol.with_groups(winner.pss_groups)))
+    if args.emit_cert and winner.success:
+        from .cert import ConvergenceCertificate
+        from .cert.emit import emit_certificate_from_groups
+
+        if winner.certificate is not None:
+            cert = ConvergenceCertificate.from_payload(winner.certificate)
+        else:
+            # certificate-less winner (e.g. a pre-certificate cache entry):
+            # recompute the witness from the recorded groups
+            protocol, invariant = builder(*builder_args)
+            cert = emit_certificate_from_groups(
+                protocol,
+                invariant,
+                [set(map(tuple, g)) for g in winner.pss_groups],
+                mode="strong",
+                schedule=winner.config.schedule,
+            )
+        cert.save(args.emit_cert)
+        print(f"certificate written to {args.emit_cert}")
     if trace_dir is not None:
         print(f"traces written to {os.path.join(trace_dir, 'merged.jsonl')}")
     return 0 if winner.success else 1
@@ -224,7 +252,96 @@ def _cmd_verify(args) -> int:
     protocol, invariant = _build(args)
     verdict = analyze_stabilization(protocol, invariant)
     print(verdict.describe())
-    return 0 if verdict.strongly_stabilizing else 1
+    ok = (
+        verdict.weakly_stabilizing
+        if args.mode == "weak"
+        else verdict.strongly_stabilizing
+    )
+    return 0 if ok else 1
+
+
+def _cmd_certify(args) -> int:
+    """Synthesize and write a standalone convergence certificate."""
+    from .faults import runtime as fault_runtime
+    from .faults.runtime import FaultPlan
+
+    # honour REPRO_FAULT_PLAN (the corrupt-cert drill) outside the
+    # portfolio runtime, which installs the plan itself
+    if fault_runtime.active_fault_plan() is None:
+        fault_runtime.install_fault_plan(FaultPlan.from_env())
+    protocol, invariant = _build(args)
+    t0 = time.perf_counter()
+    if args.mode == "weak":
+        if args.engine == "symbolic":
+            raise SystemExit("weak certificates require --engine explicit")
+        from .core.weak import synthesize_weak
+
+        result = synthesize_weak(protocol, invariant, minimize=True)
+        cert = result.certificate()
+    elif args.engine == "symbolic":
+        from .symbolic import SymbolicProtocol, add_strong_convergence_symbolic
+
+        sp = SymbolicProtocol(protocol)
+        inv = sp.sym.from_predicate(invariant)
+        res = add_strong_convergence_symbolic(protocol, inv, sp=sp)
+        if not res.success:
+            print("synthesis failed; no certificate to emit", file=sys.stderr)
+            return 1
+        cert = res.certificate()
+    else:
+        from .core import synthesize
+
+        portfolio = synthesize(protocol, invariant)
+        if not portfolio.success:
+            print("synthesis failed; no certificate to emit", file=sys.stderr)
+            return 1
+        cert = portfolio.result.certificate()
+    elapsed = time.perf_counter() - t0
+    cert.save(args.out)
+    print(
+        f"certificate: mode={cert.mode} engine={cert.engine} "
+        f"encoding={cert.encoding} max_rank={cert.max_rank} "
+        f"schema={cert.schema}"
+    )
+    print(f"certificate written to {args.out} ({elapsed:.2f}s)")
+    return 0
+
+
+def _cmd_check_cert(args) -> int:
+    """Independently re-check a certificate against the input protocol."""
+    from .cert import (
+        CertificateError,
+        CertificateViolation,
+        ConvergenceCertificate,
+        check_certificate_symbolic,
+        validate_certificate,
+    )
+
+    try:
+        cert = ConvergenceCertificate.load(args.cert)
+    except (OSError, CertificateError) as exc:
+        print(f"unreadable certificate {args.cert}: {exc}", file=sys.stderr)
+        return 2
+    protocol, invariant = _build(args)
+    t0 = time.perf_counter()
+    if args.engine == "symbolic":
+        violation = None
+        try:
+            check = check_certificate_symbolic(protocol, invariant, cert)
+        except CertificateViolation as exc:
+            check, violation = None, exc
+        except CertificateError as exc:
+            print(f"certificate REJECTED: {exc}")
+            return 1
+    else:
+        check, violation = validate_certificate(protocol, invariant, cert)
+    elapsed = time.perf_counter() - t0
+    if violation is not None:
+        print("certificate REJECTED:")
+        print(violation.describe())
+        return 1
+    print(f"{check.describe()} ({elapsed * 1000:.1f} ms)")
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -358,6 +475,19 @@ def make_parser() -> argparse.ArgumentParser:
         help="enable size-triggered dynamic BDD variable reordering "
         "(symbolic engine only)",
     )
+    p_syn.add_argument(
+        "--emit-cert",
+        default=None,
+        metavar="PATH",
+        help="write the convergence certificate of a successful synthesis "
+        "(check it later with 'stsyn check-cert')",
+    )
+    p_syn.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="re-verify cached/journaled winners with the full "
+        "check_solution even when they carry a valid certificate",
+    )
     p_syn.set_defaults(func=_cmd_synthesize)
 
     p_trace = sub.add_parser(
@@ -369,7 +499,45 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_ver = sub.add_parser("verify", help="check stabilization of the input")
     add_common(p_ver)
+    p_ver.add_argument(
+        "--mode",
+        choices=["strong", "weak"],
+        default="strong",
+        help="which stabilization property gates the exit status "
+        "(default strong); the full verdict is printed either way",
+    )
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_cert = sub.add_parser(
+        "certify",
+        help="synthesize and write a standalone convergence certificate",
+    )
+    add_common(p_cert)
+    p_cert.add_argument(
+        "--mode", choices=["strong", "weak"], default="strong"
+    )
+    p_cert.add_argument(
+        "--engine", choices=["explicit", "symbolic"], default="explicit"
+    )
+    p_cert.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="where to write the certificate JSON",
+    )
+    p_cert.set_defaults(func=_cmd_certify)
+
+    p_chk = sub.add_parser(
+        "check-cert",
+        help="independently re-check a certificate (no re-synthesis); "
+        "non-zero exit on rejection, for CI gating",
+    )
+    p_chk.add_argument("cert", help="certificate JSON written by 'certify'")
+    add_common(p_chk)
+    p_chk.add_argument(
+        "--engine", choices=["explicit", "symbolic"], default="explicit"
+    )
+    p_chk.set_defaults(func=_cmd_check_cert)
 
     p_ana = sub.add_parser("analyze", help="local correctability and symmetry")
     add_common(p_ana)

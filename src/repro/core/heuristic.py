@@ -247,6 +247,7 @@ def add_strong_convergence(
                 removed_groups=[set(g) for g in state.removed_groups],
                 pass_completed=pass_no,
                 remaining_deadlocks=remaining if not success else None,
+                input_protocol=protocol,
             )
 
         if not state.deadlock_mask().any():

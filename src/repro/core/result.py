@@ -34,6 +34,8 @@ class SynthesisResult:
     #: deadlock states remaining on failure
     remaining_deadlocks: Predicate | None = None
     verified: bool = False
+    #: the unmodified input protocol — what a certificate is checked against
+    input_protocol: Protocol | None = None
 
     @property
     def n_added(self) -> int:
@@ -49,6 +51,47 @@ class SynthesisResult:
             for j, gs in enumerate(self.added_groups)
             for (r, w) in sorted(gs)
         ]
+
+    def removed_group_ids(self) -> list[tuple[int, int, int]]:
+        return [
+            (j, r, w)
+            for j, gs in enumerate(self.removed_groups)
+            for (r, w) in sorted(gs)
+        ]
+
+    def certificate(self):
+        """Emit the :class:`~repro.cert.ConvergenceCertificate` of this run.
+
+        Only available on success.  The witness is the longest-path ranking
+        over the synthesized ``pss`` (not the BFS rank — pass 3 may add
+        transitions that climb in BFS rank), computed here lazily so
+        callers that never persist the result pay nothing.
+        """
+        from ..cert.emit import CertificateEmissionError, emit_certificate
+
+        if not self.success:
+            raise CertificateEmissionError(
+                "cannot certify an unsuccessful synthesis result"
+            )
+        original = self.input_protocol
+        if original is None:
+            # reconstruct the input from the recorded delta
+            original = self.protocol.with_groups(
+                [
+                    (set(gs) - self.added_groups[j]) | self.removed_groups[j]
+                    for j, gs in enumerate(self.protocol.groups)
+                ],
+                name=self.protocol.name,
+            )
+        return emit_certificate(
+            original,
+            self.invariant,
+            self.protocol,
+            mode="strong",
+            schedule=self.schedule,
+            added=self.added_group_ids(),
+            removed=self.removed_group_ids(),
+        )
 
     def summary(self) -> str:
         space = self.protocol.space

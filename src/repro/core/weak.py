@@ -46,6 +46,33 @@ class WeakSynthesisResult:
     ranking: RankingResult
     stats: SynthesisStats
 
+    def certificate(self):
+        """Emit the weak :class:`~repro.cert.ConvergenceCertificate`.
+
+        The BFS rank of ``ComputeRanks`` *is* a valid weak witness here:
+        every ranked state keeps its shortest-path decreasing successor in
+        the result (``p_im`` contains all of them; the minimised variant
+        keeps every group that contributes one).
+        """
+        from ..cert.emit import emit_certificate
+
+        original = self.ranking.protocol
+        added = [
+            (j, r, w)
+            for j, gs in enumerate(self.protocol.groups)
+            for (r, w) in sorted(set(gs) - set(original.groups[j]))
+        ]
+        return emit_certificate(
+            original,
+            self.ranking.invariant,
+            self.protocol,
+            mode="weak",
+            schedule=None,
+            added=added,
+            removed=[],
+            rank=self.ranking.rank,
+        )
+
 
 def synthesize_weak(
     protocol: Protocol,

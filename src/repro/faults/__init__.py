@@ -10,6 +10,7 @@ from .runtime import (
     fault_point,
     install_fault_plan,
     set_fault_context,
+    should_corrupt_cert,
 )
 from .simulator import (
     ConvergenceStats,
@@ -38,4 +39,5 @@ __all__ = [
     "run",
     "run_with_faults",
     "set_fault_context",
+    "should_corrupt_cert",
 ]

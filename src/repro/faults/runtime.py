@@ -48,6 +48,11 @@ class FaultPlan:
     hang_worker_at: str | None = None
     #: config-description substring — truncate the cache entry just written
     corrupt_cache_entry: str | None = None
+    #: ``"<site>@<substring>"`` — tamper a convergence certificate at
+    #: ``cert.store`` (cache record, matched on the config description) or
+    #: ``cert.write`` (file save, matched on the file name); the drill that
+    #: proves downstream consumers reject a corrupted witness
+    corrupt_certificate: str | None = None
     #: trace-file-name substring — delete the file before traces merge
     drop_trace_file: str | None = None
     #: exit code for :attr:`crash_worker_at` (1 ≈ segfault/OOM-kill victim)
@@ -141,6 +146,19 @@ def should_corrupt_cache(config_description: str) -> bool:
     plan = _PLAN
     return plan is not None and _spec_matches(
         plan.corrupt_cache_entry, "cache.put", config_description
+    )
+
+
+def should_corrupt_cert(site: str, needle: str) -> bool:
+    """Parent-side hook: tamper the certificate being stored/written here?
+
+    ``site`` is ``"cert.store"`` (certificate embedded in a cache record)
+    or ``"cert.write"`` (certificate saved to its own file); ``needle`` is
+    the config description / file name the spec is matched against.
+    """
+    plan = _PLAN
+    return plan is not None and _spec_matches(
+        plan.corrupt_certificate, site, needle
     )
 
 

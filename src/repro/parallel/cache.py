@@ -130,6 +130,7 @@ class SynthesisCache:
                 timers=dict(record.get("timers", {})),
                 counters=dict(record.get("counters", {})),
                 cached=True,
+                certificate=record.get("certificate"),
             )
         except OSError:
             self.misses += 1
@@ -158,13 +159,25 @@ class SynthesisCache:
             "remaining_deadlocks": outcome.remaining_deadlocks,
             "timers": outcome.timers,
             "counters": outcome.counters,
+            "certificate": getattr(outcome, "certificate", None),
         }
+        from ..faults.runtime import should_corrupt_cache, should_corrupt_cert
+
+        if record["certificate"] is not None and should_corrupt_cert(
+            "cert.store", outcome.config.describe()
+        ):
+            # fault drill: store a subtly tampered certificate — the entry
+            # parses fine, so only the certificate checker can catch it
+            from ..cert.certificate import tamper_certificate_payload
+
+            record["certificate"] = tamper_certificate_payload(
+                record["certificate"]
+            )
         path = self._path(config_key(fingerprint, outcome.config))
         tmp = path + ".tmp"
         with open(tmp, "w") as handle:
             json.dump(record, handle)
         os.replace(tmp, path)  # atomic: concurrent sweeps never read half a file
-        from ..faults.runtime import should_corrupt_cache
 
         if should_corrupt_cache(outcome.config.describe()):
             # fault drill: leave a torn half-written entry on disk

@@ -106,6 +106,11 @@ class ParallelOutcome:
     retries: int = 0
     #: True when the outcome was replayed from the resume journal
     resumed: bool = False
+    #: JSON payload of the worker's :class:`ConvergenceCertificate` (None
+    #: when the run failed or emission was unavailable); lets the parent —
+    #: and later cache/journal consumers — re-establish trust in the
+    #: recorded ``pss_groups`` without re-running ``check_solution``
+    certificate: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +159,7 @@ def _init_worker(
 
 def _worker(args) -> ParallelOutcome:
     config, index, trace_path, attempt = args
+    from ..cert import CertificateError
     from ..core.exceptions import SynthesisCancelled
     from ..core.heuristic import add_strong_convergence
     from ..verify.stabilization import check_solution
@@ -214,6 +220,18 @@ def _worker(args) -> ParallelOutcome:
         if success:
             with tracer.span("verify.check_solution"):
                 success = check_solution(protocol, result.protocol, invariant).ok
+        certificate = None
+        if success:
+            # A failed emission is not a failed synthesis: the outcome simply
+            # ships without a certificate and trust paths fall back to the
+            # full (slower) check_solution re-verification.
+            with tracer.span("cert.emit"):
+                try:
+                    certificate = result.certificate().to_payload()
+                except CertificateError as exc:
+                    tracer.event("cert.emit_failed", error=str(exc))
+                else:
+                    tracer.count("cert.emitted")
         tracer.event("worker.done", success=success)
         return ParallelOutcome(
             config=config,
@@ -229,6 +247,7 @@ def _worker(args) -> ParallelOutcome:
             trace_path=trace_path,
             duration=time.perf_counter() - t0,
             retries=attempt,
+            certificate=certificate,
         )
     finally:
         tracer.close()
@@ -671,6 +690,7 @@ def _journal_record(outcome: ParallelOutcome) -> dict:
             else None
         ),
         "duration": outcome.duration,
+        "certificate": outcome.certificate,
     }
 
 
@@ -691,6 +711,7 @@ def _outcome_from_journal(config: SynthesisConfig, record: dict) -> ParallelOutc
         retries=int(record.get("retries", 0)),
         duration=float(record.get("duration", 0.0)),
         resumed=True,
+        certificate=record.get("certificate"),
     )
 
 
@@ -718,6 +739,7 @@ def synthesize_parallel(
     share_precompute: bool = True,
     start_method: str | None = None,
     cancel_grace: float = 2.0,
+    paranoid: bool = False,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
     """Race the portfolio across supervised worker processes.
 
@@ -746,13 +768,21 @@ def synthesize_parallel(
     corruption for drills.
 
     With ``cache_dir``, completed outcomes are also memoised on disk and
-    repeat runs resolve from cache without spawning workers; cached winners
-    are re-verified with ``check_solution`` and corrupt entries are
-    quarantined to ``*.corrupt``.  With ``trace_dir``, each worker attempt
+    repeat runs resolve from cache without spawning workers; cached and
+    journaled winners are re-verified before they are trusted.  Winners
+    carrying a convergence certificate (:mod:`repro.cert`) are checked with
+    the independent certificate checker — orders of magnitude cheaper than
+    re-running ``check_solution`` — while certificate-less records fall back
+    to the full ``check_solution``.  ``paranoid=True`` forces the full
+    re-check even when a certificate is present.  Records that fail either
+    check are quarantined (cache) or re-run (journal).  With ``trace_dir``, each worker attempt
     writes ``worker_<index>[_r<attempt>].jsonl``, the parent writes
     ``portfolio.jsonl``, and everything surviving merges into
     ``merged.jsonl`` (stale traces from earlier runs are removed first).
     """
+    # local imports: repro.cert reaches back into repro.parallel.cache for
+    # the protocol fingerprint, so importing it at module top would cycle
+    from ..cert import CertificateError, ConvergenceCertificate, check_certificate
     from ..verify.stabilization import check_solution
 
     if resume and cache_dir is None:
@@ -798,10 +828,40 @@ def synthesize_parallel(
             config_list, fingerprint, cost_model if cache_dir else None
         )
 
-        def verified(pss_groups) -> bool:
-            if pss_groups is None:
+        def verified(outcome: ParallelOutcome) -> bool:
+            """Re-establish trust in a cached/journaled winner.
+
+            With a certificate attached (and ``paranoid`` off) the winner is
+            re-verified by the independent certificate checker — no
+            synthesis, no BFS over the full graph.  Without one (or with
+            ``paranoid=True``) the full ``check_solution`` runs.
+            """
+            if outcome.pss_groups is None:
                 return False
-            rebuilt = protocol.with_groups([set(g) for g in pss_groups])
+            pss_groups = [set(map(tuple, g)) for g in outcome.pss_groups]
+            if outcome.certificate is not None and not paranoid:
+                with tracer.span("cert.check"):
+                    try:
+                        cert = ConvergenceCertificate.from_payload(
+                            outcome.certificate
+                        )
+                        check_certificate(
+                            protocol,
+                            invariant,
+                            cert,
+                            expected_pss=pss_groups,
+                        )
+                    except CertificateError as exc:
+                        tracer.count("cert.check_fail")
+                        tracer.event(
+                            "cert.check_failed",
+                            config=outcome.config.describe(),
+                            error=str(exc),
+                        )
+                        return False
+                tracer.count("cert.check_pass")
+                return True
+            rebuilt = protocol.with_groups(pss_groups)
             return check_solution(protocol, rebuilt, invariant).ok
 
         # ------------------------------------------------------------------
@@ -824,7 +884,7 @@ def synthesize_parallel(
                 outcome = _outcome_from_journal(config, record)
                 # a journaled winner is re-verified like a cached one; a
                 # record that fails verification falls through and re-runs
-                if not outcome.success or verified(outcome.pss_groups):
+                if not outcome.success or verified(outcome):
                     tracer.event(
                         "portfolio.resume_skip",
                         config=config.describe(),
@@ -837,7 +897,7 @@ def synthesize_parallel(
                         winner = outcome
                     continue
             hit = cache.get(fingerprint, config) if cache is not None else None
-            if hit is not None and hit.success and not verified(hit.pss_groups):
+            if hit is not None and hit.success and not verified(hit):
                 # the entry parses but its solution no longer verifies:
                 # quarantine and recompute instead of returning a bad winner
                 cache.quarantine(fingerprint, config)

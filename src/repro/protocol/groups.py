@@ -209,6 +209,22 @@ class ProcessGroupTable:
         src = self.sources(rcode)
         return src, src + self.deltas[rcode, wcode]
 
+    def pairs_many(
+        self, rcodes: Sequence[int], wcodes: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` matrices for many groups at once.
+
+        Row ``g`` holds the transitions of group ``(rcodes[g], wcodes[g])``
+        in the same (ascending-source) order :meth:`pairs` yields them, so
+        a row-major scan visits transitions exactly as a per-group loop
+        over :meth:`pairs` would — one fancy-indexing pass instead of one
+        python iteration per group.
+        """
+        r = np.asarray(rcodes, dtype=STATE_DTYPE)
+        w = np.asarray(wcodes, dtype=STATE_DTYPE)
+        src = self.bases[r][:, None] + self.unread_offsets[None, :]
+        return src, src + self.deltas[r, w][:, None]
+
     def is_self_loop(self, rcode: int, wcode: int) -> bool:
         return int(self.self_wcode[rcode]) == wcode
 

@@ -485,6 +485,40 @@ class SymbolicSynthesisResult:
     def n_added(self) -> int:
         return sum(len(g) for g in self.added_groups)
 
+    def certificate(self):
+        """Emit the :class:`~repro.cert.ConvergenceCertificate` of this run.
+
+        Recomputes the longest-path levels by symbolic backward induction
+        and stores them as per-rank value-cube lists; the artifact checks
+        under either engine.  Small spaces only (the fingerprint needs the
+        explicit invariant mask).
+        """
+        from ..cert.emit import (
+            CertificateEmissionError,
+            emit_certificate_symbolic,
+        )
+
+        if not self.success:
+            raise CertificateEmissionError(
+                "cannot certify an unsuccessful synthesis result"
+            )
+        return emit_certificate_symbolic(
+            self.sp,
+            self.ranking.invariant,
+            self.pss_groups,
+            schedule=self.schedule,
+            added=[
+                (j, r, w)
+                for j, gs in enumerate(self.added_groups)
+                for (r, w) in sorted(gs)
+            ],
+            removed=[
+                (j, r, w)
+                for j, gs in enumerate(self.removed_groups)
+                for (r, w) in sorted(gs)
+            ],
+        )
+
     def record_space_metrics(self) -> None:
         """Fill ``stats.bdd_nodes`` with the paper's space metrics:
         total program size (shared BDD of the pss relations) and manager

@@ -191,9 +191,32 @@ def render_report(summary: TraceSummary) -> str:
         )
         tables.append(portfolio)
 
+    cert_counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("cert.")
+    }
+    if cert_counters:
+        certs = ResultTable(
+            "Certificates",
+            ["counter", "value"],
+            note="convergence certificates: emission + independent re-checks",
+        )
+        certs.add("certificates emitted", cert_counters.get("cert.emitted", 0))
+        passed = cert_counters.get("cert.check_pass", 0)
+        failed = cert_counters.get("cert.check_fail", 0)
+        certs.add("checks passed", passed)
+        certs.add("checks failed", failed)
+        certs.add("check pass rate (%)", safe_percent(passed, passed + failed))
+        tables.append(certs)
+
     counters = ResultTable("Counters", ["counter", "value"])
     for name in sorted(summary.counters):
-        if name.startswith("bdd.") or name.startswith("portfolio."):
+        if (
+            name.startswith("bdd.")
+            or name.startswith("portfolio.")
+            or name.startswith("cert.")
+        ):
             continue
         counters.add(name, summary.counters[name])
     tables.append(counters)

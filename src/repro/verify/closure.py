@@ -8,19 +8,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..explicit.graph import TransitionView
 from ..protocol.groups import GroupId
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
 
 
 def closure_violations(
-    protocol: Protocol, predicate: Predicate, *, limit: int = 10
+    protocol: Protocol,
+    predicate: Predicate,
+    *,
+    limit: int = 10,
+    view: TransitionView | None = None,
 ) -> list[tuple[GroupId, int, int]]:
-    """Up to ``limit`` transitions leaving ``predicate``: ``(group, s0, s1)``."""
+    """Up to ``limit`` transitions leaving ``predicate``: ``(group, s0, s1)``.
+
+    ``view`` lets callers share one prebuilt transition view across checks
+    (see :func:`repro.verify.analyze_stabilization`).
+    """
     out: list[tuple[GroupId, int, int]] = []
     mask = predicate.mask
-    for gid in protocol.iter_group_ids():
-        src, dst = protocol.group_pairs(gid)
+    if view is None:
+        view = TransitionView.of_protocol(protocol)
+    for gid, src, dst in view.pairs_with_ids():
         escaping = np.flatnonzero(mask[src] & ~mask[dst])
         for pos in escaping[: max(0, limit - len(out))]:
             out.append((gid, int(src[pos]), int(dst[pos])))
@@ -29,6 +39,11 @@ def closure_violations(
     return out
 
 
-def is_closed(protocol: Protocol, predicate: Predicate) -> bool:
+def is_closed(
+    protocol: Protocol,
+    predicate: Predicate,
+    *,
+    view: TransitionView | None = None,
+) -> bool:
     """True iff ``predicate`` is closed in every action of ``protocol``."""
-    return not closure_violations(protocol, predicate, limit=1)
+    return not closure_violations(protocol, predicate, limit=1, view=view)

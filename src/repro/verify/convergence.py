@@ -18,25 +18,42 @@ from .cycles import nonprogress_sccs
 from .deadlock import deadlock_states
 
 
-def weakly_converges(protocol: Protocol, invariant: Predicate) -> bool:
+def weakly_converges(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    view: TransitionView | None = None,
+) -> bool:
     """Every state can reach ``I`` along some computation."""
-    view = TransitionView.of_protocol(protocol)
+    if view is None:
+        view = TransitionView.of_protocol(protocol)
     reach = backward_reachable(view, invariant.mask, protocol.space.size)
     return bool(reach.all())
 
 
-def unrecoverable_states(protocol: Protocol, invariant: Predicate) -> Predicate:
+def unrecoverable_states(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    view: TransitionView | None = None,
+) -> Predicate:
     """States from which no computation reaches ``I`` (weak-convergence gap)."""
-    view = TransitionView.of_protocol(protocol)
+    if view is None:
+        view = TransitionView.of_protocol(protocol)
     reach = backward_reachable(view, invariant.mask, protocol.space.size)
     return Predicate(protocol.space, ~reach)
 
 
-def strongly_converges(protocol: Protocol, invariant: Predicate) -> bool:
+def strongly_converges(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    view: TransitionView | None = None,
+) -> bool:
     """No deadlocks in ``¬I`` and no non-progress cycles (Proposition II.1)."""
-    if deadlock_states(protocol, invariant):
+    if deadlock_states(protocol, invariant, view=view):
         return False
-    return not nonprogress_sccs(protocol, invariant)
+    return not nonprogress_sccs(protocol, invariant, view=view)
 
 
 def convergence_steps_bound(protocol: Protocol, invariant: Predicate) -> int:

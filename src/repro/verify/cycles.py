@@ -17,10 +17,17 @@ from ..protocol.protocol import Protocol
 
 
 def nonprogress_sccs(
-    protocol: Protocol, invariant: Predicate
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    view: TransitionView | None = None,
 ) -> list[np.ndarray]:
-    """Cyclic SCCs of ``δp`` restricted to ``¬I`` (state-index arrays)."""
-    view = TransitionView.of_protocol(protocol)
+    """Cyclic SCCs of ``δp`` restricted to ``¬I`` (state-index arrays).
+
+    ``view`` lets callers share one prebuilt transition view across checks.
+    """
+    if view is None:
+        view = TransitionView.of_protocol(protocol)
     return cyclic_sccs(view, protocol.space.size, ~invariant.mask)
 
 

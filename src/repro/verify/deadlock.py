@@ -7,13 +7,29 @@ States inside ``I`` with no outgoing transition are *silent*, not deadlocked
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..explicit.graph import TransitionView
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
 
 
-def deadlock_states(protocol: Protocol, invariant: Predicate) -> Predicate:
-    """All deadlock states of the protocol w.r.t. ``invariant``."""
-    return protocol.deadlock_predicate(invariant)
+def deadlock_states(
+    protocol: Protocol,
+    invariant: Predicate,
+    *,
+    view: TransitionView | None = None,
+) -> Predicate:
+    """All deadlock states of the protocol w.r.t. ``invariant``.
+
+    ``view`` lets callers share one prebuilt transition view across checks.
+    """
+    if view is None:
+        return protocol.deadlock_predicate(invariant)
+    has_out = np.zeros(protocol.space.size, dtype=bool)
+    for src, _dst in view.pairs():
+        has_out[src] = True
+    return Predicate(protocol.space, ~has_out & ~invariant.mask)
 
 
 def has_deadlocks(protocol: Protocol, invariant: Predicate) -> bool:
