@@ -1,0 +1,69 @@
+"""Fuzz harness throughput: instances/second through generation and the
+oracle bank.
+
+Not a paper figure — an engineering gauge for the differential fuzz layer
+(PR 6): how many random instances the generator emits per second, and how
+fast the full in-process oracle bank chews through them at the default
+nightly configuration.  The assertions are deliberately loose (order of
+magnitude): their job is to catch a 10× regression in generator or oracle
+cost, not to benchmark the machine.
+
+    PYTHONPATH=src python -m pytest benchmarks/test_fuzz_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fuzz import (
+    DEFAULT_ORACLES,
+    GeneratorConfig,
+    OracleContext,
+    generate_instance,
+    run_oracles,
+)
+
+FIGURE = "Fuzz harness: generation + oracle-bank throughput"
+
+SMALL = GeneratorConfig(max_processes=4, max_states=256)
+
+
+def test_fuzz_throughput(figure_report):
+    figure_report.register(
+        FIGURE,
+        columns=["stage", "instances", "total (s)", "inst/s"],
+        note="small-config instances (K<=4, |S|<=256), full default bank",
+    )
+
+    n_gen = 40
+    t0 = time.perf_counter()
+    instances = [generate_instance(seed, SMALL) for seed in range(n_gen)]
+    gen_s = time.perf_counter() - t0
+    figure_report.add_row(
+        FIGURE,
+        ["generate", n_gen, round(gen_s, 3), round(n_gen / gen_s, 1)],
+    )
+
+    n_oracle = 12
+    ctx = OracleContext()
+    t0 = time.perf_counter()
+    total_findings = 0
+    for inst in instances[:n_oracle]:
+        total_findings += len(run_oracles(inst, DEFAULT_ORACLES, ctx))
+    oracle_s = time.perf_counter() - t0
+    figure_report.add_row(
+        FIGURE,
+        [
+            "oracle bank",
+            n_oracle,
+            round(oracle_s, 3),
+            round(n_oracle / oracle_s, 1),
+        ],
+    )
+
+    assert total_findings == 0, "oracle bank found real bugs during the bench"
+    # order-of-magnitude regression guards
+    assert n_gen / gen_s > 5, f"generator slower than 5 inst/s ({gen_s:.2f}s)"
+    assert n_oracle / oracle_s > 0.5, (
+        f"oracle bank slower than 0.5 inst/s ({oracle_s:.2f}s)"
+    )

@@ -62,7 +62,7 @@ def _build(args):
     return builder(*builder_args)
 
 
-def _make_tracer(args):
+def _make_tracer(args, command: str = "synthesize"):
     from .trace import NULL_TRACER, Tracer
 
     path = getattr(args, "trace", None)
@@ -70,7 +70,7 @@ def _make_tracer(args):
         return NULL_TRACER
     return Tracer(
         path,
-        command="synthesize",
+        command=command,
         protocol=getattr(args, "protocol", None),
         engine=getattr(args, "engine", None),
     )
@@ -376,6 +376,38 @@ def _cmd_rank(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import GeneratorConfig, run_fuzz
+    from .trace import use_tracer
+
+    overrides = {}
+    if args.max_processes is not None:
+        overrides["max_processes"] = args.max_processes
+    if args.max_states is not None:
+        overrides["max_states"] = args.max_states
+    if args.topology:
+        overrides["topologies"] = tuple(args.topology)
+    config = GeneratorConfig(**overrides)
+    tracer = _make_tracer(args, command="fuzz")
+    try:
+        with use_tracer(tracer):
+            report = run_fuzz(
+                args.seed,
+                args.iterations,
+                oracle_names=args.oracle,
+                generator_config=config,
+                minimize=args.minimize,
+                corpus_dir=args.corpus_dir,
+                time_budget=args.time_budget,
+            )
+        print(report.render())
+        if tracer.enabled:
+            print(f"trace written to {args.trace}")
+        return 1 if report.n_findings else 0
+    finally:
+        tracer.close()
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stsyn",
@@ -546,6 +578,69 @@ def make_parser() -> argparse.ArgumentParser:
     p_rank = sub.add_parser("rank", help="ComputeRanks histogram")
     add_common(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random protocols through the "
+        "cross-engine oracle bank (see docs/FUZZING.md)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign master seed"
+    )
+    p_fuzz.add_argument(
+        "--iterations", type=int, default=50, metavar="N",
+        help="instances to generate (default 50)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop after this much wall clock; makes the iteration count "
+        "time-dependent, so the run is no longer bit-for-bit reproducible",
+    )
+    p_fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="oracle to run (repeatable); names, 'default' (all in-process "
+        "oracles) or 'all' (adds the multi-process 'portfolio' oracle)",
+    )
+    p_fuzz.add_argument(
+        "--minimize",
+        action="store_true",
+        help="shrink failing instances before reporting/persisting them",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="persist failing instances here as .stsyn + .json regression "
+        "entries (the committed corpus lives in tests/corpus/)",
+    )
+    p_fuzz.add_argument(
+        "--max-processes", type=int, default=None, metavar="K",
+        help="cap on generated process count",
+    )
+    p_fuzz.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="cap on generated state-space size",
+    )
+    p_fuzz.add_argument(
+        "--topology",
+        action="append",
+        default=None,
+        choices=["ring", "path", "grid", "torus", "erdos_renyi"],
+        help="restrict generation to these topologies (repeatable)",
+    )
+    p_fuzz.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace (fuzz.* counters; see 'stsyn trace-report')",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

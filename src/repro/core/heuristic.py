@@ -112,15 +112,18 @@ def find_input_cycle_offenders(state: SynthesisState) -> list[tuple[int, int, in
     if not sccs:
         return []
     state.stats.record_sccs([len(c) for c in sccs])
-    in_scc = np.zeros(state.space.size, dtype=bool)
-    for comp in sccs:
-        in_scc[comp] = True
+    # a transition is on a cycle only when both endpoints are in the *same*
+    # cyclic SCC — endpoints in two different SCCs merely connect them
+    comp_id = np.full(state.space.size, -1, dtype=np.int64)
+    for ci, comp in enumerate(sccs):
+        comp_id[comp] = ci
     offenders: list[tuple[int, int, int]] = []
     for j, gs in enumerate(list(state.pss_groups)):
         table = state.protocol.tables[j]
         for rcode, wcode in sorted(gs):
             src, dst = table.pairs(rcode, wcode)
-            inside = in_scc[src] & in_scc[dst] & state.not_i[src] & state.not_i[dst]
+            src_comp = comp_id[src]
+            inside = (src_comp >= 0) & (src_comp == comp_id[dst])
             if not inside.any():
                 continue
             if state.rcode_touches_i[j][rcode]:

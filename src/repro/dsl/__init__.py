@@ -1,4 +1,4 @@
-"""Guarded-command DSL: parser, compiler, minimiser and pretty-printer."""
+"""Guarded-command DSL: parser, compiler, minimiser and pretty-printers."""
 
 from .ast import ProtocolDecl
 from .eval import CompileError, compile_protocol, eval_expr
@@ -6,6 +6,7 @@ from .lexer import LexError, tokenize
 from .minimize import minimize_cover
 from .parser import ParseError, parse_protocol
 from .pretty import GuardedCommand, format_protocol, process_actions
+from .source import decl_to_source, expr_to_source
 
 __all__ = [
     "CompileError",
@@ -14,7 +15,9 @@ __all__ = [
     "ParseError",
     "ProtocolDecl",
     "compile_protocol",
+    "decl_to_source",
     "eval_expr",
+    "expr_to_source",
     "format_protocol",
     "minimize_cover",
     "parse_protocol",

@@ -1,0 +1,138 @@
+"""Render a parsed protocol AST back into ``.stsyn`` source text.
+
+The inverse of :func:`repro.dsl.parser.parse_protocol`: for every
+:class:`~repro.dsl.ast.ProtocolDecl` the emitted text re-parses to a
+structurally identical AST (``parse(decl_to_source(d)) == d``), which is
+what lets the fuzz generator hand every random instance around as plain
+source — corpus entries, spawn-started portfolio workers and shrink steps
+all speak the same ``.stsyn`` dialect.
+
+Distinct from :mod:`repro.dsl.pretty`, which prints *synthesized group
+sets* as human-readable guarded commands (a lossy, presentation-oriented
+rendering); this module is the lossless one, operating purely on the AST.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    ActionDecl,
+    Assignment,
+    BinOp,
+    Expr,
+    IntLit,
+    Name,
+    ProcessDecl,
+    ProtocolDecl,
+    UnaryOp,
+    VarDecl,
+)
+from .lexer import KEYWORDS
+
+# Binding strength, loosest first, mirroring the parser's grammar ladder:
+# orexpr < andexpr < notexpr < cmpexpr < addexpr < mulexpr < unary.
+_OR, _AND, _NOT, _CMP, _ADD, _MUL, _UNARY = range(1, 8)
+
+_BINOP_PREC = {
+    "|": _OR,
+    "&": _AND,
+    "==": _CMP,
+    "!=": _CMP,
+    "<": _CMP,
+    "<=": _CMP,
+    ">": _CMP,
+    ">=": _CMP,
+    "+": _ADD,
+    "-": _ADD,
+    "*": _MUL,
+    "%": _MUL,
+}
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _is_printable_label(label: str) -> bool:
+    """Action labels are optional in the grammar and must be bare IDENTs.
+
+    Parser-defaulted labels (``P0.A1``) contain a dot and are *not*
+    printable; omitting them regenerates the identical default on re-parse.
+    """
+    return bool(_IDENT_RE.match(label)) and label not in KEYWORDS
+
+
+def expr_to_source(expr: Expr, parent_prec: int = 0) -> str:
+    """Minimal-parenthesis rendering of one expression.
+
+    Parentheses are inserted whenever the node binds no tighter than its
+    context requires.  Comparison is non-associative in the grammar (one
+    optional comparison per ``cmpexpr``), so a comparison nested under
+    another comparison is always parenthesised.
+    """
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, UnaryOp):
+        if expr.op == "!":
+            # '!' binds looser than comparison: its operand is a full
+            # cmpexpr, so only |, & and ! itself need no parens... in fact
+            # anything at _CMP or tighter is fine unparenthesised.
+            inner = expr_to_source(expr.operand, _NOT + 1)
+            text = f"!{inner}"
+            prec = _NOT
+        else:  # unary minus: operand is another unary/atom
+            inner = expr_to_source(expr.operand, _UNARY)
+            text = f"-{inner}"
+            prec = _UNARY
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, BinOp):
+        prec = _BINOP_PREC[expr.op]
+        # comparisons do not chain: each operand is an addexpr
+        left_prec = prec + 1 if prec == _CMP else prec
+        right_prec = prec + 1
+        left = expr_to_source(expr.left, left_prec)
+        right = expr_to_source(expr.right, right_prec)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    raise TypeError(f"cannot render {expr!r}")  # pragma: no cover
+
+
+def _vardecl_to_source(decl: VarDecl) -> str:
+    names = ", ".join(decl.names)
+    if decl.domain.labels is not None:
+        domain = "{" + ", ".join(decl.domain.labels) + "}"
+    else:
+        domain = f"0..{decl.domain.size - 1}"
+    return f"var {names} : {domain}"
+
+
+def _assignment_to_source(assign: Assignment) -> str:
+    return f"{assign.target} := {expr_to_source(assign.value)}"
+
+
+def _action_to_source(action: ActionDecl) -> str:
+    label = f"{action.label}: " if _is_printable_label(action.label) else ""
+    assigns = ", ".join(_assignment_to_source(a) for a in action.assignments)
+    return f"  action {label}{expr_to_source(action.guard)} -> {assigns}"
+
+
+def _procdecl_to_source(proc: ProcessDecl) -> list[str]:
+    lines = [
+        f"process {proc.name} reads {', '.join(proc.reads)} "
+        f"writes {', '.join(proc.writes)}"
+    ]
+    lines.extend(_action_to_source(a) for a in proc.actions)
+    return lines
+
+
+def decl_to_source(decl: ProtocolDecl) -> str:
+    """Whole-file rendering; terminated by a newline."""
+    lines = [f"protocol {decl.name}"]
+    lines.extend(_vardecl_to_source(v) for v in decl.variables)
+    for proc in decl.processes:
+        lines.append("")
+        lines.extend(_procdecl_to_source(proc))
+    lines.append("")
+    lines.append(f"invariant {expr_to_source(decl.invariant)}")
+    return "\n".join(lines) + "\n"

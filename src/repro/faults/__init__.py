@@ -1,7 +1,13 @@
 """Transient faults, daemons, the execution simulator — and runtime fault
 injection for the portfolio engine (:mod:`repro.faults.runtime`)."""
 
-from .daemons import AdversarialDaemon, Daemon, RandomDaemon, RoundRobinDaemon
+from .daemons import (
+    AdversarialDaemon,
+    Daemon,
+    RandomDaemon,
+    RoundRobinDaemon,
+    daemon_portfolio,
+)
 from .injection import FaultModel, random_state, random_states
 from .runtime import (
     FAULT_PLAN_ENV,
@@ -31,6 +37,7 @@ __all__ = [
     "RoundRobinDaemon",
     "Trace",
     "active_fault_plan",
+    "daemon_portfolio",
     "fault_point",
     "install_fault_plan",
     "measure_convergence",

@@ -95,3 +95,21 @@ class AdversarialDaemon(Daemon):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+
+def daemon_portfolio(
+    invariant_mask, seed: int = 0
+) -> list[tuple[str, Daemon]]:
+    """The standard daemon battery, as ``(name, daemon)`` pairs.
+
+    One representative of each scheduling class: uniformly random,
+    round-robin fair, and the adversarial worst case.  The fuzz harness
+    runs every synthesized strong winner under all three — strong
+    convergence promises convergence under *any* central daemon, so each
+    member is an independent oracle schedule.
+    """
+    return [
+        ("random", RandomDaemon(seed=seed)),
+        ("round_robin", RoundRobinDaemon()),
+        ("adversarial", AdversarialDaemon(invariant_mask, seed=seed)),
+    ]

@@ -1,0 +1,70 @@
+"""Differential fuzz harness.
+
+The repo's redundancy — two engines, three synthesis paths, a portfolio
+runtime, independent certificates — weaponised as a bug-finder:
+:mod:`generate` draws seeded random protocols over random topologies as
+round-trippable ``.stsyn`` source, :mod:`oracles` cross-checks every
+redundant computation pair, :mod:`shrink` minimises failures, and
+:mod:`corpus` persists them as committed regression cases.  ``stsyn
+fuzz`` is the CLI entry; ``docs/FUZZING.md`` is the guide.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    entry_name,
+    load_corpus,
+    replay_entry,
+    write_corpus_entry,
+)
+from .generate import (
+    TOPOLOGIES,
+    FuzzInstance,
+    GenerationError,
+    GeneratorConfig,
+    compile_instance,
+    generate_instance,
+    instance_from_source,
+    iteration_seeds,
+)
+from .mutants import MUTATIONS, Mutation, make_mutation
+from .oracles import (
+    DEFAULT_ORACLES,
+    ORACLES,
+    Finding,
+    OracleContext,
+    resolve_oracles,
+    run_oracles,
+)
+from .runner import FuzzReport, IterationOutcome, run_fuzz
+from .shrink import ShrinkResult, failure_predicate_for, shrink_instance
+
+__all__ = [
+    "DEFAULT_ORACLES",
+    "MUTATIONS",
+    "ORACLES",
+    "TOPOLOGIES",
+    "CorpusEntry",
+    "Finding",
+    "FuzzInstance",
+    "FuzzReport",
+    "GenerationError",
+    "GeneratorConfig",
+    "IterationOutcome",
+    "Mutation",
+    "OracleContext",
+    "ShrinkResult",
+    "compile_instance",
+    "entry_name",
+    "failure_predicate_for",
+    "generate_instance",
+    "instance_from_source",
+    "iteration_seeds",
+    "load_corpus",
+    "make_mutation",
+    "replay_entry",
+    "resolve_oracles",
+    "run_fuzz",
+    "run_oracles",
+    "shrink_instance",
+    "write_corpus_entry",
+]

@@ -1,0 +1,116 @@
+"""The committed regression corpus under ``tests/corpus/``.
+
+Every minimised failing instance the fuzzer (or a hypothesis suite)
+discovers is persisted as a pair of files:
+
+``<name>.stsyn``
+    the reduced protocol, as plain DSL source — the portable, diffable,
+    human-readable artifact;
+``<name>.json``
+    metadata: the generator seed, the oracles that fired, their finding
+    messages at capture time, and the shrink statistics.
+
+``tests/test_corpus_replay.py`` replays every entry through the oracle
+bank on each pytest run, so a once-found bug stays found.  Entries whose
+findings have been *fixed* still replay — replay asserts the instance
+compiles and the oracles run clean (or, for entries marked
+``expect_findings``, that they still fire), making the corpus double as a
+known-answer suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .generate import FuzzInstance, instance_from_source
+from .oracles import Finding
+
+CORPUS_SCHEMA = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One committed regression case."""
+
+    name: str
+    seed: int
+    source: str
+    oracles: list[str] = field(default_factory=list)
+    messages: list[str] = field(default_factory=list)
+    #: True while the underlying bug is open: replay asserts findings fire
+    expect_findings: bool = False
+    shrink_steps: int = 0
+    note: str = ""
+
+    def instance(self) -> FuzzInstance:
+        return instance_from_source(self.source, seed=self.seed)
+
+
+def entry_name(seed: int, oracles) -> str:
+    tag = "-".join(sorted(set(oracles))) or "clean"
+    return f"seed{seed}_{tag}"
+
+
+def write_corpus_entry(
+    corpus_dir: Path | str,
+    instance: FuzzInstance,
+    findings: list[Finding],
+    *,
+    expect_findings: bool = False,
+    shrink_steps: int = 0,
+    note: str = "",
+) -> Path:
+    """Persist one case; returns the path of the ``.json`` metadata file."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    oracles = sorted({f.oracle for f in findings})
+    name = entry_name(instance.seed, oracles)
+    (corpus_dir / f"{name}.stsyn").write_text(instance.source)
+    meta = {
+        "schema": CORPUS_SCHEMA,
+        "name": name,
+        "seed": instance.seed,
+        "oracles": oracles,
+        "messages": sorted(f.message for f in findings),
+        "expect_findings": expect_findings,
+        "shrink_steps": shrink_steps,
+        "note": note,
+    }
+    path = corpus_dir / f"{name}.json"
+    path.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: Path | str) -> list[CorpusEntry]:
+    """All committed entries, sorted by name (deterministic replay order)."""
+    corpus_dir = Path(corpus_dir)
+    entries = []
+    if not corpus_dir.is_dir():
+        return entries
+    for meta_path in sorted(corpus_dir.glob("*.json")):
+        meta = json.loads(meta_path.read_text())
+        source_path = meta_path.with_suffix(".stsyn")
+        entries.append(
+            CorpusEntry(
+                name=meta["name"],
+                seed=int(meta.get("seed", -1)),
+                source=source_path.read_text(),
+                oracles=list(meta.get("oracles", [])),
+                messages=list(meta.get("messages", [])),
+                expect_findings=bool(meta.get("expect_findings", False)),
+                shrink_steps=int(meta.get("shrink_steps", 0)),
+                note=str(meta.get("note", "")),
+            )
+        )
+    return entries
+
+
+def replay_entry(entry: CorpusEntry, oracle_names=None, ctx=None):
+    """Re-run the oracle bank on one corpus entry; returns the findings."""
+    from .oracles import DEFAULT_ORACLES, OracleContext, run_oracles
+
+    instance = entry.instance()
+    names = list(oracle_names or entry.oracles or DEFAULT_ORACLES)
+    return run_oracles(instance, names, ctx or OracleContext())

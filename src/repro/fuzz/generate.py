@@ -1,0 +1,473 @@
+"""Seeded random protocol generator — the front end of the fuzz harness.
+
+Every instance is generated at the *AST* level (a
+:class:`~repro.dsl.ast.ProtocolDecl`), then rendered to ``.stsyn`` source
+and compiled with the production DSL pipeline.  That buys three things at
+once: the generator exercises the parser/printer round-trip on every
+instance, failing cases are portable (a corpus entry is just source text),
+and the multi-process portfolio can rebuild the instance from source in a
+spawn-started worker.
+
+The distribution model is topology-shaped: rings, paths, grids, tori and
+Erdős–Rényi graphs, one variable per process, with random *read
+restrictions* (a process may be blinded to some neighbours — the
+read/write-restriction axis of Section II).  Guards are random boolean
+combinations of equality/ordering atoms over the readable variables;
+assignments are constants or modular neighbour offsets, so every written
+value stays in-domain by construction.
+
+Determinism: all randomness flows from one ``random.Random(seed)``; the
+same ``(seed, config)`` always yields byte-identical source.  Instances
+that fail to compile (e.g. a guard that only produces stutters) are
+rejection-sampled away with a deterministic sub-seed sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..dsl.ast import (
+    ActionDecl,
+    Assignment,
+    BinOp,
+    Domain,
+    Expr,
+    IntLit,
+    Name,
+    ProcessDecl,
+    ProtocolDecl,
+    UnaryOp,
+    VarDecl,
+)
+from ..dsl.eval import CompileError, compile_protocol
+from ..dsl.minimize import minimize_cover
+from ..dsl.source import decl_to_source
+from ..explicit.graph import TransitionView, forward_reachable
+from ..protocol.actions import ActionCompileError
+from ..protocol.predicate import Predicate
+from ..protocol.protocol import Protocol
+
+TOPOLOGIES = ("ring", "path", "grid", "torus", "erdos_renyi")
+
+#: value labels used (rarely) instead of numeric domains, so the fuzz loop
+#: also covers the label-constant path of the compiler; label ``lN`` is
+#: globally pinned to value ``N``, which keeps multi-domain files consistent.
+_LABELS = ("l0", "l1", "l2", "l3")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs of the generator (all deterministic per seed)."""
+
+    topologies: tuple[str, ...] = TOPOLOGIES
+    min_processes: int = 2
+    max_processes: int = 6
+    #: per-variable domain sizes are drawn from [2, max_domain]
+    max_domain: int = 3
+    #: hard cap on the explicit state count |S| (product of domains); the
+    #: differential oracles materialise per-state arrays on both engines
+    max_states: int = 2048
+    max_actions_per_process: int = 3
+    #: probability that a neighbour read survives (read restriction)
+    read_keep_prob: float = 0.85
+    #: probability of a labelled (rather than numeric) domain
+    label_prob: float = 0.15
+    #: probability of generating the invariant as a *closed-by-construction*
+    #: forward-reachable set (encoded as a minimised DNF) instead of a
+    #: random expression
+    closed_invariant_prob: float = 0.55
+    #: closed invariants larger than this many minterm cubes fall back to a
+    #: random-expression invariant (keeps sources readable and parse cheap)
+    max_invariant_cubes: int = 48
+    #: rejection-sampling budget before giving up on a seed
+    max_rejects: int = 64
+
+
+@dataclass
+class FuzzInstance:
+    """One generated instance, carried through oracles and shrinking."""
+
+    seed: int
+    decl: ProtocolDecl
+    source: str
+    protocol: Protocol
+    invariant: Predicate
+    topology: str
+    #: how many candidate declarations were rejected before this one compiled
+    rejects: int = 0
+    #: per-instance memo shared by the oracle bank (engines, rankings, ...)
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} [{self.topology}] "
+            f"K={self.protocol.n_processes} |S|={self.protocol.space.size} "
+            f"groups={self.protocol.n_groups()}"
+        )
+
+
+class GenerationError(RuntimeError):
+    """A seed exhausted its rejection budget without compiling."""
+
+
+def compile_instance(source_or_decl) -> tuple[Protocol, Predicate]:
+    """Compile fuzz source/AST with the harness's compile options.
+
+    Random actions routinely produce stutter results (``x := x``); those are
+    legal no-ops under the group model, so the fuzz dialect compiles with
+    ``allow_self_loops=True`` (stutters silently dropped) — corpus replay
+    must use this wrapper, not the CLI's strict default.
+    """
+    return compile_protocol(source_or_decl, allow_self_loops=True)
+
+
+# ----------------------------------------------------------------------
+# topology shapes: process index -> sorted neighbour indices
+# ----------------------------------------------------------------------
+def _ring_neighbours(n: int) -> list[list[int]]:
+    return [sorted({(j - 1) % n, (j + 1) % n} - {j}) for j in range(n)]
+
+
+def _path_neighbours(n: int) -> list[list[int]]:
+    return [
+        sorted({j - 1, j + 1} & set(range(n)))
+        for j in range(n)
+    ]
+
+
+def _grid_neighbours(rows: int, cols: int, *, wrap: bool) -> list[list[int]]:
+    def idx(r: int, c: int) -> int:
+        return r * cols + c
+
+    out: list[list[int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            nbrs: set[int] = set()
+            for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                rr, cc = r + dr, c + dc
+                if wrap:
+                    rr, cc = rr % rows, cc % cols
+                elif not (0 <= rr < rows and 0 <= cc < cols):
+                    continue
+                if (rr, cc) != (r, c):
+                    nbrs.add(idx(rr, cc))
+            out.append(sorted(nbrs - {idx(r, c)}))
+    return out
+
+
+def _erdos_renyi_neighbours(n: int, rng: random.Random) -> list[list[int]]:
+    p = rng.uniform(0.25, 0.7)
+    nbrs: list[set[int]] = [set() for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < p:
+                nbrs[a].add(b)
+                nbrs[b].add(a)
+    return [sorted(s) for s in nbrs]
+
+
+def _draw_topology(
+    rng: random.Random, config: GeneratorConfig
+) -> tuple[str, list[list[int]]]:
+    kind = rng.choice(list(config.topologies))
+    lo, hi = config.min_processes, config.max_processes
+    if kind in ("grid", "torus"):
+        rows = 2
+        cols = rng.randint(max(1, lo // 2), max(2, hi // 2))
+        n = rows * cols
+        if n < 2:
+            rows, cols, n = 2, 1, 2
+        nbrs = _grid_neighbours(rows, cols, wrap=kind == "torus")
+        return kind, nbrs
+    n = rng.randint(lo, hi)
+    if kind == "ring":
+        return kind, _ring_neighbours(n)
+    if kind == "path":
+        return kind, _path_neighbours(n)
+    return kind, _erdos_renyi_neighbours(n, rng)
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+def _const(rng: random.Random, domain: int) -> IntLit:
+    return IntLit(rng.randrange(domain))
+
+
+def _atom(
+    rng: random.Random, readable: Sequence[tuple[str, int]]
+) -> Expr:
+    """One comparison atom over the readable variables."""
+    name, domain = rng.choice(list(readable))
+    roll = rng.random()
+    if roll < 0.45 or len(readable) == 1:
+        op = rng.choice(("==", "!=", "<", ">="))
+        return BinOp(op, Name(name), _const(rng, domain))
+    other, other_dom = rng.choice(list(readable))
+    if other == name:
+        return BinOp("==", Name(name), _const(rng, domain))
+    if roll < 0.8:
+        op = rng.choice(("==", "!=", "<", "<="))
+        return BinOp(op, Name(name), Name(other))
+    # modular offset relation: x == (y + c) % d
+    offset = rng.randrange(1, max(2, domain))
+    return BinOp(
+        "==",
+        Name(name),
+        BinOp("%", BinOp("+", Name(other), IntLit(offset)), IntLit(domain)),
+    )
+
+
+def _bool_expr(
+    rng: random.Random, readable: Sequence[tuple[str, int]], depth: int
+) -> Expr:
+    if depth <= 0 or rng.random() < 0.45:
+        atom = _atom(rng, readable)
+        if rng.random() < 0.15:
+            return UnaryOp("!", atom)
+        return atom
+    op = rng.choice(("&", "|"))
+    return BinOp(
+        op,
+        _bool_expr(rng, readable, depth - 1),
+        _bool_expr(rng, readable, depth - 1),
+    )
+
+
+def _value_expr(
+    rng: random.Random,
+    readable: Sequence[tuple[str, int]],
+    target_domain: int,
+) -> Expr:
+    """An expression whose value always lands inside the target domain."""
+    roll = rng.random()
+    if roll < 0.4:
+        return _const(rng, target_domain)
+    name, src_domain = rng.choice(list(readable))
+    if roll < 0.6 and src_domain <= target_domain:
+        return Name(name)
+    offset = rng.randrange(target_domain)
+    # (x + c) % d is in [0, d) for any x >= 0
+    return BinOp(
+        "%",
+        BinOp("+", Name(name), IntLit(offset)),
+        IntLit(target_domain),
+    )
+
+
+# ----------------------------------------------------------------------
+# invariant synthesis
+# ----------------------------------------------------------------------
+def _universe_expr(var0: str) -> Expr:
+    return BinOp(">=", Name(var0), IntLit(0))
+
+
+def _closed_invariant_expr(
+    rng: random.Random,
+    protocol: Protocol,
+    config: GeneratorConfig,
+) -> Expr | None:
+    """A closed-by-construction invariant as a minimised DNF expression.
+
+    Closure for free: take the forward-reachable set of a few random seed
+    states (any reachable closure is closed by definition), then compress
+    its minterms with the two-level minimiser and rebuild a DSL expression.
+    Returns ``None`` when the cover is too large to print sensibly.
+    """
+    space = protocol.space
+    n_seeds = rng.randint(1, 3)
+    seeds = np.array(
+        [rng.randrange(space.size) for _ in range(n_seeds)], dtype=np.int64
+    )
+    view = TransitionView.of_protocol(protocol)
+    mask = forward_reachable(view, np.unique(seeds), space.size)
+    states = np.flatnonzero(mask)
+    if len(states) == space.size:
+        return _universe_expr(space.variables[0].name)
+    if len(states) > 4 * config.max_invariant_cubes:
+        return None
+    minterms = [space.decode(int(s)) for s in states]
+    domains = [int(r) for r in space.radices]
+    cover = minimize_cover(minterms, domains)
+    if not cover or len(cover) > config.max_invariant_cubes:
+        return None
+    terms: list[Expr] = []
+    for cube in cover:
+        lits: list[Expr] = []
+        for pos, allowed in enumerate(cube):
+            if len(allowed) == domains[pos]:
+                continue  # don't-care position
+            name = space.variables[pos].name
+            vals = sorted(allowed)
+            if len(vals) == 1:
+                lits.append(BinOp("==", Name(name), IntLit(vals[0])))
+            elif len(vals) == domains[pos] - 1:
+                (missing,) = sorted(set(range(domains[pos])) - allowed)
+                lits.append(BinOp("!=", Name(name), IntLit(missing)))
+            elif vals == list(range(vals[0], vals[-1] + 1)):
+                lits.append(
+                    BinOp(
+                        "&",
+                        BinOp(">=", Name(name), IntLit(vals[0])),
+                        BinOp("<=", Name(name), IntLit(vals[-1])),
+                    )
+                )
+            else:
+                ors: Expr = BinOp("==", Name(name), IntLit(vals[0]))
+                for v in vals[1:]:
+                    ors = BinOp("|", ors, BinOp("==", Name(name), IntLit(v)))
+                lits.append(ors)
+        if not lits:
+            return _universe_expr(space.variables[0].name)
+        term = lits[0]
+        for lit in lits[1:]:
+            term = BinOp("&", term, lit)
+        terms.append(term)
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = BinOp("|", expr, term)
+    return expr
+
+
+# ----------------------------------------------------------------------
+# the generator proper
+# ----------------------------------------------------------------------
+def _draw_decl(
+    rng: random.Random, config: GeneratorConfig, name: str
+) -> tuple[ProtocolDecl, str]:
+    kind, neighbours = _draw_topology(rng, config)
+    n = len(neighbours)
+
+    # domains, capped so the state space stays explicit-checkable
+    domains: list[int] = []
+    total = 1
+    for _ in range(n):
+        d = rng.randint(2, config.max_domain)
+        while d > 2 and total * d > config.max_states:
+            d -= 1
+        if total * d > config.max_states:
+            d = 2
+        domains.append(d)
+        total *= d
+
+    use_labels = rng.random() < config.label_prob
+    var_decls = tuple(
+        VarDecl(
+            (f"x{j}",),
+            Domain(size=d, labels=_LABELS[:d] if use_labels else None),
+        )
+        for j, d in enumerate(domains)
+    )
+
+    processes: list[ProcessDecl] = []
+    for j in range(n):
+        reads = {j}
+        for nb in neighbours[j]:
+            if rng.random() < config.read_keep_prob:
+                reads.add(nb)
+        read_names = tuple(f"x{i}" for i in sorted(reads))
+        readable = [(f"x{i}", domains[i]) for i in sorted(reads)]
+        n_actions = rng.randint(1, config.max_actions_per_process)
+        actions = []
+        for a in range(n_actions):
+            guard = _bool_expr(rng, readable, depth=rng.randint(0, 2))
+            value = _value_expr(rng, readable, domains[j])
+            actions.append(
+                ActionDecl(
+                    label=f"P{j}.A{a}",
+                    guard=guard,
+                    assignments=(Assignment(f"x{j}", value),),
+                )
+            )
+        processes.append(
+            ProcessDecl(
+                name=f"P{j}",
+                reads=read_names,
+                writes=(f"x{j}",),
+                actions=tuple(actions),
+            )
+        )
+
+    # placeholder invariant; the real one may need the compiled protocol
+    return ProtocolDecl(
+        name=name,
+        variables=var_decls,
+        processes=tuple(processes),
+        invariant=_universe_expr("x0"),
+    ), kind
+
+
+def generate_instance(
+    seed: int, config: GeneratorConfig | None = None
+) -> FuzzInstance:
+    """Generate one compiled instance, deterministically, from ``seed``."""
+    config = config or GeneratorConfig()
+    rejects = 0
+    for attempt in range(config.max_rejects):
+        sub_seed = seed * 1_000_003 + attempt
+        rng = random.Random(sub_seed)
+        try:
+            decl, kind = _draw_decl(rng, config, name=f"fuzz_{seed}")
+            protocol, _ = compile_instance(decl)
+            # now that transitions exist, pick the invariant
+            if rng.random() < config.closed_invariant_prob:
+                inv_expr = _closed_invariant_expr(rng, protocol, config)
+            else:
+                inv_expr = None
+            if inv_expr is None:
+                readable = [
+                    (v.name, v.domain_size)
+                    for v in protocol.space.variables
+                ]
+                inv_expr = _bool_expr(rng, readable, depth=rng.randint(1, 2))
+            decl = replace(decl, invariant=inv_expr)
+            source = decl_to_source(decl)
+            protocol, invariant = compile_instance(source)
+            if not invariant.mask.any():
+                rejects += 1
+                continue  # degenerate empty invariant: reroll
+            return FuzzInstance(
+                seed=seed,
+                decl=decl,
+                source=source,
+                protocol=protocol,
+                invariant=invariant,
+                topology=kind,
+                rejects=rejects,
+            )
+        except (CompileError, ActionCompileError, ValueError):
+            rejects += 1
+            continue
+    raise GenerationError(
+        f"seed {seed}: no compilable instance within "
+        f"{config.max_rejects} attempts"
+    )
+
+
+def instance_from_source(source: str, *, seed: int = -1) -> FuzzInstance:
+    """Rebuild an instance from corpus source text (topology unknown)."""
+    from ..dsl.parser import parse_protocol
+
+    decl = parse_protocol(source)
+    protocol, invariant = compile_instance(decl)
+    return FuzzInstance(
+        seed=seed,
+        decl=decl,
+        source=source,
+        protocol=protocol,
+        invariant=invariant,
+        topology="corpus",
+    )
+
+
+def iteration_seeds(master_seed: int, iterations: int) -> list[int]:
+    """The per-iteration seed sequence of one fuzz run (pure function)."""
+    return [master_seed * 1_000_000_007 + i for i in range(iterations)]

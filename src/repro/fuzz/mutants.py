@@ -1,0 +1,159 @@
+"""Planted bugs for the mutation-testing sanity suite.
+
+A fuzzer that never fires is indistinguishable from a perfect codebase.
+This module closes that loop: each :class:`Mutation` deliberately corrupts
+one artifact *inside* the oracle bank — at a named
+:meth:`~repro.fuzz.oracles.OracleContext.mutate` site — imitating a known
+bug class, and ``tests/test_fuzz_mutation.py`` asserts that the oracles
+report a finding within a bounded iteration budget and that the shrinker
+minimises the triggering instance to a small corpus entry.
+
+The planted classes mirror the ISSUE's list:
+
+``flip_guard``     a synthesized winner silently gains a transition whose
+                   guard was flipped (wrong recovery action survives
+                   verification gaps);
+``corrupt_rank``   a certificate's ranking payload is tampered
+                   (:func:`repro.cert.tamper_certificate_payload`);
+``drop_delta``     a delta group is dropped from a certificate's ``added``
+                   list (the witness no longer reconstructs the winner);
+``phantom_scc``    a symbolic SCC algorithm reports a spurious component;
+``shift_rank``     the symbolic rank partition misplaces one state.
+
+Mutations are deterministic functions of the instance seed, so a mutant
+run is exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cert import tamper_certificate_payload
+from .generate import FuzzInstance
+
+MutatorFn = Callable[[FuzzInstance, object], object]
+
+
+@dataclass
+class Mutation:
+    """One planted bug: a transform applied at one named oracle site."""
+
+    name: str
+    site: str
+    transform: MutatorFn
+    #: sites this mutation actually fired on (for the sanity suite)
+    applied: list[int] = field(default_factory=list)
+
+    def apply(self, site: str, instance: FuzzInstance, value):
+        if site != self.site:
+            return value
+        mutated = self.transform(instance, value)
+        if mutated is not value:
+            self.applied.append(instance.seed)
+        return mutated
+
+
+def _rng_for(instance: FuzzInstance, salt: int) -> random.Random:
+    return random.Random(instance.seed * 7_919 + salt)
+
+
+# ----------------------------------------------------------------------
+# the planted bug classes
+# ----------------------------------------------------------------------
+def _flip_guard(instance: FuzzInstance, groups):
+    """Enable a winner transition whose guard should be false.
+
+    Picks a process and a (rcode, wcode) pair *not* in its group sets and
+    adds it as a singleton group — exactly the artifact of a guard whose
+    polarity was flipped during synthesis.
+    """
+    rng = _rng_for(instance, 1)
+    protocol = instance.protocol
+    order = list(range(len(groups)))
+    rng.shuffle(order)
+    for j in order:
+        table = protocol.tables[j]
+        present = set(groups[j])
+        candidates = [
+            (r, w)
+            for r in range(table.n_rvals)
+            for w in range(table.n_wvals)
+            # skip the pure self-loop column and existing groups
+            if (r, w) not in present and w != int(table.self_wcode[r])
+        ]
+        if candidates:
+            mutated = [set(g) for g in groups]
+            mutated[j].add(candidates[rng.randrange(len(candidates))])
+            return mutated
+    return groups  # no room to flip anything (reported via .applied)
+
+
+def _corrupt_rank(instance: FuzzInstance, payload):
+    """Tamper the certificate ranking — the PR-5 trust model's bug class."""
+    return tamper_certificate_payload(payload)
+
+
+def _drop_delta(instance: FuzzInstance, payload):
+    """Silently lose one added delta group from the certificate witness."""
+    added = payload.get("added") or []
+    if not added:
+        return payload
+    rng = _rng_for(instance, 3)
+    mutated = dict(payload)
+    kept = list(added)
+    kept.pop(rng.randrange(len(kept)))
+    mutated["added"] = kept
+    return mutated
+
+
+def _phantom_scc(instance: FuzzInstance, sccs):
+    """Report a cyclic SCC that is not there (symbolic SCC bug class)."""
+    size = instance.protocol.space.size
+    rng = _rng_for(instance, 4)
+    phantom = frozenset({rng.randrange(size)})
+    mutated = set(sccs)
+    mutated.add(phantom)
+    return mutated
+
+
+def _shift_rank(instance: FuzzInstance, masks):
+    """Move one state from its true rank into rank 0 (BFS off-by-one)."""
+    import numpy as np
+
+    for i in range(1, len(masks)):
+        idx = np.flatnonzero(masks[i])
+        if idx.size:
+            mutated = [m.copy() for m in masks]
+            mutated[i][idx[0]] = False
+            mutated[0][idx[0]] = True
+            return mutated
+    return masks
+
+
+MUTATIONS: dict[str, Callable[[], Mutation]] = {
+    "flip_guard": lambda: Mutation(
+        "flip_guard", "winner.groups", _flip_guard
+    ),
+    "corrupt_rank": lambda: Mutation(
+        "corrupt_rank", "cert.payload", _corrupt_rank
+    ),
+    "drop_delta": lambda: Mutation("drop_delta", "cert.payload", _drop_delta),
+    "phantom_scc": lambda: Mutation(
+        "phantom_scc", "sccs.symbolic", _phantom_scc
+    ),
+    "shift_rank": lambda: Mutation(
+        "shift_rank", "ranks.symbolic_masks", _shift_rank
+    ),
+}
+
+
+def make_mutation(name: str) -> Mutation:
+    """A fresh mutation instance for one planted bug class."""
+    try:
+        return MUTATIONS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {', '.join(MUTATIONS)}"
+        ) from None

@@ -1,0 +1,201 @@
+"""The fuzz campaign driver: generate → oracles → shrink → corpus.
+
+One campaign is a deterministic function of ``(master seed, iteration
+count, generator config, oracle selection)``: iteration *i* derives its
+own seed via :func:`repro.fuzz.generate.iteration_seeds`, generates one
+instance, runs the oracle bank, and — when asked — minimises any failing
+instance and persists it to the corpus.  ``--time-budget`` bounds wall
+clock for nightly runs; because it makes the iteration count
+time-dependent it is the one knob that trades reproducibility for
+coverage (documented on the CLI).
+
+Progress is observable through ``fuzz.*`` trace counters (rendered as the
+Fuzz table by ``stsyn trace-report``): ``fuzz.iterations``,
+``fuzz.generated``, ``fuzz.gen_rejects``, ``fuzz.oracle_runs``,
+``fuzz.findings``, ``fuzz.shrink_steps``, ``fuzz.shrink_attempts``,
+``fuzz.corpus_entries``, ``fuzz.states_explored``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..trace import current_tracer
+from .generate import (
+    FuzzInstance,
+    GenerationError,
+    GeneratorConfig,
+    generate_instance,
+    iteration_seeds,
+)
+from .oracles import Finding, OracleContext, resolve_oracles, run_oracles
+from .shrink import failure_predicate_for, shrink_instance
+
+
+@dataclass
+class IterationOutcome:
+    """One fuzz iteration, fully described."""
+
+    index: int
+    seed: int
+    instance: str  # FuzzInstance.describe(), "" when generation failed
+    n_states: int
+    findings: list[Finding] = field(default_factory=list)
+    generation_error: str = ""
+    shrink_steps: int = 0
+    minimized: str = ""  # reduced instance description, when minimised
+    corpus_path: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Deterministic campaign summary (no timings, no absolute paths)."""
+
+    master_seed: int
+    iterations_requested: int
+    oracles: list[str]
+    outcomes: list[IterationOutcome] = field(default_factory=list)
+    stopped_by_budget: bool = False
+
+    @property
+    def iterations_run(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_findings(self) -> int:
+        return sum(len(o.findings) for o in self.outcomes)
+
+    @property
+    def failing(self) -> list[IterationOutcome]:
+        return [o for o in self.outcomes if o.findings]
+
+    def render(self) -> str:
+        """Bit-for-bit reproducible text (the default CLI output)."""
+        lines = [
+            f"fuzz campaign: seed={self.master_seed} "
+            f"iterations={self.iterations_run}/{self.iterations_requested} "
+            f"oracles={','.join(self.oracles)}"
+        ]
+        for o in self.outcomes:
+            status = "FAIL" if o.findings else "ok"
+            detail = o.instance or f"generation error: {o.generation_error}"
+            lines.append(
+                f"  [{o.index:>4}] seed={o.seed} {status:<4} {detail}"
+            )
+            for f in o.findings:
+                lines.append(f"         - {f.oracle}: {f.message}")
+            if o.minimized:
+                lines.append(
+                    f"         shrunk in {o.shrink_steps} steps to "
+                    f"{o.minimized}"
+                )
+            if o.corpus_path:
+                lines.append(f"         corpus: {o.corpus_path}")
+        verdict = "FINDINGS" if self.n_findings else "clean"
+        lines.append(
+            f"result: {verdict} ({self.n_findings} findings, "
+            f"{len(self.failing)} failing instances)"
+        )
+        if self.stopped_by_budget:
+            lines.append("note: stopped by --time-budget (iteration count "
+                         "is time-dependent; rerun without it to reproduce)")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int,
+    iterations: int,
+    *,
+    oracle_names=None,
+    generator_config: GeneratorConfig | None = None,
+    ctx: OracleContext | None = None,
+    minimize: bool = False,
+    corpus_dir: Path | str | None = None,
+    time_budget: float | None = None,
+    max_shrink_attempts: int = 400,
+) -> FuzzReport:
+    """Run one campaign; see the module docstring for the contract."""
+    from .corpus import write_corpus_entry
+
+    tracer = current_tracer()
+    config = generator_config or GeneratorConfig()
+    ctx = ctx or OracleContext()
+    oracles = resolve_oracles(oracle_names)
+    report = FuzzReport(
+        master_seed=seed,
+        iterations_requested=iterations,
+        oracles=oracles,
+    )
+    deadline = (
+        time.monotonic() + time_budget if time_budget is not None else None
+    )
+    for index, iter_seed in enumerate(iteration_seeds(seed, iterations)):
+        if deadline is not None and time.monotonic() >= deadline:
+            report.stopped_by_budget = True
+            break
+        tracer.count("fuzz.iterations")
+        try:
+            instance = generate_instance(iter_seed, config)
+        except GenerationError as exc:
+            tracer.count("fuzz.gen_rejects")
+            report.outcomes.append(
+                IterationOutcome(
+                    index=index,
+                    seed=iter_seed,
+                    instance="",
+                    n_states=0,
+                    generation_error=str(exc),
+                )
+            )
+            continue
+        tracer.count("fuzz.generated")
+        tracer.count("fuzz.gen_rejects", instance.rejects)
+        tracer.count("fuzz.states_explored", instance.protocol.space.size)
+        tracer.count("fuzz.oracle_runs", len(oracles))
+        findings = run_oracles(instance, oracles, ctx)
+        tracer.count("fuzz.findings", len(findings))
+        outcome = IterationOutcome(
+            index=index,
+            seed=iter_seed,
+            instance=instance.describe(),
+            n_states=instance.protocol.space.size,
+            findings=findings,
+        )
+        if findings and minimize:
+            predicate = failure_predicate_for(oracles, findings, ctx)
+            shrunk = shrink_instance(
+                instance, predicate, max_attempts=max_shrink_attempts
+            )
+            tracer.count("fuzz.shrink_steps", shrunk.steps)
+            tracer.count("fuzz.shrink_attempts", shrunk.attempts)
+            outcome.shrink_steps = shrunk.steps
+            outcome.minimized = shrunk.instance.describe()
+            final_instance = shrunk.instance
+            final_findings = run_oracles(final_instance, oracles, ctx)
+            if not final_findings:  # paranoid: predicate matched on oracle
+                final_instance, final_findings = instance, findings
+            if corpus_dir is not None:
+                path = write_corpus_entry(
+                    corpus_dir,
+                    final_instance,
+                    final_findings,
+                    expect_findings=True,
+                    shrink_steps=shrunk.steps,
+                    note=f"fuzz master_seed={seed} iteration={index}",
+                )
+                tracer.count("fuzz.corpus_entries")
+                outcome.corpus_path = path.name
+        elif findings and corpus_dir is not None:
+            path = write_corpus_entry(
+                corpus_dir,
+                instance,
+                findings,
+                expect_findings=True,
+                note=f"fuzz master_seed={seed} iteration={index}",
+            )
+            tracer.count("fuzz.corpus_entries")
+            outcome.corpus_path = path.name
+        report.outcomes.append(outcome)
+    return report

@@ -1,0 +1,289 @@
+"""Greedy shrinking reducer for failing fuzz instances.
+
+A fuzz finding on a 6-process torus with 2000 states is unreadable; the
+same finding on a 2-process path with 8 states is a bug report.  The
+reducer repeatedly applies structural simplifications to the *AST* of a
+failing instance — drop a process, drop an action, shrink a domain, drop
+an assignment, replace a guard or the invariant by a sub-expression —
+keeping a candidate only when it still satisfies the failure predicate,
+until no transformation makes progress (a greedy first-improvement
+fixpoint, the classic delta-debugging shape specialised to the DSL).
+
+Every candidate is re-rendered to ``.stsyn`` source and recompiled through
+the production pipeline before the predicate sees it, so shrinking can
+never wander outside the language: an AST edit that produces an
+uncompilable protocol is simply rejected.  The whole loop is
+deterministic — transformations are enumerated in a fixed order and the
+predicate is re-evaluated on freshly compiled instances — which keeps
+minimised corpus entries reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from ..dsl.ast import (
+    ActionDecl,
+    BinOp,
+    Domain,
+    Expr,
+    IntLit,
+    Name,
+    ProcessDecl,
+    ProtocolDecl,
+    UnaryOp,
+    VarDecl,
+)
+from ..dsl.source import decl_to_source
+from .generate import FuzzInstance, instance_from_source
+
+#: the failure predicate: True while the candidate still exhibits the bug
+FailurePredicate = Callable[[FuzzInstance], bool]
+
+
+@dataclass
+class ShrinkResult:
+    instance: FuzzInstance
+    #: accepted transformation count (0 = input was already minimal)
+    steps: int
+    #: candidates tried (accepted + rejected)
+    attempts: int
+
+
+# ----------------------------------------------------------------------
+# expression surgery
+# ----------------------------------------------------------------------
+def _bool_subexprs(expr: Expr) -> list[Expr]:
+    """Immediate boolean-valued sub-expressions usable as replacements."""
+    if isinstance(expr, BinOp) and expr.op in ("|", "&"):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryOp) and expr.op == "!":
+        return [expr.operand]
+    return []
+
+
+def _rewrite_ints(expr: Expr, old: int, new: int) -> Expr:
+    """Replace every ``IntLit(old)`` with ``IntLit(new)`` (for domain
+    shrinks: modulo divisors and boundary comparisons follow the domain)."""
+    if isinstance(expr, IntLit):
+        return IntLit(new) if expr.value == old else expr
+    if isinstance(expr, UnaryOp):
+        return replace(expr, operand=_rewrite_ints(expr.operand, old, new))
+    if isinstance(expr, BinOp):
+        return replace(
+            expr,
+            left=_rewrite_ints(expr.left, old, new),
+            right=_rewrite_ints(expr.right, old, new),
+        )
+    return expr
+
+
+def _map_exprs(decl: ProtocolDecl, fn: Callable[[Expr], Expr]) -> ProtocolDecl:
+    processes = []
+    for proc in decl.processes:
+        actions = [
+            replace(
+                action,
+                guard=fn(action.guard),
+                assignments=tuple(
+                    replace(a, value=fn(a.value)) for a in action.assignments
+                ),
+            )
+            for action in proc.actions
+        ]
+        processes.append(replace(proc, actions=tuple(actions)))
+    return replace(
+        decl, processes=tuple(processes), invariant=fn(decl.invariant)
+    )
+
+
+# ----------------------------------------------------------------------
+# candidate transformations, in decreasing order of aggressiveness
+# ----------------------------------------------------------------------
+def _drop_process(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    if len(decl.processes) <= 1:
+        return
+    for i in range(len(decl.processes)):
+        kept = decl.processes[:i] + decl.processes[i + 1 :]
+        yield replace(decl, processes=kept)
+
+
+def _drop_variable(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    """Drop a variable no process or expression mentions any more."""
+    from ..dsl.ast import free_names
+
+    used: set[str] = set(free_names(decl.invariant))
+    for proc in decl.processes:
+        used.update(proc.reads)
+        used.update(proc.writes)
+        for action in proc.actions:
+            used.update(free_names(action.guard))
+            for a in action.assignments:
+                used.add(a.target)
+                used.update(free_names(a.value))
+    for vi, var in enumerate(decl.variables):
+        kept_names = tuple(n for n in var.names if n in used)
+        if len(kept_names) == len(var.names):
+            continue
+        variables = list(decl.variables)
+        if kept_names:
+            variables[vi] = replace(var, names=kept_names)
+        else:
+            del variables[vi]
+        if any(v.names for v in variables):
+            yield replace(decl, variables=tuple(variables))
+
+
+def _drop_action(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for pi, proc in enumerate(decl.processes):
+        if len(proc.actions) <= 1:
+            continue
+        for ai in range(len(proc.actions)):
+            actions = proc.actions[:ai] + proc.actions[ai + 1 :]
+            processes = list(decl.processes)
+            processes[pi] = replace(proc, actions=actions)
+            yield replace(decl, processes=tuple(processes))
+
+
+def _shrink_domain(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for vi, var in enumerate(decl.variables):
+        old = var.domain.size
+        if old <= 2:
+            continue
+        new = old - 1
+        labels = var.domain.labels[:new] if var.domain.labels else None
+        variables = list(decl.variables)
+        variables[vi] = replace(var, domain=Domain(size=new, labels=labels))
+        shrunk = replace(decl, variables=tuple(variables))
+        yield _map_exprs(shrunk, lambda e: _rewrite_ints(e, old, new))
+
+
+def _drop_assignment(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for pi, proc in enumerate(decl.processes):
+        for ai, action in enumerate(proc.actions):
+            if len(action.assignments) <= 1:
+                continue
+            for si in range(len(action.assignments)):
+                assigns = (
+                    action.assignments[:si] + action.assignments[si + 1 :]
+                )
+                actions = list(proc.actions)
+                actions[ai] = replace(action, assignments=assigns)
+                processes = list(decl.processes)
+                processes[pi] = replace(proc, actions=tuple(actions))
+                yield replace(decl, processes=tuple(processes))
+
+
+def _simplify_guards(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for pi, proc in enumerate(decl.processes):
+        for ai, action in enumerate(proc.actions):
+            for sub in _bool_subexprs(action.guard):
+                actions = list(proc.actions)
+                actions[ai] = replace(action, guard=sub)
+                processes = list(decl.processes)
+                processes[pi] = replace(proc, actions=tuple(actions))
+                yield replace(decl, processes=tuple(processes))
+
+
+def _simplify_invariant(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for sub in _bool_subexprs(decl.invariant):
+        yield replace(decl, invariant=sub)
+
+
+def _zero_assignments(decl: ProtocolDecl) -> Iterator[ProtocolDecl]:
+    for pi, proc in enumerate(decl.processes):
+        for ai, action in enumerate(proc.actions):
+            for si, assign in enumerate(action.assignments):
+                if isinstance(assign.value, IntLit):
+                    continue
+                assigns = list(action.assignments)
+                assigns[si] = replace(assign, value=IntLit(0))
+                actions = list(proc.actions)
+                actions[ai] = replace(action, assignments=tuple(assigns))
+                processes = list(decl.processes)
+                processes[pi] = replace(proc, actions=tuple(actions))
+                yield replace(decl, processes=tuple(processes))
+
+
+_TRANSFORMS: tuple[Callable[[ProtocolDecl], Iterator[ProtocolDecl]], ...] = (
+    _drop_process,
+    _drop_action,
+    _shrink_domain,
+    _drop_variable,
+    _drop_assignment,
+    _simplify_guards,
+    _simplify_invariant,
+    _zero_assignments,
+)
+
+
+def _compile_candidate(
+    decl: ProtocolDecl, seed: int
+) -> FuzzInstance | None:
+    try:
+        return instance_from_source(decl_to_source(decl), seed=seed)
+    except Exception:
+        return None
+
+
+def shrink_instance(
+    instance: FuzzInstance,
+    predicate: FailurePredicate,
+    *,
+    max_attempts: int = 2000,
+) -> ShrinkResult:
+    """Minimise ``instance`` while ``predicate`` keeps holding.
+
+    ``predicate`` is called on freshly compiled candidates only; a
+    predicate that raises rejects the candidate (the bug under
+    investigation must be re-detected, not crash the reducer).
+    """
+    current = instance
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for transform in _TRANSFORMS:
+            for decl in transform(current.decl):
+                if attempts >= max_attempts:
+                    break
+                attempts += 1
+                candidate = _compile_candidate(decl, instance.seed)
+                if candidate is None:
+                    continue
+                try:
+                    still_failing = predicate(candidate)
+                except Exception:
+                    continue
+                if still_failing:
+                    current = candidate
+                    steps += 1
+                    improved = True
+                    break  # restart the transformation ladder from the top
+            if improved:
+                break
+    return ShrinkResult(instance=current, steps=steps, attempts=attempts)
+
+
+def failure_predicate_for(
+    oracle_names, reference_findings, ctx=None
+) -> FailurePredicate:
+    """The standard predicate: the same oracle still reports *some* finding.
+
+    Matching on the oracle name (not the message) is the usual
+    delta-debugging compromise: messages embed state names and counts that
+    legitimately change as the instance shrinks.
+    """
+    from .oracles import OracleContext, run_oracles
+
+    wanted = {f.oracle for f in reference_findings}
+
+    def predicate(candidate: FuzzInstance) -> bool:
+        findings = run_oracles(
+            candidate, list(oracle_names), ctx or OracleContext()
+        )
+        return bool(wanted & {f.oracle for f in findings})
+
+    return predicate

@@ -210,12 +210,44 @@ def render_report(summary: TraceSummary) -> str:
         certs.add("check pass rate (%)", safe_percent(passed, passed + failed))
         tables.append(certs)
 
+    fuzz_counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("fuzz.")
+    }
+    if fuzz_counters:
+        fuzz = ResultTable(
+            "Fuzz",
+            ["counter", "value"],
+            note="differential fuzz campaign (stsyn fuzz; see docs/FUZZING.md)",
+        )
+        generated = fuzz_counters.get("fuzz.generated", 0)
+        fuzz.add("iterations", fuzz_counters.get("fuzz.iterations", 0))
+        fuzz.add("instances generated", generated)
+        rejects = fuzz_counters.get("fuzz.gen_rejects", 0)
+        fuzz.add("generator rejects", rejects)
+        fuzz.add(
+            "generator accept rate (%)",
+            safe_percent(generated, generated + rejects),
+        )
+        fuzz.add("states explored", fuzz_counters.get("fuzz.states_explored", 0))
+        fuzz.add("oracle runs", fuzz_counters.get("fuzz.oracle_runs", 0))
+        fuzz.add("findings", fuzz_counters.get("fuzz.findings", 0))
+        fuzz.add("shrink steps accepted", fuzz_counters.get("fuzz.shrink_steps", 0))
+        fuzz.add(
+            "shrink candidates tried",
+            fuzz_counters.get("fuzz.shrink_attempts", 0),
+        )
+        fuzz.add("corpus entries written", fuzz_counters.get("fuzz.corpus_entries", 0))
+        tables.append(fuzz)
+
     counters = ResultTable("Counters", ["counter", "value"])
     for name in sorted(summary.counters):
         if (
             name.startswith("bdd.")
             or name.startswith("portfolio.")
             or name.startswith("cert.")
+            or name.startswith("fuzz.")
         ):
             continue
         counters.add(name, summary.counters[name])

@@ -8,10 +8,34 @@ invariant to be a forward-reachable closure of a random seed set.
 
 from __future__ import annotations
 
+import os
 import random
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import settings
+from hypothesis.database import DirectoryBasedExampleDatabase
+
+# ----------------------------------------------------------------------
+# hypothesis profiles
+#
+# Every suite draws from the *committed* example database under
+# tests/corpus/hypothesis, so a failing example found anywhere — a
+# developer machine, CI, the nightly fuzz run — lands in the repository
+# instead of a throwaway local .hypothesis/ directory and replays for
+# everyone.  CI selects the derandomized profile (HYPOTHESIS_PROFILE=ci)
+# so test outcomes are a function of the code, not the clock.
+# ----------------------------------------------------------------------
+_CORPUS_DB = Path(__file__).parent / "corpus" / "hypothesis"
+settings.register_profile(
+    "default",
+    database=DirectoryBasedExampleDatabase(str(_CORPUS_DB)),
+)
+# derandomize implies no example database (runs are already reproducible
+# from the code alone, so there is nothing non-local to persist)
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.explicit.graph import TransitionView, forward_reachable
 from repro.protocol import (

@@ -1,0 +1,59 @@
+"""Replay every committed corpus entry through the oracle bank.
+
+This is the regression half of the fuzz harness: once a failing instance
+is minimised and committed under ``tests/corpus/``, this suite re-checks
+it on every pytest run — clean entries (fixed bugs, known-answer
+baselines) must stay clean, open entries must keep firing until the fix
+lands and flips ``expect_findings``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import OracleContext, load_corpus, replay_entry
+from repro.fuzz.corpus import CORPUS_SCHEMA
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "the committed corpus must hold at least one entry"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_entry_compiles(entry):
+    instance = entry.instance()
+    assert instance.protocol.n_groups() >= 0
+    assert instance.invariant.count() > 0
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_entry_replays(entry):
+    findings = replay_entry(entry, ctx=OracleContext())
+    if entry.expect_findings:
+        fired = {f.oracle for f in findings}
+        assert fired & set(entry.oracles), (
+            f"open corpus entry {entry.name} no longer fires "
+            f"{entry.oracles}; if the underlying bug was fixed, set "
+            f"expect_findings to false in {entry.name}.json"
+        )
+    else:
+        assert findings == [], [f.describe() for f in findings]
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=[e.name for e in ENTRIES])
+def test_entry_round_trips_through_the_printer(entry):
+    from repro.dsl import decl_to_source, parse_protocol
+
+    decl = parse_protocol(entry.source)
+    assert parse_protocol(decl_to_source(decl)) == decl
+
+
+def test_schema_is_current():
+    import json
+
+    for meta_path in sorted(CORPUS_DIR.glob("*.json")):
+        meta = json.loads(meta_path.read_text())
+        assert meta.get("schema") == CORPUS_SCHEMA, meta_path

@@ -1,0 +1,112 @@
+"""Mutation-testing sanity: the oracles must catch every planted bug class.
+
+Each test installs one :class:`repro.fuzz.mutants.Mutation` — a deliberate,
+deterministic corruption of one artifact inside the oracle bank — and
+fuzzes until the corresponding oracle fires, within a bounded iteration
+budget.  The failing instance is then auto-minimised and persisted as a
+corpus entry, which must replay (the acceptance bar: every planted class
+detected, minimised to ≤ 4 processes).
+"""
+
+import pytest
+
+from repro.fuzz import (
+    GeneratorConfig,
+    OracleContext,
+    failure_predicate_for,
+    generate_instance,
+    load_corpus,
+    make_mutation,
+    replay_entry,
+    run_oracles,
+    shrink_instance,
+    write_corpus_entry,
+)
+from repro.fuzz.mutants import MUTATIONS
+
+#: small instances keep each oracle pass fast; the budget bounds detection
+CONFIG = GeneratorConfig(max_processes=4, max_states=256)
+BUDGET = 12
+
+#: which oracles to run per planted class — the ones that own the seam the
+#: mutation corrupts (plus anything cheap that could also fire)
+TARGET_ORACLES = {
+    "flip_guard": ("cert",),
+    "corrupt_rank": ("cert",),
+    "drop_delta": ("cert",),
+    "phantom_scc": ("sccs",),
+    "shift_rank": ("ranks",),
+}
+
+
+def _detect(name):
+    """Fuzz with the mutation installed until an oracle fires."""
+    oracles = TARGET_ORACLES[name]
+    for seed in range(BUDGET):
+        instance = generate_instance(seed, CONFIG)
+        mutation = make_mutation(name)
+        ctx = OracleContext(mutation=mutation)
+        findings = run_oracles(instance, oracles, ctx)
+        if findings:
+            return instance, findings, ctx
+    raise AssertionError(
+        f"mutation {name!r} went undetected within {BUDGET} iterations"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutant_detected_within_budget(name):
+    instance, findings, _ = _detect(name)
+    assert findings
+    assert all(f.oracle in TARGET_ORACLES[name] for f in findings)
+    # detection must be a genuine oracle rejection, not a folded crash
+    assert not any("oracle crashed" in f.message for f in findings)
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutant_minimised_to_small_corpus_entry(name, tmp_path):
+    instance, findings, ctx = _detect(name)
+    oracles = TARGET_ORACLES[name]
+    predicate = failure_predicate_for(oracles, findings, ctx)
+    shrunk = shrink_instance(instance, predicate, max_attempts=250)
+    # the acceptance bar: every planted class minimises to <= 4 processes
+    assert shrunk.instance.protocol.n_processes <= 4
+    assert shrunk.instance.protocol.space.size <= instance.protocol.space.size
+    final = run_oracles(shrunk.instance, oracles, ctx)
+    assert final, "minimised instance no longer triggers the oracle"
+
+    write_corpus_entry(
+        tmp_path,
+        shrunk.instance,
+        final,
+        expect_findings=True,
+        shrink_steps=shrunk.steps,
+        note=f"mutation sanity: {name}",
+    )
+    entries = load_corpus(tmp_path)
+    assert len(entries) == 1
+    replayed = replay_entry(entries[0], oracles, ctx)
+    assert replayed, "corpus replay lost the finding"
+    assert {f.oracle for f in replayed} & set(oracles)
+
+
+def test_mutation_records_where_it_fired():
+    instance, findings, ctx = _detect("corrupt_rank")
+    assert ctx.mutation.applied  # the mutant actually bit, not a flake
+    assert instance.seed in ctx.mutation.applied
+
+
+def test_without_mutation_the_same_seeds_are_clean():
+    """The sanity check's own sanity check: detection is *caused* by the
+    planted bug, not by a latent real one in the covered seed range."""
+    for seed in range(BUDGET):
+        instance = generate_instance(seed, CONFIG)
+        findings = run_oracles(
+            instance, ("cert", "sccs", "ranks"), OracleContext()
+        )
+        assert findings == [], [f.describe() for f in findings]
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(ValueError, match="unknown mutation"):
+        make_mutation("nope")

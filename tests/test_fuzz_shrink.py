@@ -1,0 +1,139 @@
+"""The shrinking reducer and the campaign runner."""
+
+import pytest
+
+from repro.fuzz import (
+    GeneratorConfig,
+    OracleContext,
+    generate_instance,
+    load_corpus,
+    run_fuzz,
+    shrink_instance,
+)
+from repro.trace import Tracer, use_tracer
+
+SMALL = GeneratorConfig(max_processes=4, max_states=256)
+
+
+class TestShrinker:
+    def test_structural_predicate_shrinks_to_minimum(self):
+        """With an always-true predicate the reducer drives the instance to
+        the smallest protocol the transformations can reach."""
+        inst = generate_instance(0, SMALL)
+        result = shrink_instance(inst, lambda candidate: True)
+        assert result.instance.protocol.n_processes == 1
+        assert result.instance.protocol.space.size <= inst.protocol.space.size
+        assert result.steps > 0
+
+    def test_predicate_violation_rejects_candidate(self):
+        """A predicate pinning the process count blocks process drops."""
+        inst = generate_instance(0, SMALL)
+        k = inst.protocol.n_processes
+        result = shrink_instance(
+            inst, lambda candidate: candidate.protocol.n_processes == k
+        )
+        assert result.instance.protocol.n_processes == k
+
+    def test_deterministic(self):
+        inst_a = generate_instance(2, SMALL)
+        inst_b = generate_instance(2, SMALL)
+        ra = shrink_instance(inst_a, lambda c: True)
+        rb = shrink_instance(inst_b, lambda c: True)
+        assert ra.instance.source == rb.instance.source
+        assert ra.steps == rb.steps
+        assert ra.attempts == rb.attempts
+
+    def test_raising_predicate_means_reject(self):
+        inst = generate_instance(1, SMALL)
+
+        def explosive(candidate):
+            raise RuntimeError("predicate blew up")
+
+        result = shrink_instance(inst, explosive)
+        assert result.instance.source == inst.source
+        assert result.steps == 0
+
+    def test_attempt_budget_respected(self):
+        inst = generate_instance(0, SMALL)
+        result = shrink_instance(inst, lambda c: True, max_attempts=3)
+        assert result.attempts <= 3
+
+    def test_shrunk_instance_recompiles(self):
+        from repro.fuzz import instance_from_source
+
+        inst = generate_instance(4, SMALL)
+        result = shrink_instance(inst, lambda c: True)
+        again = instance_from_source(result.instance.source)
+        assert again.protocol.groups == result.instance.protocol.groups
+
+
+class TestRunner:
+    def test_report_is_deterministic(self):
+        a = run_fuzz(9, 4, generator_config=SMALL)
+        b = run_fuzz(9, 4, generator_config=SMALL)
+        assert a.render() == b.render()
+        assert a.iterations_run == 4
+
+    def test_clean_campaign_reports_clean(self):
+        report = run_fuzz(9, 3, generator_config=SMALL)
+        assert report.n_findings == 0
+        assert "clean" in report.render()
+        assert not report.failing
+
+    def test_counters_traced(self, tmp_path):
+        path = tmp_path / "fuzz.jsonl"
+        tracer = Tracer(path, command="fuzz")
+        with use_tracer(tracer):
+            run_fuzz(9, 3, generator_config=SMALL)
+        tracer.close()
+        assert tracer.counters["fuzz.iterations"] == 3
+        assert tracer.counters["fuzz.generated"] == 3
+        assert tracer.counters["fuzz.oracle_runs"] > 0
+        assert tracer.counters.get("fuzz.findings", 0) == 0
+
+    def test_time_budget_can_stop_early(self):
+        report = run_fuzz(
+            9, 500, generator_config=SMALL, time_budget=1e-9
+        )
+        assert report.stopped_by_budget
+        assert report.iterations_run < 500
+        assert "time-budget" in report.render()
+
+    def test_oracle_subset_selection(self):
+        report = run_fuzz(9, 2, generator_config=SMALL, oracle_names=["sccs"])
+        assert report.oracles == ["sccs"]
+
+    def test_findings_persisted_to_corpus(self, tmp_path, monkeypatch):
+        """A finding-producing campaign writes minimised corpus entries."""
+        from repro.fuzz import mutants, oracles as oracles_mod
+
+        def always_fires(instance, ctx):
+            from repro.fuzz.oracles import Finding
+
+            return [
+                Finding(
+                    oracle="synthetic",
+                    message="planted",
+                    seed=instance.seed,
+                    instance=instance.describe(),
+                )
+            ]
+
+        monkeypatch.setitem(oracles_mod.ORACLES, "synthetic", always_fires)
+        report = run_fuzz(
+            9,
+            1,
+            generator_config=SMALL,
+            oracle_names=["synthetic"],
+            minimize=True,
+            corpus_dir=tmp_path,
+        )
+        assert report.n_findings >= 1
+        [outcome] = report.outcomes
+        assert outcome.corpus_path
+        entries = load_corpus(tmp_path)
+        assert len(entries) == 1
+        assert entries[0].expect_findings
+        # minimisation ran: synthetic failures shrink all the way down
+        assert outcome.minimized
+        assert "K=1" in outcome.minimized
