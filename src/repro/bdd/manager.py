@@ -1,67 +1,99 @@
-"""A from-scratch ROBDD package — the stand-in for CUDD/GLU (paper Sec. VII).
+"""Array-native ROBDD kernel — the stand-in for CUDD/GLU (paper Sec. VII).
 
-Reduced Ordered Binary Decision Diagrams with a unique table and memoised
-ITE, the classic Bryant construction.  Nodes are integers; the two terminals
-are ``ZERO = 0`` and ``ONE = 1``.  No complement edges — negation is a
-memoised traversal — which keeps the invariants simple and the node counts
-directly comparable in spirit to the paper's reported "number of BDD nodes".
+Reduced Ordered Binary Decision Diagrams with struct-of-arrays node storage:
+nodes are integer ids indexing three parallel ``numpy int64`` arrays
+(``level``, ``low``, ``high``); the two terminals are ``ZERO = 0`` and
+``ONE = 1`` at a sentinel level of ``n_vars``.  No complement edges.  The
+arrays feed the vectorised batch engines; identity-stable Python-list
+mirrors of the same three columns serve the scalar fast paths, where list
+indexing beats ``ndarray`` element access by ~4x on CPython.  The
+canonicity (unique) table and the memo tables are dict-backed stores with
+a batch (ndarray) API (:mod:`repro.bdd.tables` — see its docstring for
+why dicts beat open-addressed numpy arrays here), so there are no
+per-node Python objects anywhere: a node is nothing but an index.
+
+Apply engines
+-------------
+All Boolean operations route through *batched breadth-first* apply engines
+instead of per-node Python recursion:
+
+* :meth:`ite` (and every connective derived from it) runs a two-phase BFS —
+  a top-down sweep expands per-level frontiers of ``(f, g, h)`` request
+  triples (deduplicated, terminal-resolved and memo-probed in bulk), and a
+  bottom-up sweep reduces each frontier through a vectorised unique-table
+  ``mk``.  There is no recursion, hence no Python recursion limit; depth is
+  bounded only by the number of levels.
+* :meth:`exists`, :meth:`and_exists`, :meth:`rel_product_pre` and
+  :meth:`rel_product_post` share one generalised product engine,
+  parameterised by a level-space descriptor (a virtual *shift* of the second
+  operand's levels, a quantified-level mask, an output-level map and a
+  cut-off level).  Sub-problems below the cut-off are plain conjunctions and
+  are drained through the batched ITE engine.
+* :meth:`rename` and :meth:`restrict` are unary BFS traversals with the same
+  frontier machinery (rename keeps the node-by-node order check and raises
+  ``ValueError`` on order-breaking mappings).
+
+Frontiers narrower than a small cut-off are processed by a scalar twin of
+each phase (python ints against the same tables), so tiny operations do not
+pay vectorisation overhead; wide frontiers are pure numpy.  :meth:`and_all`
+and :meth:`or_all` reduce their operands as a balanced tree with one
+multi-root ITE call per round.
 
 Variables vs. levels
 --------------------
-Since the dynamic-reordering PR the manager distinguishes **variables**
-(stable external names, ``0 .. n_vars-1``) from **levels** (positions in the
-current order, root = level 0).  Every public operation — ``var``, ``cube``,
-``exists``, ``and_exists``, ``rename``, ``restrict``, ``eval``, ``pick``,
-``iter_sat`` — speaks *variable indices*; levels are an internal detail that
-:meth:`reorder` permutes.  Initially variable ``i`` sits at level ``i``, so
-legacy level-based callers are unaffected until they opt into reordering.
+The manager distinguishes **variables** (stable external names,
+``0 .. n_vars-1``) from **levels** (positions in the current order, root =
+level 0).  Every public operation — ``var``, ``cube``, ``exists``,
+``and_exists``, ``rename``, ``restrict``, ``eval``, ``pick``, ``iter_sat``
+— speaks *variable indices*; levels are an internal detail that
+:meth:`reorder` permutes.  Initially variable ``i`` sits at level ``i``.
+
+Memo tables
+-----------
+The ITE memo and the operation memo are capped, lossy caches in the style
+of CUDD's computed table: when an insert would exceed the cap the cache is
+dropped wholesale, so overflow costs recomputation, never correctness.
+One store serves both the scalar machines and the batch engines, so a
+result memoised by either path is a hit for the other.  Quantify,
+rename, restrict and relational-product calls are keyed ``(f, g, op_id)``
+where ``op_id`` names a registered level-space operation descriptor — equal
+``(f, g)`` pairs under different quantifier sets get different ids and
+therefore cannot alias (see the cache-key audit note in the repo history).
+Descriptors are level-based, so the registry and the operation memo are
+dropped by :meth:`reorder`; the ITE memo survives reorders because node ids
+keep denoting the same functions.
 
 Reordering
 ----------
-:meth:`reorder` runs Rudell's sifting: each block of variables is moved
-through every position via the in-place adjacent-level swap primitive and
-parked where the unique table is smallest.  The swap rewrites nodes *in
-place*, so node ids keep denoting the same Boolean function across a
-reorder — outstanding handles, the ``ite``/``not`` memo tables and the
-``_vars`` array all stay valid.  Level-keyed operation caches (``exists``,
-``and_exists``, ``rename``, ``restrict``) are dropped at the end of a
-reorder, because their keys mention quantified *level* sets (see the
-cache-key audit note below).  Blocks (:meth:`set_reorder_blocks`) let a
-transition-system encoding sift interleaved current/next bit *pairs* as
-units, preserving the order-preserving-rename contract the symbolic engine
-relies on.  Auto-reordering (:attr:`auto_reorder`) triggers sifting at the
-entry of a public operation whenever the unique table outgrows
-:attr:`reorder_threshold`; it never fires mid-recursion.
+:meth:`reorder` runs Rudell's sifting over the flat arrays: each block of
+variables is moved through every position via the in-place adjacent-level
+swap primitive and parked where the live node count is smallest.  The swap
+rewrites nodes *in place* (scalar unique-table removes/inserts), so node
+ids keep denoting the same Boolean function across a reorder.  Blocks (:meth:`set_reorder_blocks`) let
+a transition-system encoding sift interleaved current/next bit *pairs* as
+units.  Auto-reordering (:attr:`auto_reorder`) triggers at the entry of a
+public operation when the unique table outgrows :attr:`reorder_threshold`.
 
 Garbage collection
 ------------------
 Nodes are reclaimed by explicit mark-and-sweep (:meth:`collect_garbage`):
-roots are the variable nodes, every externally :meth:`ref`-ed node (see also
-the :meth:`protect` context manager) and any ``roots`` passed by the caller.
-Dead slots go on a free list and are reused by the node constructor, so ids
-handed out after a collection may recycle ids of collected nodes —
-**holding a node id across a collection without rooting it is a
-use-after-free**; that is the ref-counting contract.  All memo tables are
-cleared on collection (entries may mention dead ids).
+the mark phase is a vectorised frontier walk from the variable nodes, every
+:meth:`ref`-ed node (see :meth:`protect`) and caller-supplied roots; the
+sweep rebuilds the unique table from the survivors and pushes freed slots
+onto a free list that the node constructor recycles.
+All memo tables are cleared, since entries may mention dead ids.
 
-Cache-key audit (regression-tested in ``tests/test_bdd_reorder_gc.py``)
------------------------------------------------------------------------
-Every op-cache key carries the *full* operation identity: ``("ex", f, vs)``,
-``("ae", f, g, vs)`` (operands id-sorted — conjunction commutes — and the
-quantified level-set ``vs`` always included, so equal ``(f, g)`` pairs under
-different quantification sets never collide), ``("rn", f, mapping)``,
-``("rs", f, assignments)``.  The keys mention *levels*, which is why every
-reorder clears the op cache.  ``rename`` additionally validates, node by
-node, that the result respects the level order — a mapping that moves a
-variable past an *unmapped* variable in the operand's support used to
-corrupt the unique table silently.
-
-Performance notes (per the repo's measure-first rule): the unique and
-compute tables are plain dicts keyed by int tuples.  ``and_exists`` fuses
-conjunction with existential quantification so relational products never
-materialise the full conjunction.  The always-on counters (``ite`` calls,
-memo hits, GC and reorder tallies) flow into trace reports via
-:func:`repro.trace.tracer.record_bdd_counters`.
+Tuning knobs
+------------
+``BDD(n_vars, initial_capacity=...)`` sizes the node-store arrays up front
+(they double on demand; the dict tables size themselves);
+:attr:`scalar_budget` bounds the depth-first fast path before it aborts to
+the BFS engines; ``auto_reorder`` / ``reorder_threshold`` control sifting.
+The retained
+dict-based implementation lives in :mod:`repro.bdd.reference` and is
+selectable at the symbolic layer via ``REPRO_BDD_KERNEL=reference`` — it is
+the differential-testing oracle, not a performance path.  See
+``docs/SUBSTRATE.md`` for internals and ``README.md`` for tuning guidance.
 """
 
 from __future__ import annotations
@@ -69,14 +101,46 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from .tables import EMPTY, TernaryCache, UniqueTable
+
 ZERO = 0
 ONE = 1
 
+# Frontiers narrower than this are processed by the scalar twin of each
+# BFS phase; at or above it, the numpy path wins.
+_SCALAR_CUTOFF = 32
+
+# Default node-expansion budget for the depth-first scalar machines that
+# public entry points try first (overridable per manager via
+# ``BDD.scalar_budget``).  An operation that exhausts it aborts to the
+# batched BFS engine; subresults completed before the abort are already
+# memoised, so the restart does not repeat them.  Measured on the ranking
+# workloads, running single-root operations to completion in the scalar
+# machine beats handing them to the BFS engine by ~2x (the batch engine
+# only wins on genuinely multi-root frontiers), so the default is set
+# high enough that single-root aborts are practically impossible while
+# still bounding stack memory on pathological operations.
+_SCALAR_BUDGET = 1 << 22
+
+
 
 class BDD:
-    """A BDD manager over ``n_vars`` Boolean variables."""
+    """An array-native BDD manager over ``n_vars`` Boolean variables.
 
-    def __init__(self, n_vars: int, var_names: Sequence[str] | None = None):
+    Public API, counters and the variable-vs-level contract are identical
+    to the retained dict implementation (:class:`repro.bdd.reference.ReferenceBDD`);
+    only the data layout and the apply strategy differ.
+    """
+
+    def __init__(
+        self,
+        n_vars: int,
+        var_names: Sequence[str] | None = None,
+        *,
+        initial_capacity: int = 1 << 12,
+    ):
         if n_vars < 0:
             raise ValueError("n_vars must be non-negative")
         self.n_vars = n_vars
@@ -88,20 +152,40 @@ class BDD:
         # variable <-> level maps; identity until the first reorder
         self._var2level = list(range(n_vars))
         self._level2var = list(range(n_vars))
-        # node storage: parallel lists indexed by node id.  Terminals occupy
-        # ids 0 and 1 with a sentinel level of n_vars (below every variable).
-        # A freed slot has level -1 and sits on the free list.
-        self._level = [n_vars, n_vars]
-        self._low = [ZERO, ONE]
-        self._high = [ZERO, ONE]
+        # node storage: parallel numpy arrays indexed by node id.  Terminals
+        # occupy ids 0 and 1 with a sentinel level of n_vars (below every
+        # variable).  A freed slot has level -1 and sits on the free list.
+        cap = max(int(initial_capacity), n_vars + 64)
+        self._cap = cap
+        self._levels = np.empty(cap, dtype=np.int64)
+        self._lows = np.empty(cap, dtype=np.int64)
+        self._highs = np.empty(cap, dtype=np.int64)
+        self._levels[0] = self._levels[1] = n_vars
+        self._lows[0], self._highs[0] = ZERO, ZERO
+        self._lows[1], self._highs[1] = ONE, ONE
+        # python-list mirrors of the node arrays for the scalar fast paths:
+        # list indexing is several times cheaper than numpy scalar reads in
+        # CPython.  Kept exact by _mk/_mk_many/_grow_store and rebuilt
+        # wholesale after a reorder (sifting writes the arrays directly).
+        # Growth uses extend() and writes use index assignment, so list
+        # identity is stable — locals captured by a running scalar machine
+        # stay valid even across store growth.
+        self._levels_l: list[int] = self._levels.tolist()
+        self._lows_l: list[int] = self._lows.tolist()
+        self._highs_l: list[int] = self._highs.tolist()
+        self._n_slots = 2
         self._free: list[int] = []
-        self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
-        self._not_cache: dict[int, int] = {}
-        self._op_cache: dict[tuple, int] = {}
-        # per-write-set argument structs of the fused relational products,
-        # keyed by the (cur_var, next_var) pairs tuple; level-based, so it
-        # survives GC but must be dropped on reorder
+        self._ut = UniqueTable(2 * cap)
+        self._ite_memo = TernaryCache(2 * cap)
+        self._op_memo = TernaryCache(2 * cap)
+        # level-space operation descriptors: key -> op_id -> param struct
+        self._op_descr: dict[tuple, int] = {}
+        self._op_structs: list[tuple] = []
+        # python-list twins of the descriptor arrays, built lazily for the
+        # scalar fast paths (list indexing beats numpy scalar reads)
+        self._op_scalar: dict[int, tuple] = {}
+        # per-write-set op ids of the fused relational products; level-based,
+        # so it survives GC but must be dropped on reorder
         self._relprod_args_cache: dict[tuple, tuple] = {}
         # external GC roots: node id -> reference count
         self._refs: dict[int, int] = {}
@@ -113,6 +197,9 @@ class BDD:
         self._reorder_dead: set[int] | None = None
         self.auto_reorder = False
         self.reorder_threshold = 100_000
+        # node-expansion budget for the scalar DFS machines (see
+        # _SCALAR_BUDGET); lower it to force the BFS fallback earlier
+        self.scalar_budget = _SCALAR_BUDGET
         # Always-on operation counters (plain int increments — cheap enough
         # to leave enabled; see repro.trace for how they reach reports).
         self.n_ite_calls = 0
@@ -129,47 +216,156 @@ class BDD:
         self._vars = [self._mk(i, ZERO, ONE) for i in range(n_vars)]
 
     # ------------------------------------------------------------------
+    # node-store compatibility views (tests and tools may introspect)
+    # ------------------------------------------------------------------
+    @property
+    def _level(self) -> np.ndarray:
+        """All allocated slots' levels (``len`` = slots ever allocated)."""
+        return self._levels[: self._n_slots]
+
+    @property
+    def _low(self) -> np.ndarray:
+        return self._lows[: self._n_slots]
+
+    @property
+    def _high(self) -> np.ndarray:
+        return self._highs[: self._n_slots]
+
+    # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    def _grow_store(self, need: int) -> None:
+        cap = self._cap
+        while cap < need:
+            cap *= 2
+        for name in ("_levels", "_lows", "_highs"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=np.int64)
+            new[: self._n_slots] = old[: self._n_slots]
+            setattr(self, name, new)
+        grow = cap - len(self._levels_l)
+        if grow > 0:
+            pad = [0] * grow
+            self._levels_l.extend(pad)
+            self._lows_l.extend(pad)
+            self._highs_l.extend(pad)
+        self._cap = cap
+        # keep the lossy memo caps roughly in step with the node store
+        self._ite_memo.resize(2 * cap)
+        self._op_memo.resize(2 * cap)
+
     def _mk(self, level: int, low: int, high: int) -> int:
+        """Scalar unique-table constructor (reorderer + narrow frontiers).
+
+        The unique-table dict is accessed directly — this is the hottest
+        scalar call in the kernel and the method-call indirection through
+        :class:`UniqueTable` measurably shows up on ranking workloads.
+        """
         if low == high:
             return low
         key = (level, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            if self._free:
-                node = self._free.pop()
-                self._level[node] = level
-                self._low[node] = low
-                self._high[node] = high
-            else:
-                node = len(self._level)
-                self._level.append(level)
-                self._low.append(low)
-                self._high.append(high)
-            self._unique[key] = node
-            self._n_live += 1
+        ud = self._ut.d
+        node = ud.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+        else:
+            if self._n_slots >= self._cap:
+                self._grow_store(self._n_slots + 1)
+            node = self._n_slots
+            self._n_slots += 1
+        self._levels[node] = level
+        self._lows[node] = low
+        self._highs[node] = high
+        self._levels_l[node] = level
+        self._lows_l[node] = low
+        self._highs_l[node] = high
+        ud[key] = node
+        self._n_live += 1
+        if self._n_live > self.n_peak_live:
+            self.n_peak_live = self._n_live
+        if self._reorder_tracking is not None:
+            self._reorder_tracking[level].add(node)
+        return node
+
+    def _mk_many(self, level: int, Lo: np.ndarray, Hi: np.ndarray) -> np.ndarray:
+        """Vectorised ``mk``: one unique-table round trip for a frontier."""
+        out = np.empty(len(Lo), dtype=np.int64)
+        redund = Lo == Hi
+        out[redund] = Lo[redund]
+        work = ~redund
+        nw = int(np.count_nonzero(work))
+        if nw == 0:
+            return out
+        lo = Lo[work]
+        hi = Hi[work]
+        # dedup (lo, hi) pairs so table inserts see distinct keys
+        order = np.lexsort((hi, lo))
+        slo, shi = lo[order], hi[order]
+        head = np.empty(nw, dtype=bool)
+        head[0] = True
+        head[1:] = (slo[1:] != slo[:-1]) | (shi[1:] != shi[:-1])
+        grp = np.cumsum(head) - 1
+        ulo, uhi = slo[head], shi[head]
+        lv = np.full(len(ulo), level, dtype=np.int64)
+        found = self._ut.lookup_many(
+            lv, ulo, uhi, self._levels, self._lows, self._highs
+        )
+        miss = found == EMPTY
+        nmiss = int(np.count_nonzero(miss))
+        if nmiss:
+            mlo, mhi = ulo[miss], uhi[miss]
+            ids = np.empty(nmiss, dtype=np.int64)
+            nfree = min(len(self._free), nmiss)
+            if nfree:
+                ids[:nfree] = self._free[-nfree:]
+                del self._free[len(self._free) - nfree :]
+            fresh = nmiss - nfree
+            if fresh:
+                if self._n_slots + fresh > self._cap:
+                    self._grow_store(self._n_slots + fresh)
+                ids[nfree:] = np.arange(
+                    self._n_slots, self._n_slots + fresh, dtype=np.int64
+                )
+                self._n_slots += fresh
+            self._levels[ids] = level
+            self._lows[ids] = mlo
+            self._highs[ids] = mhi
+            ll, lol, hl = self._levels_l, self._lows_l, self._highs_l
+            for i, a, b in zip(ids.tolist(), mlo.tolist(), mhi.tolist()):
+                ll[i] = level
+                lol[i] = a
+                hl[i] = b
+            self._ut.insert_many(
+                lv[miss], mlo, mhi, ids, self._levels, self._lows, self._highs
+            )
+            found[miss] = ids
+            self._n_live += nmiss
             if self._n_live > self.n_peak_live:
                 self.n_peak_live = self._n_live
-            if self._reorder_tracking is not None:
-                self._reorder_tracking[level].add(node)
-        return node
+            if self._reorder_tracking is not None:  # pragma: no cover - safety
+                self._reorder_tracking[level].update(ids.tolist())
+        res = np.empty(nw, dtype=np.int64)
+        res[order] = found[grp]
+        out[work] = res
+        return out
 
     def var(self, index: int) -> int:
         """The BDD of the variable at ``index``."""
         return self._vars[index]
 
     def nvar(self, index: int) -> int:
-        """The BDD of the negated variable (cached via NOT)."""
+        """The BDD of the negated variable (memoised via ITE)."""
         return self.not_(self._vars[index])
 
     def level_of(self, node: int) -> int:
         """The *level* of a node's root in the current order."""
-        return self._level[node]
+        return int(self._levels[node])
 
     def var_of(self, node: int) -> int:
         """The *variable index* tested at a node's root."""
-        return self._level2var[self._level[node]]
+        return self._level2var[int(self._levels[node])]
 
     def level_of_var(self, index: int) -> int:
         """Current level of variable ``index``."""
@@ -180,120 +376,808 @@ class BDD:
         return list(self._level2var)
 
     def low(self, node: int) -> int:
-        return self._low[node]
+        return int(self._lows[node])
 
     def high(self, node: int) -> int:
-        return self._high[node]
+        return int(self._highs[node])
 
     def num_nodes(self) -> int:
         """Nodes currently in the unique table (terminals included)."""
-        return len(self._unique) + 2
+        return self._ut.n_live + 2
 
     def _to_levels(self, variables: Iterable[int]) -> frozenset[int]:
         v2l = self._var2level
         return frozenset(v2l[v] for v in variables)
 
     # ------------------------------------------------------------------
-    # core operations
+    # batched ITE engine (two-phase BFS, no recursion)
+    # ------------------------------------------------------------------
+    def _ite_many(self, F, G, H) -> np.ndarray:
+        """Resolve ``ite(F[i], G[i], H[i])`` for all roots in one BFS.
+
+        Top-down: per-level frontiers of (f, g, h) request triples are
+        deduplicated, terminal-resolved, memo-probed and cofactor-expanded.
+        Bottom-up: frontiers reduce through ``_mk_many`` in reverse creation
+        order (children are always created after their parents, at strictly
+        larger levels).  Narrow frontiers run a scalar twin of both phases.
+        """
+        nv = self.n_vars
+        levels, lows, highs = self._levels, self._lows, self._highs
+        levels_l, lows_l, highs_l = self._levels_l, self._lows_l, self._highs_l
+        memo = self._ite_memo
+        F = np.asarray(F, dtype=np.int64)
+        G = np.asarray(G, dtype=np.int64)
+        H = np.asarray(H, dtype=np.int64)
+        nroot = len(F)
+        root_slot = np.empty(nroot, dtype=np.int64)
+
+        # request store: triple, children slot refs, result (-1 = pending)
+        cap = 256
+        rf = np.empty(cap, dtype=np.int64)
+        rg = np.empty(cap, dtype=np.int64)
+        rh = np.empty(cap, dtype=np.int64)
+        rc0 = np.empty(cap, dtype=np.int64)
+        rc1 = np.empty(cap, dtype=np.int64)
+        rres = np.empty(cap, dtype=np.int64)
+        n_store = 0
+        segs: list[tuple[int, int, int]] = []  # (level, start, end)
+
+        def ensure_store(extra: int):
+            nonlocal cap, rf, rg, rh, rc0, rc1, rres
+            if n_store + extra <= cap:
+                return
+            while cap < n_store + extra:
+                cap *= 2
+            for name in ("rf", "rg", "rh", "rc0", "rc1", "rres"):
+                pass
+            rf = np.resize(rf, cap)
+            rg = np.resize(rg, cap)
+            rh = np.resize(rh, cap)
+            rc0 = np.resize(rc0, cap)
+            rc1 = np.resize(rc1, cap)
+            rres = np.resize(rres, cap)
+
+        # buckets[l]: list of (F, G, H, parent, side) chunks.  parent >= 0 is
+        # a store slot (side selects c0/c1); parent < 0 encodes root ~parent.
+        buckets: list[list | None] = [None] * (nv + 1)
+
+        def enqueue(lv_arr, A, B, C, P, S):
+            for l in np.unique(lv_arr):
+                m = lv_arr == l
+                b = buckets[l]
+                if b is None:
+                    b = buckets[l] = []
+                b.append((A[m], B[m], C[m], P[m], S[m]))
+
+        lv_root = np.minimum(np.minimum(levels[F], levels[G]), levels[H])
+        enqueue(
+            lv_root, F, G, H,
+            -np.arange(1, nroot + 1, dtype=np.int64),
+            np.zeros(nroot, dtype=np.int64),
+        )
+
+        for l in range(int(lv_root.min()), nv + 1):
+            chunks = buckets[l]
+            if not chunks:
+                continue
+            buckets[l] = None
+            if len(chunks) == 1:
+                bf, bg, bh, bp, bs = chunks[0]
+            else:
+                bf = np.concatenate([c[0] for c in chunks])
+                bg = np.concatenate([c[1] for c in chunks])
+                bh = np.concatenate([c[2] for c in chunks])
+                bp = np.concatenate([c[3] for c in chunks])
+                bs = np.concatenate([c[4] for c in chunks])
+            nb = len(bf)
+
+            if nb < _SCALAR_CUTOFF:
+                # ---- scalar twin ----
+                local: dict[tuple[int, int, int], int] = {}
+                base = n_store
+                sc_f: list[int] = []
+                sc_g: list[int] = []
+                sc_h: list[int] = []
+                sc_p: list[int] = []
+                sc_s: list[int] = []
+                for i in range(nb):
+                    f = bf.item(i); g = bg.item(i); h = bh.item(i)
+                    slot = local.get((f, g, h))
+                    if slot is None:
+                        self.n_ite_calls += 1
+                        r = -1
+                        if f == ONE:
+                            r = g
+                        elif f == ZERO:
+                            r = h
+                        elif g == h:
+                            r = g
+                        elif g == ONE and h == ZERO:
+                            r = f
+                        if r >= 0:
+                            self.n_ite_terminal += 1
+                        else:
+                            r = memo.get(f, g, h)
+                            if r >= 0:
+                                self.n_ite_cache_hits += 1
+                        ensure_store(1)
+                        slot = n_store
+                        rf[slot] = f; rg[slot] = g; rh[slot] = h
+                        rres[slot] = r
+                        n_store += 1
+                        local[(f, g, h)] = slot
+                        if r < 0:
+                            lf = levels_l[f]; lg = levels_l[g]; lh = levels_l[h]
+                            f0, f1 = (lows_l[f], highs_l[f]) if lf == l else (f, f)
+                            g0, g1 = (lows_l[g], highs_l[g]) if lg == l else (g, g)
+                            h0, h1 = (lows_l[h], highs_l[h]) if lh == l else (h, h)
+                            sc_f.append(f0); sc_g.append(g0); sc_h.append(h0)
+                            sc_p.append(slot); sc_s.append(0)
+                            sc_f.append(f1); sc_g.append(g1); sc_h.append(h1)
+                            sc_p.append(slot); sc_s.append(1)
+                    p = bp.item(i)
+                    if p < 0:
+                        root_slot[-p - 1] = slot
+                    elif bs.item(i) == 0:
+                        rc0[p] = slot
+                    else:
+                        rc1[p] = slot
+                if n_store > base:
+                    segs.append((l, base, n_store))
+                if sc_f:
+                    A = np.array(sc_f, dtype=np.int64)
+                    B = np.array(sc_g, dtype=np.int64)
+                    C = np.array(sc_h, dtype=np.int64)
+                    lv = np.minimum(np.minimum(levels[A], levels[B]), levels[C])
+                    enqueue(lv, A, B, C,
+                            np.array(sc_p, dtype=np.int64),
+                            np.array(sc_s, dtype=np.int64))
+                continue
+
+            # ---- vector path ----
+            order = np.lexsort((bh, bg, bf))
+            sf, sg, sh = bf[order], bg[order], bh[order]
+            head = np.empty(nb, dtype=bool)
+            head[0] = True
+            head[1:] = (sf[1:] != sf[:-1]) | (sg[1:] != sg[:-1]) | (sh[1:] != sh[:-1])
+            grp = np.cumsum(head) - 1
+            Fu, Gu, Hu = sf[head], sg[head], sh[head]
+            nu = len(Fu)
+            self.n_ite_calls += nu
+            res = np.full(nu, -1, dtype=np.int64)
+            m = Fu == ONE
+            res[m] = Gu[m]
+            m = (res < 0) & (Fu == ZERO)
+            res[m] = Hu[m]
+            m = (res < 0) & (Gu == Hu)
+            res[m] = Gu[m]
+            m = (res < 0) & (Gu == ONE) & (Hu == ZERO)
+            res[m] = Fu[m]
+            n_term = int(np.count_nonzero(res >= 0))
+            self.n_ite_terminal += n_term
+            un = res < 0
+            if un.any():
+                probe = memo.get_many(Fu[un], Gu[un], Hu[un])
+                hits = probe >= 0
+                self.n_ite_cache_hits += int(np.count_nonzero(hits))
+                tmp = res[un]
+                tmp[hits] = probe[hits]
+                res[un] = tmp
+            base = n_store
+            ensure_store(nu)
+            rf[base : base + nu] = Fu
+            rg[base : base + nu] = Gu
+            rh[base : base + nu] = Hu
+            rres[base : base + nu] = res
+            n_store += nu
+            segs.append((l, base, base + nu))
+            # scatter slot ids to parents / roots
+            slots_sorted = base + grp
+            root_m = bp[order] < 0
+            if root_m.any():
+                root_slot[-(bp[order][root_m]) - 1] = slots_sorted[root_m]
+            pm = ~root_m
+            if pm.any():
+                pr = bp[order][pm]
+                sd = bs[order][pm]
+                sl = slots_sorted[pm]
+                c0 = sd == 0
+                rc0[pr[c0]] = sl[c0]
+                rc1[pr[~c0]] = sl[~c0]
+            # expand unresolved requests
+            unres = res < 0
+            if unres.any():
+                Fe, Ge, He = Fu[unres], Gu[unres], Hu[unres]
+                pidx = base + np.nonzero(unres)[0]
+                lf, lg, lh = levels[Fe], levels[Ge], levels[He]
+                F0 = np.where(lf == l, lows[Fe], Fe)
+                F1 = np.where(lf == l, highs[Fe], Fe)
+                G0 = np.where(lg == l, lows[Ge], Ge)
+                G1 = np.where(lg == l, highs[Ge], Ge)
+                H0 = np.where(lh == l, lows[He], He)
+                H1 = np.where(lh == l, highs[He], He)
+                zero_side = np.zeros(len(pidx), dtype=np.int64)
+                one_side = np.ones(len(pidx), dtype=np.int64)
+                lv0 = np.minimum(np.minimum(levels[F0], levels[G0]), levels[H0])
+                enqueue(lv0, F0, G0, H0, pidx, zero_side)
+                lv1 = np.minimum(np.minimum(levels[F1], levels[G1]), levels[H1])
+                enqueue(lv1, F1, G1, H1, pidx, one_side)
+
+        # ---- bottom-up reduce ----
+        for l, s, e in reversed(segs):
+            pend = rres[s:e] < 0
+            if not pend.any():
+                continue
+            idx = s + np.nonzero(pend)[0]
+            if len(idx) < _SCALAR_CUTOFF:
+                for i in idx.tolist():
+                    lo = rres.item(rc0.item(i))
+                    hi = rres.item(rc1.item(i))
+                    r = self._mk(l, lo, hi)
+                    rres[i] = r
+                    memo.put(rf.item(i), rg.item(i), rh.item(i), r)
+            else:
+                lo = rres[rc0[idx]]
+                hi = rres[rc1[idx]]
+                out = self._mk_many(l, lo, hi)
+                rres[idx] = out
+                memo.put_many(rf[idx], rg[idx], rh[idx], out)
+
+        return rres[root_slot]
+
+    def _ite_scalar(self, f: int, g: int, h: int, budget: int) -> tuple[int, int]:
+        """Depth-first scalar ITE with an explicit stack and a work budget.
+
+        Returns ``(result, remaining_budget)``; result is -1 when the
+        budget ran out, in which case every subproblem completed so far is
+        already in the ITE memo and the caller falls back to the batched
+        BFS engine, which reuses those entries.
+        """
+        levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
+        # the memo and unique-table dicts are accessed directly (identity
+        # is stable — clear()/rebuild() mutate in place); method-call
+        # indirection on the two hottest probes costs ~15% end to end
+        memo = self._ite_memo
+        md = memo.d
+        mlimit = memo.limit
+        ud = self._ut.d
+        n_calls = n_term = n_hits = 0
+        # ops stack: (0, f, g, h) = resolve/expand, (1, f, g, h, l) = reduce
+        ops: list[tuple] = [(0, f, g, h)]
+        res: list[int] = []
+        while ops:
+            fr = ops.pop()
+            if fr[0] == 0:
+                _, f, g, h = fr
+                n_calls += 1
+                if f == ONE:
+                    n_term += 1
+                    res.append(g)
+                    continue
+                if f == ZERO:
+                    n_term += 1
+                    res.append(h)
+                    continue
+                if g == h:
+                    n_term += 1
+                    res.append(g)
+                    continue
+                if g == ONE and h == ZERO:
+                    n_term += 1
+                    res.append(f)
+                    continue
+                r = md.get((f, g, h))
+                if r is not None:
+                    n_hits += 1
+                    res.append(r)
+                    continue
+                budget -= 1
+                if budget < 0:
+                    self.n_ite_calls += n_calls
+                    self.n_ite_terminal += n_term
+                    self.n_ite_cache_hits += n_hits
+                    return -1, 0
+                lf = levels[f]
+                lg = levels[g]
+                lh = levels[h]
+                l = lf
+                if lg < l:
+                    l = lg
+                if lh < l:
+                    l = lh
+                if lf == l:
+                    f0, f1 = lows[f], highs[f]
+                else:
+                    f0 = f1 = f
+                if lg == l:
+                    g0, g1 = lows[g], highs[g]
+                else:
+                    g0 = g1 = g
+                if lh == l:
+                    h0, h1 = lows[h], highs[h]
+                else:
+                    h0 = h1 = h
+                ops.append((1, f, g, h, l))
+                ops.append((0, f1, g1, h1))
+                ops.append((0, f0, g0, h0))
+            else:
+                _, f, g, h, l = fr
+                hi = res.pop()
+                lo = res.pop()
+                if lo == hi:
+                    r = lo
+                else:
+                    r = ud.get((l, lo, hi))
+                    if r is None:
+                        r = self._mk(l, lo, hi)
+                if len(md) >= mlimit:
+                    md.clear()
+                md[(f, g, h)] = r
+                res.append(r)
+        self.n_ite_calls += n_calls
+        self.n_ite_terminal += n_term
+        self.n_ite_cache_hits += n_hits
+        return res[-1], budget
+
+    def _ite1(self, f: int, g: int, h: int) -> int:
+        """Scalar ITE entry: depth-first with a work budget, falling back
+        to the one-root BFS engine when the operation turns out large.
+        Resolves terminals and memo hits inline — the overwhelming
+        majority of calls in the engine's fixpoint loops — before paying
+        any machine setup."""
+        if f == ONE:
+            self.n_ite_calls += 1
+            self.n_ite_terminal += 1
+            return g
+        if f == ZERO:
+            self.n_ite_calls += 1
+            self.n_ite_terminal += 1
+            return h
+        if g == h:
+            self.n_ite_calls += 1
+            self.n_ite_terminal += 1
+            return g
+        if g == ONE and h == ZERO:
+            self.n_ite_calls += 1
+            self.n_ite_terminal += 1
+            return f
+        r = self._ite_memo.d.get((f, g, h))
+        if r is not None:
+            self.n_ite_calls += 1
+            self.n_ite_cache_hits += 1
+            return r
+        r, _ = self._ite_scalar(f, g, h, self.scalar_budget)
+        if r >= 0:
+            return r
+        return int(self._ite_many([f], [g], [h])[0])
+
+    # ------------------------------------------------------------------
+    # connectives
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f ? g : h`` — the universal connective."""
         self._maybe_reorder()
-        return self._ite(f, g, h)
-
-    def _ite(self, f: int, g: int, h: int) -> int:
-        self.n_ite_calls += 1
-        if f == ONE:
-            self.n_ite_terminal += 1
-            return g
-        if f == ZERO:
-            self.n_ite_terminal += 1
-            return h
-        if g == h:
-            self.n_ite_terminal += 1
-            return g
-        if g == ONE and h == ZERO:
-            self.n_ite_terminal += 1
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            self.n_ite_cache_hits += 1
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
-        result = self._mk(
-            level, self._ite(f0, g0, h0), self._ite(f1, g1, h1)
-        )
-        self._ite_cache[key] = result
-        return result
-
-    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
-        if self._level[node] == level:
-            return self._low[node], self._high[node]
-        return node, node
+        return self._ite1(f, g, h)
 
     def not_(self, f: int) -> int:
+        """¬f (an ITE against the terminals; memoised like any ITE)."""
         self._maybe_reorder()
-        return self._not(f)
-
-    def _not(self, f: int) -> int:
-        if f == ZERO:
-            return ONE
-        if f == ONE:
-            return ZERO
-        cached = self._not_cache.get(f)
-        if cached is not None:
-            return cached
-        result = self._mk(
-            self._level[f], self._not(self._low[f]), self._not(self._high[f])
-        )
-        self._not_cache[f] = result
-        self._not_cache[result] = f
-        return result
+        return self._ite1(f, ZERO, ONE)
 
     def and_(self, f: int, g: int) -> int:
         self._maybe_reorder()
-        return self._ite(f, g, ZERO)
+        return self._ite1(f, g, ZERO)
 
     def or_(self, f: int, g: int) -> int:
         self._maybe_reorder()
-        return self._ite(f, ONE, g)
+        return self._ite1(f, ONE, g)
 
     def xor(self, f: int, g: int) -> int:
         self._maybe_reorder()
-        return self._ite(f, self._not(g), g)
+        return self._ite1(f, self._ite1(g, ZERO, ONE), g)
 
     def implies(self, f: int, g: int) -> int:
         self._maybe_reorder()
-        return self._ite(f, g, ONE)
+        return self._ite1(f, g, ONE)
 
     def iff(self, f: int, g: int) -> int:
         self._maybe_reorder()
-        return self._ite(f, g, self._not(g))
+        return self._ite1(f, g, self._ite1(g, ZERO, ONE))
 
     def diff(self, f: int, g: int) -> int:
         """``f ∧ ¬g``."""
         self._maybe_reorder()
-        return self._ite(g, ZERO, f)
+        return self._ite1(g, ZERO, f)
 
     def and_all(self, fs: Iterable[int]) -> int:
-        out = ONE
-        for f in fs:
-            out = self.and_(out, f)
-            if out == ZERO:
-                return ZERO
-        return out
+        """Conjunction, reduced as a balanced tree (one batched ITE round
+        per halving) — association does not change the canonical result."""
+        return self._reduce_all(list(fs), and_mode=True)
 
     def or_all(self, fs: Iterable[int]) -> int:
-        out = ZERO
-        for f in fs:
-            out = self.or_(out, f)
-            if out == ONE:
-                return ONE
-        return out
+        """Disjunction, reduced as a balanced tree of batched ITE rounds."""
+        return self._reduce_all(list(fs), and_mode=False)
+
+    def _reduce_all(self, items: list[int], *, and_mode: bool) -> int:
+        self._maybe_reorder()
+        unit = ONE if and_mode else ZERO
+        absorb = ZERO if and_mode else ONE
+        items = [f for f in items if f != unit]
+        while len(items) > 1:
+            if any(f == absorb for f in items):
+                return absorb
+            k = len(items) // 2
+            if k < _SCALAR_CUTOFF:
+                if and_mode:
+                    red = [
+                        self._ite1(a, b, ZERO)
+                        for a, b in zip(items[:k], items[k : 2 * k])
+                    ]
+                else:
+                    red = [
+                        self._ite1(a, ONE, b)
+                        for a, b in zip(items[:k], items[k : 2 * k])
+                    ]
+                items = red + items[2 * k :]
+                continue
+            A = np.array(items[:k], dtype=np.int64)
+            B = np.array(items[k : 2 * k], dtype=np.int64)
+            if and_mode:
+                red = self._ite_many(A, B, np.zeros(k, dtype=np.int64))
+            else:
+                red = self._ite_many(A, np.ones(k, dtype=np.int64), B)
+            items = red.tolist() + items[2 * k :]
+        return int(items[0]) if items else unit
+
+    # ------------------------------------------------------------------
+    # generalised product engine (quantification + fused products)
+    # ------------------------------------------------------------------
+    # An operation descriptor is a level-space parameter struct
+    #   (shift, quant, out, top, swap_ok)
+    # shift: int64[n_vars+1] remapping the second operand's levels (virtual
+    #        rename during the product; identity when None),
+    # quant: bool[n_vars+1] marking quantified levels (reduce with OR),
+    # out:   int64[n_vars+1] remapping result levels (rel_product_post's
+    #        next->cur emission; identity when None),
+    # top:   deepest interesting level — below it the product degenerates to
+    #        a plain conjunction and is drained through the batched ITE.
+    # Descriptors are registered per (kind, level-args) key, so equal (f, g)
+    # pairs under different quantifier sets can never share a memo entry.
+
+    def _register_op(self, key: tuple, build) -> int:
+        oid = self._op_descr.get(key)
+        if oid is None:
+            oid = len(self._op_structs)
+            self._op_descr[key] = oid
+            self._op_structs.append(build())
+        return oid
+
+    def _quant_op(self, vs: frozenset[int]) -> int:
+        def build():
+            quant = np.zeros(self.n_vars + 1, dtype=bool)
+            quant[list(vs)] = True
+            return (None, quant, None, max(vs), True)
+        return self._register_op(("q", vs), build)
+
+    def _op_scalar_struct(self, op_id: int) -> tuple:
+        """Python-list twin of a descriptor struct (scalar fast paths)."""
+        s = self._op_scalar.get(op_id)
+        if s is None:
+            st = self._op_structs[op_id]
+            if isinstance(st[0], str) and st[0] == "rn":
+                s = ("rn", st[1].tolist(), st[2])
+            elif isinstance(st[0], str) and st[0] == "rs":
+                s = ("rs", st[1].tolist(), st[2].tolist(), st[3])
+            else:
+                shift, quant, out, top, swap_ok = st
+                s = (
+                    None if shift is None else shift.tolist(),
+                    quant.tolist(),
+                    None if out is None else out.tolist(),
+                    int(top),
+                    swap_ok,
+                )
+            self._op_scalar[op_id] = s
+        return s
+
+    def _product_scalar(
+        self, f: int, g: int, op_id: int, budget: int
+    ) -> tuple[int, int]:
+        """Depth-first scalar twin of :meth:`_product_many` for one root.
+
+        Same budget/fallback contract as :meth:`_ite_scalar`: a -1 result
+        means the budget ran out and the caller should rerun through the
+        BFS engine (which reuses the memo entries written so far).
+        """
+        shift, quant, out, top, swap_ok = self._op_scalar_struct(op_id)
+        levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
+        memo = self._op_memo
+        md = memo.d
+        mlimit = memo.limit
+        ud = self._ut.d
+        n_lookups = n_hits = 0
+        # ops stack: (0, f, g) = resolve/expand, (1, f, g, l) = reduce
+        ops: list[tuple] = [(0, f, g)]
+        res: list[int] = []
+        while ops:
+            fr = ops.pop()
+            if fr[0] == 0:
+                _, f, g = fr
+                if f == ZERO or g == ZERO:
+                    res.append(ZERO)
+                    continue
+                if f == ONE and g == ONE:
+                    res.append(ONE)
+                    continue
+                if swap_ok and f > g:
+                    f, g = g, f
+                n_lookups += 1
+                r = md.get((f, g, op_id))
+                if r is not None:
+                    n_hits += 1
+                    res.append(r)
+                    continue
+                lf = levels[f]
+                lg = levels[g]
+                if shift is not None:
+                    lg = shift[lg]
+                l = lf if lf < lg else lg
+                if l > top:
+                    # below every quantified/shifted level: plain AND
+                    r, budget = self._ite_scalar(f, g, ZERO, budget)
+                    if r < 0:
+                        break
+                    if len(md) >= mlimit:
+                        md.clear()
+                    md[(f, g, op_id)] = r
+                    res.append(r)
+                    continue
+                budget -= 1
+                if budget < 0:
+                    break
+                if lf == l:
+                    f0, f1 = lows[f], highs[f]
+                else:
+                    f0 = f1 = f
+                if lg == l:
+                    g0, g1 = lows[g], highs[g]
+                else:
+                    g0 = g1 = g
+                ops.append((1, f, g, l))
+                ops.append((0, f1, g1))
+                ops.append((0, f0, g0))
+            else:
+                _, f, g, l = fr
+                hi = res.pop()
+                lo = res.pop()
+                if quant[l]:
+                    r, budget = self._ite_scalar(lo, ONE, hi, budget)
+                    if r < 0:
+                        break
+                else:
+                    ol = l if out is None else out[l]
+                    if lo == hi:
+                        r = lo
+                    else:
+                        r = ud.get((ol, lo, hi))
+                        if r is None:
+                            r = self._mk(ol, lo, hi)
+                if len(md) >= mlimit:
+                    md.clear()
+                md[(f, g, op_id)] = r
+                res.append(r)
+        else:
+            self.n_op_cache_lookups += n_lookups
+            self.n_op_cache_hits += n_hits
+            return res[-1], budget
+        # budget exhausted (break): flush counters and signal the caller
+        self.n_op_cache_lookups += n_lookups
+        self.n_op_cache_hits += n_hits
+        return -1, 0
+
+    def _product1(self, f: int, g: int, op_id: int) -> int:
+        """Product entry: scalar DFS first, BFS fallback for large ops.
+        Terminals and memo hits resolve inline, as in :meth:`_ite1`."""
+        if f == ZERO or g == ZERO:
+            return ZERO
+        if f == ONE and g == ONE:
+            return ONE
+        if self._op_scalar_struct(op_id)[4] and f > g:
+            f, g = g, f
+        r = self._op_memo.d.get((f, g, op_id))
+        if r is not None:
+            self.n_op_cache_lookups += 1
+            self.n_op_cache_hits += 1
+            return r
+        r, _ = self._product_scalar(f, g, op_id, self.scalar_budget)
+        if r >= 0:
+            return r
+        return int(self._product_many([f], [g], op_id)[0])
+
+    def _product_many(self, F, G, op_id: int) -> np.ndarray:
+        """Resolve ``product_op(F[i], G[i])`` for all roots in one BFS.
+
+        Covers exists (G = ONE), and_exists, rel_product_pre (shifted G)
+        and rel_product_post (remapped output levels).  Requests that sink
+        below the descriptor's ``top`` level are plain conjunctions: they
+        are parked and drained through one batched ITE call, then the
+        bottom-up reduce runs OR at quantified levels and ``mk`` elsewhere.
+        """
+        shift, quant, out, top, swap_ok = self._op_structs[op_id]
+        nv = self.n_vars
+        levels, lows, highs = self._levels, self._lows, self._highs
+        memo = self._op_memo
+        F = np.asarray(F, dtype=np.int64)
+        G = np.asarray(G, dtype=np.int64)
+        nroot = len(F)
+        root_slot = np.empty(nroot, dtype=np.int64)
+
+        cap = 256
+        rf = np.empty(cap, dtype=np.int64)
+        rg = np.empty(cap, dtype=np.int64)
+        rc0 = np.empty(cap, dtype=np.int64)
+        rc1 = np.empty(cap, dtype=np.int64)
+        rres = np.empty(cap, dtype=np.int64)
+        n_store = 0
+        segs: list[tuple[int, int, int]] = []
+        # conjunction leaves: (f, g) pairs below `top` awaiting batched ITE
+        and_slots: list[np.ndarray] = []
+
+        def ensure_store(extra: int):
+            nonlocal cap, rf, rg, rc0, rc1, rres
+            if n_store + extra <= cap:
+                return
+            while cap < n_store + extra:
+                cap *= 2
+            rf = np.resize(rf, cap)
+            rg = np.resize(rg, cap)
+            rc0 = np.resize(rc0, cap)
+            rc1 = np.resize(rc1, cap)
+            rres = np.resize(rres, cap)
+
+        buckets: list[list | None] = [None] * (nv + 1)
+
+        def glevel(nodes):
+            gl = levels[nodes]
+            return gl if shift is None else shift[gl]
+
+        def enqueue(lv_arr, A, B, P, S):
+            for l in np.unique(lv_arr):
+                m = lv_arr == l
+                b = buckets[l]
+                if b is None:
+                    b = buckets[l] = []
+                b.append((A[m], B[m], P[m], S[m]))
+
+        lv_root = np.minimum(levels[F], glevel(G))
+        # below-top roots are plain conjunctions, bucket them at nv so the
+        # AND drain (which runs after the loop) still sees them
+        lv_root = np.where(lv_root > top, nv, lv_root)
+        enqueue(
+            lv_root, F, G,
+            -np.arange(1, nroot + 1, dtype=np.int64),
+            np.zeros(nroot, dtype=np.int64),
+        )
+
+        # NB: the inner `while` re-drains the current level.  A shifted
+        # second operand that already mentions next-state variables can
+        # enqueue a child at the *same* virtual level as its parent (cur
+        # level 2i shifts onto next level 2i+1, whose own levels shift to
+        # themselves); one pass per level would silently drop such
+        # children and leave dangling request slots.
+        for l in range(int(lv_root.min()), nv + 1):
+          while True:
+            chunks = buckets[l]
+            if not chunks:
+                break
+            buckets[l] = None
+            if len(chunks) == 1:
+                bf, bg, bp, bs = chunks[0]
+            else:
+                bf = np.concatenate([c[0] for c in chunks])
+                bg = np.concatenate([c[1] for c in chunks])
+                bp = np.concatenate([c[2] for c in chunks])
+                bs = np.concatenate([c[3] for c in chunks])
+            if swap_ok:
+                sw = bf > bg
+                if sw.any():
+                    bf, bg = np.where(sw, bg, bf), np.where(sw, bf, bg)
+            nb = len(bf)
+            beyond = l > top
+
+            # dedup (f, g)
+            order = np.lexsort((bg, bf))
+            sf, sg = bf[order], bg[order]
+            head = np.empty(nb, dtype=bool)
+            head[0] = True
+            head[1:] = (sf[1:] != sf[:-1]) | (sg[1:] != sg[:-1])
+            grp = np.cumsum(head) - 1
+            Fu, Gu = sf[head], sg[head]
+            nu = len(Fu)
+            self.n_op_cache_lookups += nu
+            res = np.full(nu, -1, dtype=np.int64)
+            m = (Fu == ZERO) | (Gu == ZERO)
+            res[m] = ZERO
+            m = (res < 0) & (Fu == ONE) & (Gu == ONE)
+            res[m] = ONE
+            un = res < 0
+            if un.any():
+                oid = np.full(int(np.count_nonzero(un)), op_id, dtype=np.int64)
+                probe = memo.get_many(Fu[un], Gu[un], oid)
+                hits = probe >= 0
+                self.n_op_cache_hits += int(np.count_nonzero(hits))
+                tmp = res[un]
+                tmp[hits] = probe[hits]
+                res[un] = tmp
+            base = n_store
+            ensure_store(nu)
+            rf[base : base + nu] = Fu
+            rg[base : base + nu] = Gu
+            rres[base : base + nu] = res
+            n_store += nu
+            segs.append((l, base, base + nu))
+            slots_sorted = base + grp
+            root_m = bp[order] < 0
+            if root_m.any():
+                root_slot[-(bp[order][root_m]) - 1] = slots_sorted[root_m]
+            pm = ~root_m
+            if pm.any():
+                pr = bp[order][pm]
+                sd = bs[order][pm]
+                sl = slots_sorted[pm]
+                c0 = sd == 0
+                rc0[pr[c0]] = sl[c0]
+                rc1[pr[~c0]] = sl[~c0]
+            unres = res < 0
+            if not unres.any():
+                continue
+            pidx = base + np.nonzero(unres)[0]
+            if beyond:
+                # plain conjunctions: drain through batched ITE afterwards
+                and_slots.append(pidx)
+                continue
+            Fe, Ge = Fu[unres], Gu[unres]
+            lf = levels[Fe]
+            lg = glevel(Ge)
+            F0 = np.where(lf == l, lows[Fe], Fe)
+            F1 = np.where(lf == l, highs[Fe], Fe)
+            G0 = np.where(lg == l, lows[Ge], Ge)
+            G1 = np.where(lg == l, highs[Ge], Ge)
+            zero_side = np.zeros(len(pidx), dtype=np.int64)
+            one_side = np.ones(len(pidx), dtype=np.int64)
+            lv0 = np.minimum(levels[F0], glevel(G0))
+            lv0 = np.where(lv0 > top, nv, lv0)
+            enqueue(lv0, F0, G0, pidx, zero_side)
+            lv1 = np.minimum(levels[F1], glevel(G1))
+            lv1 = np.where(lv1 > top, nv, lv1)
+            enqueue(lv1, F1, G1, pidx, one_side)
+
+        if and_slots:
+            idx = np.concatenate(and_slots)
+            rres[idx] = self._ite_many(
+                rf[idx], rg[idx], np.zeros(len(idx), dtype=np.int64)
+            )
+            oid = np.full(len(idx), op_id, dtype=np.int64)
+            memo.put_many(rf[idx], rg[idx], oid, rres[idx])
+
+        for l, s, e in reversed(segs):
+            pend = rres[s:e] < 0
+            if not pend.any():
+                continue
+            idx = s + np.nonzero(pend)[0]
+            lo = rres[rc0[idx]]
+            hi = rres[rc1[idx]]
+            if quant[l]:
+                rres[idx] = self._ite_many(
+                    lo, np.ones(len(idx), dtype=np.int64), hi
+                )
+            else:
+                ol = l if out is None else int(out[l])
+                rres[idx] = self._mk_many(ol, lo, hi)
+            oid = np.full(len(idx), op_id, dtype=np.int64)
+            memo.put_many(rf[idx], rg[idx], oid, rres[idx])
+
+        return rres[root_slot]
 
     # ------------------------------------------------------------------
     # quantification / substitution
@@ -302,85 +1186,68 @@ class BDD:
         """∃ variables . f  (variables given as variable indices)."""
         self._maybe_reorder()
         vs = self._to_levels(variables)
-        if not vs:
+        if not vs or f <= ONE:
             return f
-        return self._exists(f, vs, max(vs))
-
-    def _exists(self, f: int, vs: frozenset[int], top: int) -> int:
-        if f <= ONE or self._level[f] > top:
-            return f
-        key = ("ex", f, vs)
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        level = self._level[f]
-        lo = self._exists(self._low[f], vs, top)
-        hi = self._exists(self._high[f], vs, top)
-        if level in vs:
-            result = self._ite(lo, ONE, hi)
-        else:
-            result = self._mk(level, lo, hi)
-        self._op_cache[key] = result
-        return result
+        op = self._quant_op(vs)
+        return self._product1(f, ONE, op)
 
     def forall(self, variables: Iterable[int], f: int) -> int:
         """∀ variables . f."""
         self._maybe_reorder()
         vs = self._to_levels(variables)
-        if not vs:
+        if not vs or f <= ONE:
             return f
-        return self._not(self._exists(self._not(f), vs, max(vs)))
+        op = self._quant_op(vs)
+        nf = self._ite1(f, ZERO, ONE)
+        return self._ite1(self._product1(nf, ONE, op), ZERO, ONE)
 
     def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
         """∃ variables . (f ∧ g) without building the full conjunction."""
         self._maybe_reorder()
         vs = self._to_levels(variables)
         if not vs:
-            return self._ite(f, g, ZERO)
-        return self._and_exists(f, g, vs, max(vs))
-
-    def _and_exists(self, f: int, g: int, vs: frozenset[int], top: int) -> int:
-        if f == ZERO or g == ZERO:
-            return ZERO
-        if f == ONE and g == ONE:
-            return ONE
-        if f == ONE or g == ONE or f == g:
-            h = g if f == ONE else f if g == ONE else f
-            return self._exists(h, vs, top)
-        if f > g:  # canonicalise the commuting operands for the cache
-            f, g = g, f
-        # Audit note: the quantified level-set ``vs`` is part of the key —
-        # equal (f, g) pairs under different quantification sets MUST miss.
-        key = ("ae", f, g, vs)
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        level = min(self._level[f], self._level[g])
-        if level > top:
-            result = self._ite(f, g, ZERO)
-        else:
-            f0, f1 = self._cofactors(f, level)
-            g0, g1 = self._cofactors(g, level)
-            lo = self._and_exists(f0, g0, vs, top)
-            if level in vs:
-                if lo == ONE:
-                    result = ONE
-                else:
-                    hi = self._and_exists(f1, g1, vs, top)
-                    result = self._ite(lo, ONE, hi)
-            else:
-                hi = self._and_exists(f1, g1, vs, top)
-                result = self._mk(level, lo, hi)
-        self._op_cache[key] = result
-        return result
+            return self._ite1(f, g, ZERO)
+        op = self._quant_op(vs)
+        return self._product1(f, g, op)
 
     # ------------------------------------------------------------------
     # fused relational products (partitioned image computation)
     # ------------------------------------------------------------------
+    def _relprod_args(self, pairs: tuple) -> tuple:
+        """Pre/post op ids for a write set (cached per write set — the
+        descriptors are level-space, rebuilt only after a reorder)."""
+        cached = self._relprod_args_cache.get(pairs)
+        if cached is None:
+            if not pairs:
+                cached = (None, None)
+            else:
+                v2l = self._var2level
+                nv = self.n_vars
+                shift_map = {v2l[c]: v2l[n] for c, n in pairs}
+                key_id = tuple(sorted(shift_map.items()))
+
+                def build_pre():
+                    shift = np.arange(nv + 1, dtype=np.int64)
+                    quant = np.zeros(nv + 1, dtype=bool)
+                    for c, n in shift_map.items():
+                        shift[c] = n
+                        quant[n] = True
+                    return (shift, quant, None, int(max(shift_map.values())), False)
+
+                def build_post():
+                    quant = np.zeros(nv + 1, dtype=bool)
+                    out = np.arange(nv + 1, dtype=np.int64)
+                    for c, n in shift_map.items():
+                        quant[c] = True
+                        out[n] = c
+                    return (None, quant, out, int(max(shift_map.values())), True)
+
+                pre = self._register_op(("pp", key_id), build_pre)
+                post = self._register_op(("po", key_id), build_post)
+                cached = (pre, post)
+            self._relprod_args_cache[pairs] = cached
+        return cached
+
     def rel_product_pre(
         self, rel: int, states: int, pairs: Iterable[tuple[int, int]]
     ) -> int:
@@ -388,90 +1255,18 @@ class BDD:
 
         The preimage of ``states`` under a frameless partition whose write
         set is ``pairs = ((cur_var, next_var), ...)``: the rename of the
-        written bits is performed *virtually* during the product recursion,
-        so neither the shifted copy of ``states`` nor the unquantified
-        conjunction is ever materialised.  ``pairs`` must be
-        order-preserving w.r.t. the current level order (the interleaved
-        cur/next pairing guarantees this, also after a block reorder).
+        written bits is performed *virtually* during the product (the
+        descriptor's level shift), so neither the shifted copy of
+        ``states`` nor the unquantified conjunction is ever materialised.
+        ``pairs`` must be order-preserving w.r.t. the current level order
+        (the interleaved cur/next pairing guarantees this, also after a
+        block reorder).
         """
         self._maybe_reorder()
         pre, _post = self._relprod_args(tuple(pairs))
         if pre is None:
-            return self._ite(rel, states, ZERO)
-        shift, vs, top, key_id = pre
-        return self._rel_pre(rel, states, shift, vs, top, key_id)
-
-    def _relprod_args(self, pairs: tuple) -> tuple:
-        """Level-space argument structs for the fused products (cached per
-        write set — rebuilt only after a reorder moves levels)."""
-        cached = self._relprod_args_cache.get(pairs)
-        if cached is None:
-            if not pairs:
-                cached = (None, None)
-            else:
-                v2l = self._var2level
-                shift = {v2l[c]: v2l[n] for c, n in pairs}
-                vs_pre = frozenset(shift.values())
-                pre = (
-                    shift,
-                    vs_pre,
-                    max(vs_pre),
-                    tuple(sorted(shift.items())),
-                )
-                vs_post = frozenset(shift.keys())
-                out_map = {n: c for c, n in shift.items()}
-                post = (
-                    vs_post,
-                    out_map,
-                    max(out_map),
-                    tuple(sorted(out_map.items())),
-                )
-                cached = (pre, post)
-            self._relprod_args_cache[pairs] = cached
-        return cached
-
-    def _rel_pre(
-        self,
-        f: int,
-        g: int,
-        shift: dict[int, int],
-        vs: frozenset[int],
-        top: int,
-        key_id: tuple,
-    ) -> int:
-        if f == ZERO or g == ZERO:
-            return ZERO
-        if f == ONE and g == ONE:
-            return ONE
-        glevel = self._level[g]
-        gv = shift.get(glevel, glevel)
-        level = min(self._level[f], gv)
-        if level > top:
-            # below every shifted/quantified level: plain conjunction
-            return self._ite(f, g, ZERO)
-        key = ("pp", f, g, key_id)
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        f0, f1 = self._cofactors(f, level)
-        if gv == level:
-            g0, g1 = self._low[g], self._high[g]
-        else:
-            g0 = g1 = g
-        lo = self._rel_pre(f0, g0, shift, vs, top, key_id)
-        if level in vs:
-            if lo == ONE:
-                result = ONE
-            else:
-                hi = self._rel_pre(f1, g1, shift, vs, top, key_id)
-                result = self._ite(lo, ONE, hi)
-        else:
-            hi = self._rel_pre(f1, g1, shift, vs, top, key_id)
-            result = self._mk(level, lo, hi)
-        self._op_cache[key] = result
-        return result
+            return self._ite1(rel, states, ZERO)
+        return self._product1(rel, states, pre)
 
     def rel_product_post(
         self, rel: int, states: int, pairs: Iterable[tuple[int, int]]
@@ -479,100 +1274,52 @@ class BDD:
         """``(∃ cur . rel ∧ states)[next → cur]`` in one traversal.
 
         The postimage of ``states`` under a frameless partition with write
-        set ``pairs``: the written current bits are quantified and the
-        written next bits are emitted at their current-bit position during
-        the same product recursion, so the intermediate next-bits image is
-        never materialised.  Same ordering contract as
+        set ``pairs``: written current bits are quantified and written next
+        bits are emitted at their current-bit position (the descriptor's
+        output map) during the same product, so the intermediate next-bit
+        image is never materialised.  Same ordering contract as
         :meth:`rel_product_pre`.
         """
         self._maybe_reorder()
         _pre, post = self._relprod_args(tuple(pairs))
         if post is None:
-            return self._ite(rel, states, ZERO)
-        vs, out_map, top, key_id = post
-        return self._rel_post(rel, states, vs, out_map, top, key_id)
+            return self._ite1(rel, states, ZERO)
+        return self._product1(rel, states, post)
 
-    def _rel_post(
-        self,
-        f: int,
-        g: int,
-        vs: frozenset[int],
-        out_map: dict[int, int],
-        top: int,
-        key_id: tuple,
-    ) -> int:
-        if f == ZERO or g == ZERO:
-            return ZERO
-        if f == ONE and g == ONE:
-            return ONE
-        level = min(self._level[f], self._level[g])
-        if level > top:
-            return self._ite(f, g, ZERO)
-        key = ("po", f, g, key_id)
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        lo = self._rel_post(f0, g0, vs, out_map, top, key_id)
-        if level in vs:
-            if lo == ONE:
-                result = ONE
-            else:
-                hi = self._rel_post(f1, g1, vs, out_map, top, key_id)
-                result = self._ite(lo, ONE, hi)
-        else:
-            hi = self._rel_post(f1, g1, vs, out_map, top, key_id)
-            result = self._mk(out_map.get(level, level), lo, hi)
-        self._op_cache[key] = result
-        return result
-
+    # ------------------------------------------------------------------
+    # rename / restrict (unary BFS engines)
+    # ------------------------------------------------------------------
     def rename(self, f: int, mapping: dict[int, int]) -> int:
         """Substitute variables: ``mapping[old_var] = new_var``.
 
         Requires the mapping to be order-preserving w.r.t. the current
-        level order (which the interleaved current/next encoding guarantees,
-        also for subsets of the current/next pairing), so the substitution
-        is a single linear traversal.  The traversal additionally checks,
-        node by node, that the result respects the level order — a mapping
-        that is pairwise monotone but moves a variable past an *unmapped*
-        variable in ``f``'s support (e.g. ``{0: 3}`` on ``x0 ∧ x1``) is
-        rejected instead of silently corrupting the unique table.
+        level order (which the interleaved current/next encoding
+        guarantees, also for subsets of the current/next pairing), so the
+        substitution is a single linear traversal.  The bottom-up reduce
+        additionally checks, node by node, that the result respects the
+        level order — a mapping that is pairwise monotone but moves a
+        variable past an *unmapped* variable in ``f``'s support (e.g.
+        ``{0: 3}`` on ``x0 ∧ x1``) raises ``ValueError`` instead of
+        silently corrupting the unique table.
         """
         self._maybe_reorder()
         if not mapping:
             return f
         v2l = self._var2level
         level_map = {v2l[a]: v2l[b] for a, b in mapping.items()}
-        items = sorted(level_map.items())
+        items = tuple(sorted(level_map.items()))
         for (a0, b0), (a1, b1) in zip(items, items[1:]):
             if not (a0 < a1 and b0 < b1):
                 raise ValueError("rename mapping must be order-preserving")
-        key = ("rn", f, tuple(items))
-        return self._rename(f, dict(items), key)
 
-    def _rename(self, f: int, mapping: dict[int, int], key) -> int:
-        if f <= ONE:
-            return f
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        level = self._level[f]
-        new_level = mapping.get(level, level)
-        lo = self._rename(self._low[f], mapping, ("rn", self._low[f], key[2]))
-        hi = self._rename(self._high[f], mapping, ("rn", self._high[f], key[2]))
-        if new_level >= min(self._level[lo], self._level[hi]):
-            raise ValueError(
-                "rename mapping moves a variable past another variable in "
-                "the operand's support"
-            )
-        result = self._mk(new_level, lo, hi)
-        self._op_cache[key] = result
-        return result
+        def build():
+            lmap = np.arange(self.n_vars + 1, dtype=np.int64)
+            for a, b in items:
+                lmap[a] = b
+            return ("rn", lmap, max(a for a, _ in items))
+
+        op = self._register_op(("rn", items), build)
+        return self._unary1(f, op)
 
     def restrict(self, f: int, assignments: dict[int, bool]) -> int:
         """Cofactor: fix each variable in ``assignments`` to a constant."""
@@ -582,43 +1329,285 @@ class BDD:
         v2l = self._var2level
         level_map = {v2l[v]: bool(b) for v, b in assignments.items()}
         items = tuple(sorted(level_map.items()))
-        return self._restrict(f, level_map, items)
 
-    def _restrict(
-        self, f: int, assignments: dict[int, bool], items: tuple
-    ) -> int:
-        if f <= ONE:
-            return f
-        key = ("rs", f, items)
-        self.n_op_cache_lookups += 1
-        cached = self._op_cache.get(key)
-        if cached is not None:
-            self.n_op_cache_hits += 1
-            return cached
-        level = self._level[f]
-        if level in assignments:
-            branch = self._high[f] if assignments[level] else self._low[f]
-            result = self._restrict(branch, assignments, items)
+        def build():
+            assigned = np.zeros(self.n_vars + 1, dtype=bool)
+            val = np.zeros(self.n_vars + 1, dtype=bool)
+            for a, b in items:
+                assigned[a] = True
+                val[a] = b
+            return ("rs", assigned, val, max(a for a, _ in items))
+
+        op = self._register_op(("rs", items), build)
+        return self._unary1(f, op)
+
+    def _unary_scalar(self, f: int, op_id: int, budget: int) -> tuple[int, int]:
+        """Depth-first scalar twin of :meth:`_unary_many` for one root.
+
+        Same budget/fallback contract as :meth:`_ite_scalar`.  The list
+        mirrors have stable identity across store growth, so the rename
+        order-validation can read freshly built children through the same
+        captured locals.
+        """
+        struct = self._op_scalar_struct(op_id)
+        kind = struct[0]
+        if kind == "rn":
+            _, lmap, top = struct
+            assigned = val = None
         else:
-            result = self._mk(
-                level,
-                self._restrict(self._low[f], assignments, items),
-                self._restrict(self._high[f], assignments, items),
-            )
-        self._op_cache[key] = result
-        return result
+            _, assigned, val, top = struct
+            lmap = None
+        levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
+        memo = self._op_memo
+        md = memo.d
+        mlimit = memo.limit
+        n_lookups = n_hits = 0
+        # ops stack: (0, f) = resolve/expand, (1, f, l) = binary reduce,
+        # (2, f) = copy-through reduce (restrict at an assigned level)
+        ops: list[tuple] = [(0, f)]
+        res: list[int] = []
+        while ops:
+            fr = ops.pop()
+            tag = fr[0]
+            if tag == 0:
+                f = fr[1]
+                if f <= ONE:
+                    res.append(f)
+                    continue
+                l = levels[f]
+                if l > top:
+                    # below the deepest mapped/assigned level: unchanged
+                    res.append(f)
+                    continue
+                n_lookups += 1
+                r = md.get((f, 0, op_id))
+                if r is not None:
+                    n_hits += 1
+                    res.append(r)
+                    continue
+                budget -= 1
+                if budget < 0:
+                    self.n_op_cache_lookups += n_lookups
+                    self.n_op_cache_hits += n_hits
+                    return -1, 0
+                if assigned is not None and assigned[l]:
+                    child = highs[f] if val[l] else lows[f]
+                    ops.append((2, f))
+                    ops.append((0, child))
+                else:
+                    ops.append((1, f, l))
+                    ops.append((0, highs[f]))
+                    ops.append((0, lows[f]))
+            elif tag == 1:
+                _, f, l = fr
+                hi = res.pop()
+                lo = res.pop()
+                if lmap is not None:
+                    nl = lmap[l]
+                    llo = levels[lo]
+                    lhi = levels[hi]
+                    if nl >= (llo if llo < lhi else lhi):
+                        self.n_op_cache_lookups += n_lookups
+                        self.n_op_cache_hits += n_hits
+                        raise ValueError(
+                            "rename would violate the level order "
+                            "(mapped variable crosses an unmapped one)"
+                        )
+                    r = lo if lo == hi else self._mk(nl, lo, hi)
+                else:
+                    r = lo if lo == hi else self._mk(l, lo, hi)
+                if len(md) >= mlimit:
+                    md.clear()
+                md[(f, 0, op_id)] = r
+                res.append(r)
+            else:
+                f = fr[1]
+                r = res.pop()
+                if len(md) >= mlimit:
+                    md.clear()
+                md[(f, 0, op_id)] = r
+                res.append(r)
+        self.n_op_cache_lookups += n_lookups
+        self.n_op_cache_hits += n_hits
+        return res[-1], budget
+
+    def _unary1(self, f: int, op_id: int) -> int:
+        """Rename/restrict entry: scalar DFS first, BFS fallback."""
+        r, _ = self._unary_scalar(f, op_id, self.scalar_budget)
+        if r >= 0:
+            return r
+        return int(self._unary_many([f], op_id)[0])
+
+    def _unary_many(self, F, op_id: int) -> np.ndarray:
+        """Shared BFS for rename/restrict: expand the cone above the
+        deepest mapped/assigned level, then rebuild bottom-up.  Nodes whose
+        level lies below ``top`` cannot mention a mapped variable and pass
+        through unchanged."""
+        struct = self._op_structs[op_id]
+        kind = struct[0]
+        if kind == "rn":
+            _, lmap, top = struct
+            assigned = val = None
+        else:
+            _, assigned, val, top = struct
+            lmap = None
+        nv = self.n_vars
+        levels, lows, highs = self._levels, self._lows, self._highs
+        memo = self._op_memo
+        F = np.asarray(F, dtype=np.int64)
+        nroot = len(F)
+        root_slot = np.empty(nroot, dtype=np.int64)
+
+        cap = 256
+        rf = np.empty(cap, dtype=np.int64)
+        rc0 = np.empty(cap, dtype=np.int64)
+        rc1 = np.empty(cap, dtype=np.int64)  # -2 marks copy-through (restrict)
+        rres = np.empty(cap, dtype=np.int64)
+        n_store = 0
+        segs: list[tuple[int, int, int]] = []
+
+        def ensure_store(extra: int):
+            nonlocal cap, rf, rc0, rc1, rres
+            if n_store + extra <= cap:
+                return
+            while cap < n_store + extra:
+                cap *= 2
+            rf = np.resize(rf, cap)
+            rc0 = np.resize(rc0, cap)
+            rc1 = np.resize(rc1, cap)
+            rres = np.resize(rres, cap)
+
+        buckets: list[list | None] = [None] * (nv + 1)
+
+        def enqueue(lv_arr, A, P, S):
+            for l in np.unique(lv_arr):
+                m = lv_arr == l
+                b = buckets[l]
+                if b is None:
+                    b = buckets[l] = []
+                b.append((A[m], P[m], S[m]))
+
+        lv_root = levels[F].copy()
+        # terminals and below-top nodes resolve to themselves at bucket nv
+        lv_root = np.where(lv_root > top, nv, lv_root)
+        enqueue(
+            lv_root, F,
+            -np.arange(1, nroot + 1, dtype=np.int64),
+            np.zeros(nroot, dtype=np.int64),
+        )
+
+        for l in range(int(lv_root.min()), nv + 1):
+            chunks = buckets[l]
+            if not chunks:
+                continue
+            buckets[l] = None
+            if len(chunks) == 1:
+                bf, bp, bs = chunks[0]
+            else:
+                bf = np.concatenate([c[0] for c in chunks])
+                bp = np.concatenate([c[1] for c in chunks])
+                bs = np.concatenate([c[2] for c in chunks])
+            nb = len(bf)
+            order = np.argsort(bf)
+            sf = bf[order]
+            head = np.empty(nb, dtype=bool)
+            head[0] = True
+            head[1:] = sf[1:] != sf[:-1]
+            grp = np.cumsum(head) - 1
+            Fu = sf[head]
+            nu = len(Fu)
+            self.n_op_cache_lookups += nu
+            res = np.full(nu, -1, dtype=np.int64)
+            if l == nv:
+                # pass-through: terminals, and nodes below every mapped level
+                res[:] = Fu
+            else:
+                zkey = np.zeros(nu, dtype=np.int64)
+                oid = np.full(nu, op_id, dtype=np.int64)
+                probe = memo.get_many(Fu, zkey, oid)
+                hits = probe >= 0
+                self.n_op_cache_hits += int(np.count_nonzero(hits))
+                res[hits] = probe[hits]
+            base = n_store
+            ensure_store(nu)
+            rf[base : base + nu] = Fu
+            rres[base : base + nu] = res
+            n_store += nu
+            segs.append((l, base, base + nu))
+            slots_sorted = base + grp
+            root_m = bp[order] < 0
+            if root_m.any():
+                root_slot[-(bp[order][root_m]) - 1] = slots_sorted[root_m]
+            pm = ~root_m
+            if pm.any():
+                pr = bp[order][pm]
+                sd = bs[order][pm]
+                sl = slots_sorted[pm]
+                c0 = sd == 0
+                rc0[pr[c0]] = sl[c0]
+                rc1[pr[~c0]] = sl[~c0]
+            unres = res < 0
+            if not unres.any():
+                continue
+            Fe = Fu[unres]
+            pidx = base + np.nonzero(unres)[0]
+            if assigned is not None and assigned[l]:
+                # restrict at an assigned level: follow one branch, mark
+                # the slot as a copy of its single child
+                child = highs[Fe] if val[l] else lows[Fe]
+                rc1[pidx] = -2
+                lv = levels[child]
+                lv = np.where(lv > top, nv, lv)
+                enqueue(lv, child, pidx, np.zeros(len(pidx), dtype=np.int64))
+            else:
+                lo, hi = lows[Fe], highs[Fe]
+                lv0 = levels[lo]
+                lv0 = np.where(lv0 > top, nv, lv0)
+                enqueue(lv0, lo, pidx, np.zeros(len(pidx), dtype=np.int64))
+                lv1 = levels[hi]
+                lv1 = np.where(lv1 > top, nv, lv1)
+                enqueue(lv1, hi, pidx, np.ones(len(pidx), dtype=np.int64))
+
+        for l, s, e in reversed(segs):
+            pend = rres[s:e] < 0
+            if not pend.any():
+                continue
+            idx = s + np.nonzero(pend)[0]
+            if assigned is not None and assigned[l]:
+                rres[idx] = rres[rc0[idx]]
+            else:
+                lo = rres[rc0[idx]]
+                hi = rres[rc1[idx]]
+                if lmap is not None:
+                    ol = int(lmap[l])
+                    minchild = np.minimum(self._levels[lo], self._levels[hi])
+                    if (ol >= minchild).any():
+                        raise ValueError(
+                            "rename mapping moves a variable past another "
+                            "variable in the operand's support"
+                        )
+                else:
+                    ol = l
+                rres[idx] = self._mk_many(ol, lo, hi)
+            zkey = np.zeros(len(idx), dtype=np.int64)
+            oid = np.full(len(idx), op_id, dtype=np.int64)
+            memo.put_many(rf[idx], zkey, oid, rres[idx])
+
+        return rres[root_slot]
 
     # ------------------------------------------------------------------
     # garbage collection (explicit mark-and-sweep)
     # ------------------------------------------------------------------
     def ref(self, node: int) -> int:
         """Protect ``node`` (and its cone) from :meth:`collect_garbage`."""
+        node = int(node)
         if node > ONE:
             self._refs[node] = self._refs.get(node, 0) + 1
         return node
 
     def deref(self, node: int) -> None:
         """Drop one external reference taken with :meth:`ref`."""
+        node = int(node)
         if node <= ONE:
             return
         count = self._refs.get(node, 0)
@@ -642,36 +1631,43 @@ class BDD:
         """Mark-and-sweep: free every node unreachable from the roots.
 
         Roots are the variable nodes, every :meth:`ref`-ed node and the
-        ``roots`` iterable.  Returns the number of nodes collected.  All
-        memo tables are cleared (their entries may mention dead ids);
-        freed slots are recycled by the node constructor, so unrooted ids
-        held across a collection become dangling.
+        ``roots`` iterable.  The mark phase is a vectorised frontier walk;
+        the sweep rebuilds the unique table from the survivors and pushes
+        freed slots onto the free list for the node constructor to recycle.  All memo tables are
+        cleared (their entries may mention dead ids); unrooted ids held
+        across a collection become dangling.  Returns the number of nodes
+        collected.
         """
-        marked = bytearray(len(self._level))
-        stack: list[int] = list(self._vars)
-        stack.extend(self._refs)
-        stack.extend(roots)
-        low, high = self._low, self._high
-        while stack:
-            n = stack.pop()
-            if n <= ONE or marked[n]:
-                continue
-            marked[n] = 1
-            stack.append(low[n])
-            stack.append(high[n])
-        collected = 0
-        levels = self._level
-        unique = self._unique
-        for n in range(2, len(levels)):
-            if levels[n] < 0 or marked[n]:
-                continue
-            del unique[(levels[n], low[n], high[n])]
-            levels[n] = -1
-            self._free.append(n)
-            collected += 1
-        self._ite_cache.clear()
-        self._not_cache.clear()
-        self._op_cache.clear()
+        n = self._n_slots
+        marked = np.zeros(n, dtype=bool)
+        marked[:2] = True
+        seeds = list(self._vars)
+        seeds.extend(self._refs)
+        seeds.extend(int(r) for r in roots)
+        lows, highs = self._lows, self._highs
+        frontier = np.unique(np.asarray(seeds, dtype=np.int64)) if seeds else \
+            np.empty(0, dtype=np.int64)
+        while frontier.size:
+            frontier = frontier[frontier > ONE]
+            frontier = frontier[~marked[frontier]]
+            if not frontier.size:
+                break
+            marked[frontier] = True
+            frontier = np.unique(
+                np.concatenate([lows[frontier], highs[frontier]])
+            )
+        levels = self._levels
+        allocated = levels[2:n] >= 0
+        dead = np.nonzero(allocated & ~marked[2:n])[0] + 2
+        collected = len(dead)
+        levels[dead] = -1
+        self._free.extend(dead.tolist())
+        live = np.nonzero(levels[2:n] >= 0)[0] + 2
+        self._ut.rebuild(
+            live, levels, lows, highs, min_capacity=self._ut.capacity
+        )
+        self._ite_memo.clear()
+        self._op_memo.clear()
         self.n_gc_runs += 1
         self.n_gc_collected += collected
         self._n_live -= collected
@@ -705,33 +1701,36 @@ class BDD:
         if (
             self.auto_reorder
             and not self._in_reorder
-            and len(self._unique) >= self.reorder_threshold
+            and self._ut.n_live >= self.reorder_threshold
         ):
             self.reorder()
             # back off so a table that resists shrinking does not re-sift
             # on every subsequent operation
             self.reorder_threshold = max(
-                self.reorder_threshold, 2 * len(self._unique)
+                self.reorder_threshold, 2 * self._ut.n_live
             )
 
     def reorder(self, *, max_growth: float = 1.2) -> int:
         """Sift every block to its locally best position; returns the
         number of adjacent-level swaps performed.
 
-        Node ids keep denoting the same functions (swaps rewrite nodes in
-        place), so outstanding handles stay valid; the level-keyed op
-        cache is invalidated.
+        Node ids keep denoting the same functions (swaps rewrite the flat
+        arrays in place), so outstanding handles stay valid; the
+        level-keyed operation memo and descriptor registry are invalidated,
+        the ITE memo survives.
         """
         if self.n_vars < 2 or self._in_reorder:
             return 0
         self._in_reorder = True
         swaps_before = self.n_reorder_swaps
         try:
+            n = self._n_slots
+            lv_all = self._levels[2:n]
+            live = np.nonzero((lv_all >= 0) & (lv_all < self.n_vars))[0] + 2
             nodes_at_level: list[set[int]] = [set() for _ in range(self.n_vars)]
-            for n in range(2, len(self._level)):
-                lvl = self._level[n]
-                if 0 <= lvl < self.n_vars:
-                    nodes_at_level[lvl].add(n)
+            lv_live = self._levels[live]
+            for l in np.unique(lv_live):
+                nodes_at_level[l] = set((live[lv_live == l]).tolist())
             self._reorder_tracking = nodes_at_level
             # Sifting needs a *live*-size metric: in-place swaps create
             # fresh nodes and orphan old ones, so the raw unique-table size
@@ -739,22 +1738,23 @@ class BDD:
             # worse than the starting one.  Reorder-scoped reference counts
             # track which nodes are dead (unreferenced, links uncounted);
             # externally held ids are presumed roots and never die.
-            indeg: dict[int, int] = {}
-            for n in range(2, len(self._level)):
-                if 0 <= self._level[n] < self.n_vars:
-                    for c in (self._low[n], self._high[n]):
-                        if c >= 2:
-                            indeg[c] = indeg.get(c, 0) + 1
-            for n in self._vars:
-                if n >= 2:
-                    indeg[n] = indeg.get(n, 0) + 1
-            for n in self._refs:
-                indeg[n] = indeg.get(n, 0) + 1
-            for n in range(2, len(self._level)):
-                if 0 <= self._level[n] < self.n_vars and not indeg.get(n):
-                    indeg[n] = 1  # presumed external root
+            ch = np.concatenate([self._lows[live], self._highs[live]])
+            ch = ch[ch >= 2]
+            cnt = np.bincount(ch, minlength=n)
+            nz = np.nonzero(cnt)[0]
+            indeg: dict[int, int] = dict(
+                zip(nz.tolist(), cnt[nz].tolist())
+            )
+            for v in self._vars:
+                if v >= 2:
+                    indeg[v] = indeg.get(v, 0) + 1
+            for v in self._refs:
+                indeg[v] = indeg.get(v, 0) + 1
+            for v in live.tolist():
+                if not indeg.get(v):
+                    indeg[v] = 1  # presumed external root
             self._reorder_indeg = indeg
-            self._reorder_dead: set[int] = set()
+            self._reorder_dead = set()
             if self._blocks is not None:
                 order = sorted(
                     self._blocks, key=lambda b: self._var2level[b[0]]
@@ -775,34 +1775,50 @@ class BDD:
             self._reorder_indeg = None
             self._reorder_dead = None
             self._in_reorder = False
-            self._op_cache.clear()
+            # sifting writes the node arrays directly; refresh the scalar
+            # mirrors in place (identity must survive for captured locals)
+            self._levels_l[:] = self._levels.tolist()
+            self._lows_l[:] = self._lows.tolist()
+            self._highs_l[:] = self._highs.tolist()
+            self._op_memo.clear()
+            self._op_descr.clear()
+            self._op_structs.clear()
+            self._op_scalar.clear()
             self._relprod_args_cache.clear()
         return self.n_reorder_swaps - swaps_before
 
     # -- reorder-scoped reference counting (see reorder()) --------------
     # Invariant: a node's child links are counted iff its own count is
     # positive; ``_reorder_dead`` is exactly the unreferenced interior
-    # nodes, so the live size is ``len(unique) - len(dead)``.
+    # nodes, so the live size is ``ut.n_live - len(dead)``.
 
     def _rr_acquire(self, c: int) -> None:
-        if c < 2:
-            return
         indeg = self._reorder_indeg
-        if not indeg.get(c):
-            self._reorder_dead.discard(c)
-            self._rr_acquire(self._low[c])
-            self._rr_acquire(self._high[c])
-        indeg[c] = indeg.get(c, 0) + 1
+        lows, highs = self._lows, self._highs
+        stack = [c]
+        while stack:
+            c = stack.pop()
+            if c < 2:
+                continue
+            if not indeg.get(c):
+                self._reorder_dead.discard(c)
+                stack.append(int(lows[c]))
+                stack.append(int(highs[c]))
+            indeg[c] = indeg.get(c, 0) + 1
 
     def _rr_release(self, c: int) -> None:
-        if c < 2:
-            return
         indeg = self._reorder_indeg
-        indeg[c] -= 1
-        if not indeg[c]:
-            self._reorder_dead.add(c)
-            self._rr_release(self._low[c])
-            self._rr_release(self._high[c])
+        lows, highs = self._lows, self._highs
+        stack = [c]
+        while stack:
+            c = stack.pop()
+            if c < 2:
+                continue
+            indeg[c] -= 1
+            if not indeg[c]:
+                self._reorder_dead.add(c)
+                stack.append(int(lows[c]))
+                stack.append(int(highs[c]))
 
     def _sift_block(
         self,
@@ -813,7 +1829,7 @@ class BDD:
     ) -> None:
         pos = order.index(block)
         best_pos = pos
-        live = lambda: len(self._unique) - len(self._reorder_dead)  # noqa: E731
+        live = lambda: self._ut.n_live - len(self._reorder_dead)  # noqa: E731
         best_size = live()
         p = pos
         # sweep down to the bottom
@@ -866,32 +1882,34 @@ class BDD:
         depend on level ``l+1`` are rebuilt in place with the two variables
         exchanged; independent ones just change level.  Freshly needed
         nodes at the new lower level are created through ``_mk`` (which
-        also reuses sunk independent nodes).
+        also reuses sunk independent nodes).  Unique-table bookkeeping is
+        scalar removes/inserts against the dict store.
         """
         upper = nodes_at_level[l]
         lower = nodes_at_level[l + 1]
-        levels, lows, highs = self._level, self._low, self._high
-        unique = self._unique
+        levels, lows, highs = self._levels, self._lows, self._highs
+        ut = self._ut
         dep: list[tuple[int, int, int, int, int]] = []
         indep: list[int] = []
         for n in upper:
-            f0, f1 = lows[n], highs[n]
+            f0 = int(lows[n])
+            f1 = int(highs[n])
             d0 = levels[f0] == l + 1
             d1 = levels[f1] == l + 1
             if not (d0 or d1):
                 indep.append(n)
                 continue
-            f00, f01 = (lows[f0], highs[f0]) if d0 else (f0, f0)
-            f10, f11 = (lows[f1], highs[f1]) if d1 else (f1, f1)
+            f00, f01 = (int(lows[f0]), int(highs[f0])) if d0 else (f0, f0)
+            f10, f11 = (int(lows[f1]), int(highs[f1])) if d1 else (f1, f1)
             dep.append((n, f00, f01, f10, f11))
         # every level-l node leaves its slot in the unique table
         for n in upper:
-            del unique[(l, lows[n], highs[n])]
+            ut.remove(l, int(lows[n]), int(highs[n]), levels, lows, highs)
         # lower-variable nodes rise to level l wholesale (children ≥ l+2)
         for n in lower:
-            del unique[(l + 1, lows[n], highs[n])]
+            ut.remove(l + 1, int(lows[n]), int(highs[n]), levels, lows, highs)
             levels[n] = l
-            unique[(l, lows[n], highs[n])] = n
+            ut.insert(l, int(lows[n]), int(highs[n]), n, levels, lows, highs)
         new_upper = set(lower)
         new_lower = set(indep)
         nodes_at_level[l] = new_upper
@@ -899,7 +1917,7 @@ class BDD:
         # independent upper nodes sink one level, unchanged otherwise
         for n in indep:
             levels[n] = l + 1
-            unique[(l + 1, lows[n], highs[n])] = n
+            ut.insert(l + 1, int(lows[n]), int(highs[n]), n, levels, lows, highs)
         # dependent nodes are rebuilt in place with the variables swapped:
         # (a, (b,f00,f01), (b,f10,f11))  →  (b, (a,f00,f10), (a,f01,f11))
         indeg = self._reorder_indeg
@@ -907,7 +1925,10 @@ class BDD:
         def mk_tracked(level: int, lo: int, hi: int) -> int:
             if lo == hi:
                 return lo
-            existed = (level, lo, hi) in unique
+            existed = (
+                ut.lookup(level, lo, hi, self._levels, self._lows, self._highs)
+                != EMPTY
+            )
             node = self._mk(level, lo, hi)
             if not existed:
                 # born unreferenced: links stay uncounted until acquired
@@ -917,17 +1938,20 @@ class BDD:
         for n, f00, f01, f10, f11 in dep:
             counted = bool(indeg.get(n))
             if counted:
-                self._rr_release(lows[n])
-                self._rr_release(highs[n])
+                self._rr_release(int(self._lows[n]))
+                self._rr_release(int(self._highs[n]))
             g0 = mk_tracked(l + 1, f00, f10)
             g1 = mk_tracked(l + 1, f01, f11)
             if counted:
                 self._rr_acquire(g0)
                 self._rr_acquire(g1)
-            lows[n] = g0
-            highs[n] = g1
-            assert (l, g0, g1) not in unique, "reorder uniqueness violated"
-            unique[(l, g0, g1)] = n
+            self._lows[n] = g0
+            self._highs[n] = g1
+            assert (
+                self._ut.lookup(l, g0, g1, self._levels, self._lows, self._highs)
+                == EMPTY
+            ), "reorder uniqueness violated"
+            self._ut.insert(l, g0, g1, n, self._levels, self._lows, self._highs)
             new_upper.add(n)
         va, vb = self._level2var[l], self._level2var[l + 1]
         self._level2var[l], self._level2var[l + 1] = vb, va
@@ -939,55 +1963,62 @@ class BDD:
     # ------------------------------------------------------------------
     def size(self, f: int) -> int:
         """Number of nodes in the DAG rooted at ``f`` (terminals included)."""
-        seen: set[int] = set()
-        stack = [f]
-        while stack:
-            n = stack.pop()
-            if n in seen:
-                continue
-            seen.add(n)
-            if n > ONE:
-                stack.append(self._low[n])
-                stack.append(self._high[n])
-        return len(seen)
+        return self.size_many([f])
 
     def size_many(self, roots: Iterable[int]) -> int:
-        """Nodes in the shared DAG of several roots (CUDD's shared size)."""
-        seen: set[int] = set()
-        stack = list(roots)
-        while stack:
-            n = stack.pop()
-            if n in seen:
-                continue
-            seen.add(n)
-            if n > ONE:
-                stack.append(self._low[n])
-                stack.append(self._high[n])
-        return len(seen)
+        """Nodes in the shared DAG of several roots (CUDD's shared size),
+        computed as a vectorised frontier walk."""
+        seeds = [int(r) for r in roots]
+        if not seeds:
+            return 0
+        seen = np.zeros(self._n_slots, dtype=bool)
+        frontier = np.unique(np.asarray(seeds, dtype=np.int64))
+        seen[frontier] = True
+        lows, highs = self._lows, self._highs
+        while True:
+            frontier = frontier[frontier > ONE]
+            if not frontier.size:
+                break
+            frontier = np.unique(
+                np.concatenate([lows[frontier], highs[frontier]])
+            )
+            frontier = frontier[~seen[frontier]]
+            seen[frontier] = True
+        return int(np.count_nonzero(seen))
 
     def count_sat(self, f: int, n_vars: int | None = None) -> int:
-        """Number of satisfying assignments over ``n_vars`` variables."""
+        """Number of satisfying assignments over ``n_vars`` variables.
+
+        Iterative post-order over the DAG (explicit stack — python ints
+        throughout, since counts overflow 64 bits beyond ~64 variables).
+        """
         n_vars = self.n_vars if n_vars is None else n_vars
-        cache: dict[int, int] = {}
-
-        def go(node: int) -> int:
-            # models over variables below (>=) the node's level
-            if node == ZERO:
-                return 0
-            if node == ONE:
-                return 1 << 0
-            cached = cache.get(node)
-            if cached is not None:
-                return cached
-            level = self._level[node]
-            lo, hi = self._low[node], self._high[node]
-            lo_count = go(lo) << (self._level[lo] - level - 1)
-            hi_count = go(hi) << (self._level[hi] - level - 1)
-            result = lo_count + hi_count
-            cache[node] = result
-            return result
-
-        return go(f) << self._level[f]
+        if f == ZERO:
+            return 0
+        levels, lows, highs = self._levels, self._lows, self._highs
+        cache: dict[int, int] = {ONE: 1}
+        stack: list[int] = [f]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            lo = int(lows[node])
+            hi = int(highs[node])
+            clo = cache.get(lo)
+            chi = cache.get(hi)
+            if (clo is None and lo != ZERO) or (chi is None and hi != ZERO):
+                if clo is None and lo != ZERO:
+                    stack.append(lo)
+                if chi is None and hi != ZERO:
+                    stack.append(hi)
+                continue
+            stack.pop()
+            level = int(levels[node])
+            lo_count = 0 if lo == ZERO else clo << (int(levels[lo]) - level - 1)
+            hi_count = 0 if hi == ZERO else chi << (int(levels[hi]) - level - 1)
+            cache[node] = lo_count + hi_count
+        return cache[f] << int(levels[f])
 
     def pick(self, f: int) -> dict[int, bool] | None:
         """One satisfying assignment, keyed by variable index
@@ -997,42 +2028,48 @@ class BDD:
         out: dict[int, bool] = {}
         node = f
         while node > ONE:
-            v = self._level2var[self._level[node]]
-            if self._low[node] != ZERO:
+            v = self._level2var[int(self._levels[node])]
+            if self._lows[node] != ZERO:
                 out[v] = False
-                node = self._low[node]
+                node = int(self._lows[node])
             else:
                 out[v] = True
-                node = self._high[node]
+                node = int(self._highs[node])
         return out
 
     def iter_sat(self, f: int) -> Iterator[dict[int, bool]]:
         """All satisfying assignments as partial maps keyed by variable
-        index (don't-cares omitted)."""
-
-        def go(node: int, partial: dict[int, bool]) -> Iterator[dict[int, bool]]:
-            if node == ZERO:
-                return
+        index (don't-cares omitted).  Iterative: the explicit stack holds
+        (node, partial-assignment) pairs, so deep orders cannot hit the
+        recursion limit."""
+        if f == ZERO:
+            return
+        stack: list[tuple[int, dict[int, bool]]] = [(f, {})]
+        while stack:
+            node, partial = stack.pop()
             if node == ONE:
                 yield dict(partial)
-                return
-            v = self._level2var[self._level[node]]
+                continue
+            if node == ZERO:
+                continue
+            v = self._level2var[int(self._levels[node])]
+            hi_part = dict(partial)
+            hi_part[v] = True
             partial[v] = False
-            yield from go(self._low[node], partial)
-            partial[v] = True
-            yield from go(self._high[node], partial)
-            del partial[v]
-
-        yield from go(f, {})
+            # low pushed last → popped first → low-first enumeration order
+            stack.append((int(self._highs[node]), hi_part))
+            stack.append((int(self._lows[node]), partial))
 
     def eval(self, f: int, assignment: Sequence[bool]) -> bool:
         """Evaluate ``f`` under a total assignment (indexed by variable)."""
         node = f
+        levels, lows, highs = self._levels, self._lows, self._highs
+        l2v = self._level2var
         while node > ONE:
-            node = (
-                self._high[node]
-                if assignment[self._level2var[self._level[node]]]
-                else self._low[node]
+            node = int(
+                highs[node]
+                if assignment[l2v[int(levels[node])]]
+                else lows[node]
             )
         return node == ONE
 
@@ -1064,8 +2101,8 @@ class BDD:
             "gc_collected": self.n_gc_collected,
             "reorder_runs": self.n_reorder_runs,
             "reorder_swaps": self.n_reorder_swaps,
-            "ite_cache_entries": len(self._ite_cache),
-            "op_cache_entries": len(self._op_cache),
+            "ite_cache_entries": self._ite_memo.entries(),
+            "op_cache_entries": self._op_memo.entries(),
         }
 
     def ite_hit_rate(self) -> float:
@@ -1077,8 +2114,11 @@ class BDD:
 
     def clear_caches(self) -> None:
         """Drop operation caches (unique table survives — nodes stay valid)."""
-        self._ite_cache.clear()
-        self._op_cache.clear()
+        self._ite_memo.clear()
+        self._op_memo.clear()
+        self._op_descr.clear()
+        self._op_structs.clear()
+        self._op_scalar.clear()
         self._relprod_args_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

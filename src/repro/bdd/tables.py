@@ -1,0 +1,199 @@
+"""Table substrate for the array-native BDD kernel.
+
+Two structures back :class:`repro.bdd.manager.BDD`:
+
+:class:`UniqueTable`
+    The canonicity table mapping ``(level, low, high)`` triples to node
+    ids.  One python dict serves both the scalar probes of the depth-first
+    fast paths / sifting reorderer (tuple get/set at C speed) and the
+    vectorised batch probes of the BFS apply engines, which convert
+    frontiers with ``ndarray.tolist()`` and stream through ``zip``.
+
+:class:`TernaryCache`
+    A capped, lossy memo from ``(a, b, c)`` key triples to a result node,
+    in the role of CUDD's computed table.  The ITE memo uses keys
+    ``(f, g, h)``; the operation memo uses ``(f, g, op_id)`` where
+    ``op_id`` names a registered quantify/rename/restrict/product
+    descriptor.  When the entry count would exceed the cap the cache is
+    dropped wholesale — losing an entry costs recomputation, never
+    correctness.
+
+Why dicts and not open-addressed numpy arrays
+---------------------------------------------
+The first cut of this kernel stored both tables as flat ``int64`` numpy
+arrays: the unique table as open-addressed slots holding node ids (8
+bytes/slot, keys re-read from the node store on every probe, linear
+probing, tombstones for the reorderer's deletions), the memo as a
+direct-mapped 4-array cache with overwrite-on-insert, both indexed by a
+splitmix-style multiplicative hash.  Profiled head-to-head on the
+synthesis workloads, the array layout lost to a plain dict on CPython for
+three compounding reasons:
+
+* every *scalar* probe pays ~100–200 ns per ``ndarray`` element access
+  plus the python-level hash mix, against a single C-speed tuple lookup;
+* a hybrid split (arrays for the batch engines, dict for the scalar
+  machines) makes results computed by one path invisible to the other,
+  roughly halving the effective memo hit rate;
+* even the *batch* probes are within ~2x of a ``tolist``/``zip`` loop
+  over the dict, and the loop wins outright on the narrow frontiers that
+  dominate fixpoint tails.
+
+The dict store kept the batch API (``lookup_many``/``insert_many``/
+``get_many``/``put_many`` over int64 arrays) so the BFS engines did not
+change, and it reclaimed a >3x end-to-end gap on the ranking benchmarks.
+``docs/SUBSTRATE.md`` records the measurements; an open-addressed array
+table remains the right call off-CPython (Cython/PyPy/GPU ports) where
+scalar element access is not the tax that decides the contest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EMPTY = -1
+#: retained for history/ports: the tombstone marker of the open-addressed
+#: layout (see the module docstring); the dict store never produces it.
+TOMB = -2
+
+
+class UniqueTable:
+    """Canonicity table ``(level, low, high) -> node`` over one dict.
+
+    The ``levels``/``lows``/``highs`` arguments of the probe methods are
+    accepted (and ignored) so the call shape matches the open-addressed
+    variant described in the module docstring — the manager never has to
+    know which store is behind the API.
+    """
+
+    __slots__ = ("d",)
+
+    def __init__(self, capacity: int = 1 << 14) -> None:
+        self.d: dict[tuple[int, int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.d)
+
+    @property
+    def n_live(self) -> int:
+        return len(self.d)
+
+    @property
+    def capacity(self) -> int:
+        """Entry count the store is sized for (dicts size themselves)."""
+        return max(256, len(self.d))
+
+    # -- scalar ops (reorderer + scalar fast path) -------------------------
+
+    def lookup(self, l: int, lo: int, hi: int, levels=None, lows=None, highs=None) -> int:
+        """Return the node id for key ``(l, lo, hi)`` or ``EMPTY``."""
+        return self.d.get((l, lo, hi), EMPTY)
+
+    def insert(self, l: int, lo: int, hi: int, node: int, levels=None, lows=None, highs=None) -> None:
+        """Insert ``node`` under key ``(l, lo, hi)``; the key must be absent."""
+        self.d[(l, lo, hi)] = node
+
+    def remove(self, l: int, lo: int, hi: int, levels=None, lows=None, highs=None) -> None:
+        """Drop key ``(l, lo, hi)`` (used by the sifting reorderer)."""
+        self.d.pop((l, lo, hi), None)
+
+    def contains(self, l: int, lo: int, hi: int, levels=None, lows=None, highs=None) -> bool:
+        return (l, lo, hi) in self.d
+
+    # -- batch ops (BFS apply engines) -------------------------------------
+
+    def lookup_many(self, L, Lo, Hi, levels=None, lows=None, highs=None) -> np.ndarray:
+        """Vectorised-interface lookup; ``EMPTY`` marks misses."""
+        d = self.d
+        n = len(L)
+        return np.fromiter(
+            (
+                d.get(k, EMPTY)
+                for k in zip(L.tolist(), Lo.tolist(), Hi.tolist())
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+    def insert_many(self, L, Lo, Hi, nodes, levels=None, lows=None, highs=None) -> None:
+        """Vectorised-interface insert of *absent, mutually distinct* keys."""
+        self.d.update(
+            zip(zip(L.tolist(), Lo.tolist(), Hi.tolist()), nodes.tolist())
+        )
+
+    # -- growth / rebuild ---------------------------------------------------
+
+    def needs_rebuild(self, extra: int) -> bool:
+        """Dicts grow themselves; rebuilds happen only for GC."""
+        return False
+
+    def rebuild(self, live_nodes: np.ndarray, levels, lows, highs,
+                min_capacity: int = 0) -> None:
+        """Re-key exactly ``live_nodes`` — the GC sweep entry point (dead
+        nodes simply are not in ``live_nodes``)."""
+        self.d.clear()
+        if len(live_nodes):
+            ln = live_nodes
+            self.insert_many(levels[ln], lows[ln], highs[ln], ln)
+
+
+class TernaryCache:
+    """Capped lossy memo: ``(a, b, c) -> r``, dropped wholesale when full.
+
+    One dict serves both the scalar DFS machines (tuple get/put) and the
+    batch BFS engines (``get_many``/``put_many``), so a result memoised by
+    either path is a hit for the other.  ``capacity`` bounds the entry
+    count; exceeding it clears the cache — the policy CUDD's computed
+    table gets from overwrite-on-collision, made coarse.
+    """
+
+    __slots__ = ("d", "limit")
+
+    def __init__(self, capacity: int = 1 << 15) -> None:
+        self.limit = 1 << max(10, int(capacity - 1).bit_length())
+        self.d: dict[tuple[int, int, int], int] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self.limit
+
+    def clear(self) -> None:
+        self.d.clear()
+
+    def entries(self) -> int:
+        return len(self.d)
+
+    def resize(self, capacity: int) -> None:
+        """Raise the entry cap (contents are kept — only the cap moves)."""
+        if capacity > self.limit:
+            self.limit = 1 << int(capacity - 1).bit_length()
+
+    # -- scalar ------------------------------------------------------------
+
+    def get(self, a: int, b: int, c: int) -> int:
+        return self.d.get((a, b, c), EMPTY)
+
+    def put(self, a: int, b: int, c: int, r: int) -> None:
+        d = self.d
+        if len(d) >= self.limit:
+            d.clear()
+        d[(a, b, c)] = r
+
+    # -- batch -------------------------------------------------------------
+
+    def get_many(self, A, B, C) -> np.ndarray:
+        d = self.d
+        n = len(A)
+        return np.fromiter(
+            (
+                d.get(k, EMPTY)
+                for k in zip(A.tolist(), B.tolist(), C.tolist())
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+    def put_many(self, A, B, C, R) -> None:
+        d = self.d
+        if len(d) + len(A) > self.limit:
+            d.clear()
+        d.update(zip(zip(A.tolist(), B.tolist(), C.tolist()), R.tolist()))

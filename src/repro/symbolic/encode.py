@@ -2,15 +2,30 @@
 
 Variable-ordering convention
 ----------------------------
-Each protocol variable with domain ``d`` gets ``ceil(log2 d)`` bit pairs;
+The log-encoding is owned by the multi-valued layer
+(:class:`repro.bdd.mdd.MDD`, constructed with ``pairs=True``): each
+protocol variable with domain ``d`` gets ``ceil(log2 d)`` bit pairs;
 current and next bits are *interleaved* (``cur, next, cur, next, ...``) in
 variable order — the standard ordering that keeps transition-relation BDDs
 small and makes the cur<->next renaming order-preserving (a requirement of
-:meth:`repro.bdd.BDD.rename`).  The space declares each ``(cur, next)``
-pair as a reorder *block* (:meth:`repro.bdd.BDD.set_reorder_blocks`), so
-dynamic sifting permutes whole pairs and both the full prime/unprime
-renames and the per-partition subset renames stay order-preserving under
-any reached order.
+:meth:`repro.bdd.manager.BDD.rename`).  The MDD layer declares each
+``(cur, next)`` pair as a reorder *block*
+(:meth:`repro.bdd.manager.BDD.set_reorder_blocks`), so dynamic sifting
+permutes whole pairs and both the full prime/unprime renames and the
+per-partition subset renames stay order-preserving under any reached
+order.  Value cubes, per-variable domain predicates and ``v' == v`` frame
+conditions are served by the MDD layer (direct ladder constructions,
+linear in the bit count); this module adds the protocol-level plumbing:
+state-set conversions, transition groups, partitions and frames.
+
+Kernel selection
+----------------
+``SymbolicSpace(..., kernel=...)`` (also reachable through
+``SymbolicProtocol(..., kernel=...)``) picks the BDD kernel underneath
+the MDD layer: ``"array"`` (default) is the array-native kernel,
+``"reference"`` the retained dict implementation used as the
+differential-testing oracle; ``None`` reads the ``REPRO_BDD_KERNEL``
+environment variable.
 
 Relation representations
 ------------------------
@@ -45,7 +60,8 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..bdd import BDD, ONE, ZERO
+from ..bdd import ONE, ZERO
+from ..bdd.mdd import MDD, bits_for
 from ..protocol.groups import GroupId
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
@@ -57,10 +73,8 @@ RELATION_MODES = ("partitioned", "process", "monolithic")
 
 
 def _bits_for(domain: int) -> int:
-    bits = 1
-    while (1 << bits) < domain:
-        bits += 1
-    return bits
+    # retained alias: the MDD layer owns the log-encoding width now
+    return bits_for(domain)
 
 
 class SymbolicSpace:
@@ -72,45 +86,36 @@ class SymbolicSpace:
         *,
         auto_reorder: bool = False,
         reorder_threshold: int | None = None,
+        kernel: str | None = None,
     ):
         self.space = space
-        self.n_bits_of: list[int] = [
-            _bits_for(v.domain_size) for v in space.variables
-        ]
-        names: list[str] = []
-        self.cur_levels: list[list[int]] = []
-        self.next_levels: list[list[int]] = []
-        level = 0
-        for var, bits in zip(space.variables, self.n_bits_of):
-            cur, nxt = [], []
-            for b in range(bits):
-                names.append(f"{var.name}.{b}")
-                cur.append(level)
-                level += 1
-                names.append(f"{var.name}.{b}'")
-                nxt.append(level)
-                level += 1
-            self.cur_levels.append(cur)
-            self.next_levels.append(nxt)
-        self.bdd = BDD(level, names)
-        self.all_cur = [l for ls in self.cur_levels for l in ls]
-        self.all_next = [l for ls in self.next_levels for l in ls]
+        #: the multi-valued layer owning the log-encoding (bit layout,
+        #: value/domain cubes, frame conditions); ``kernel`` selects the
+        #: array-native or the reference BDD kernel underneath it (None
+        #: reads ``REPRO_BDD_KERNEL``, default ``"array"``)
+        self.mdd = MDD(
+            [v.domain_size for v in space.variables],
+            [v.name for v in space.variables],
+            pairs=True,
+            kernel=kernel,
+        )
+        self.n_bits_of: list[int] = list(self.mdd.n_bits)
+        self.cur_levels: list[list[int]] = self.mdd.cur_levels
+        self.next_levels: list[list[int]] = self.mdd.next_levels
+        self.bdd = self.mdd.bdd
+        self.all_cur = self.mdd.all_cur
+        self.all_next = self.mdd.all_next
         self._cur_to_next = {c: n for c, n in zip(self.all_cur, self.all_next)}
         self._next_to_cur = {n: c for c, n in zip(self.all_cur, self.all_next)}
-        # sift interleaved (cur, next) bit pairs as units so every rename
-        # the engine performs stays order-preserving after a reorder
-        self.bdd.set_reorder_blocks(zip(self.all_cur, self.all_next))
+        # the MDD layer registered the interleaved (cur, next) bit pairs
+        # as reorder blocks, so every rename the engine performs stays
+        # order-preserving after a reorder
         self.bdd.auto_reorder = auto_reorder
         if reorder_threshold is not None:
             self.bdd.reorder_threshold = reorder_threshold
         #: states whose current-bit encoding is a valid domain valuation
-        self.domain_cur = self.bdd.and_all(
-            self._domain_constraint(i, primed=False)
-            for i in range(space.n_vars)
-        )
-        self.domain_next = self.bdd.and_all(
-            self._domain_constraint(i, primed=True) for i in range(space.n_vars)
-        )
+        self.domain_cur = self.mdd.valid()
+        self.domain_next = self.mdd.valid(primed=True)
         self._eq_frame_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -121,37 +126,17 @@ class SymbolicSpace:
 
     def value_cube(self, var_index: int, value: int, *, primed: bool = False) -> int:
         """BDD of ``v == value`` (over current or next bits); msb is bit 0."""
-        domain = self.space.variables[var_index].domain_size
-        if not 0 <= value < domain:
-            raise ValueError(f"{value} outside domain of variable {var_index}")
-        bits = self.levels(var_index, primed=primed)
-        n = len(bits)
-        literals = {
-            bits[b]: bool((value >> (n - 1 - b)) & 1) for b in range(n)
-        }
-        return self.bdd.cube(literals)
+        return self.mdd.value_cube(var_index, value, primed=primed)
 
     def _domain_constraint(self, var_index: int, *, primed: bool) -> int:
-        domain = self.space.variables[var_index].domain_size
-        if domain == (1 << self.n_bits_of[var_index]):
-            return ONE
-        return self.bdd.or_all(
-            self.value_cube(var_index, v, primed=primed) for v in range(domain)
-        )
+        return self.mdd.domain_cube(var_index, primed=primed)
 
     def eq_const(self, var_index: int, value: int) -> int:
         return self.value_cube(var_index, value, primed=False)
 
     def eq_vars(self, i: int, j: int) -> int:
         """``v_i == v_j`` (over current bits)."""
-        d = min(
-            self.space.variables[i].domain_size,
-            self.space.variables[j].domain_size,
-        )
-        return self.bdd.or_all(
-            self.bdd.and_(self.eq_const(i, v), self.eq_const(j, v))
-            for v in range(d)
-        )
+        return self.mdd.eq(i, j)
 
     def neq_vars(self, i: int, j: int) -> int:
         return self.bdd.diff(self.domain_cur, self.eq_vars(i, j))
@@ -168,18 +153,12 @@ class SymbolicSpace:
         )
 
     def unchanged(self, var_index: int) -> int:
-        """Frame condition ``v' == v`` for one variable (cached)."""
-        cached = self._eq_frame_cache.get(var_index)
-        if cached is None:
-            cached = self.bdd.or_all(
-                self.bdd.and_(
-                    self.value_cube(var_index, v, primed=False),
-                    self.value_cube(var_index, v, primed=True),
-                )
-                for v in range(self.space.variables[var_index].domain_size)
-            )
-            self._eq_frame_cache[var_index] = cached
-        return cached
+        """Frame condition ``v' == v`` for one variable.
+
+        Delegates to the MDD layer's bit-equality ladder (linear in the
+        bit count; out-of-domain pairs excluded — see
+        :meth:`repro.bdd.mdd.MDD.unchanged`)."""
+        return self.mdd.unchanged(var_index)
 
     def state_cube(self, values: Sequence[int], *, primed: bool = False) -> int:
         return self.bdd.and_all(
@@ -327,6 +306,7 @@ class SymbolicSpace:
         """Every node id this object caches — pass to ``collect_garbage``."""
         yield self.domain_cur
         yield self.domain_next
+        yield from self.mdd.gc_roots()
         yield from self._eq_frame_cache.values()
 
 
@@ -355,6 +335,7 @@ class SymbolicProtocol:
         *,
         relation_mode: str = "partitioned",
         cluster_size: int = 3,
+        kernel: str | None = None,
     ):
         if relation_mode not in RELATION_MODES:
             raise ValueError(
@@ -364,7 +345,11 @@ class SymbolicProtocol:
         if cluster_size < 1:
             raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
         self.protocol = protocol
-        self.sym = sym if sym is not None else SymbolicSpace(protocol.space)
+        self.sym = (
+            sym
+            if sym is not None
+            else SymbolicSpace(protocol.space, kernel=kernel)
+        )
         self.relation_mode = relation_mode
         self.cluster_size = cluster_size
         k = protocol.n_processes

@@ -1,0 +1,259 @@
+"""Differential tests: array-native kernel vs the retained reference kernel.
+
+The dict-of-tuples implementation that shipped through PR 6 survives as
+:class:`repro.bdd.reference.ReferenceBDD` for exactly this purpose: every
+random expression DAG and every structural operation (quantification,
+fused products, rename, restrict, GC, reordering) is executed lock-step
+on both kernels and the results are compared on all assignments — plus
+canonical size equality, which catches unique-table corruption that truth
+tables alone would miss.
+"""
+
+import itertools
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import ONE, ZERO
+from repro.bdd.manager import BDD
+from repro.bdd.reference import ReferenceBDD
+
+N_VARS = 6
+ALL_ASSIGNMENTS = list(itertools.product([False, True], repeat=N_VARS))
+#: interleaved (cur, next) pairing — the layout the symbolic engine uses
+PAIRS = [(0, 1), (2, 3), (4, 5)]
+CUR_VARS = [c for c, _ in PAIRS]
+
+_LEAVES = st.one_of(
+    st.booleans().map(lambda b: ("const", b)),
+    st.integers(0, N_VARS - 1).map(lambda i: ("var", i)),
+)
+
+
+def _extend(children):
+    return st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(
+            st.sampled_from(["and", "or", "xor", "implies", "iff", "diff"]),
+            children,
+            children,
+        ),
+        st.tuples(st.just("ite"), children, children, children),
+    )
+
+
+EXPRESSIONS = st.recursive(_LEAVES, _extend, max_leaves=16)
+
+_BINOPS = {
+    "and": "and_",
+    "or": "or_",
+    "xor": "xor",
+    "implies": "implies",
+    "iff": "iff",
+    "diff": "diff",
+}
+
+
+def build(bdd, expr) -> int:
+    tag = expr[0]
+    if tag == "const":
+        return ONE if expr[1] else ZERO
+    if tag == "var":
+        return bdd.var(expr[1])
+    if tag == "not":
+        return bdd.not_(build(bdd, expr[1]))
+    if tag == "ite":
+        return bdd.ite(
+            build(bdd, expr[1]), build(bdd, expr[2]), build(bdd, expr[3])
+        )
+    return getattr(bdd, _BINOPS[tag])(build(bdd, expr[1]), build(bdd, expr[2]))
+
+
+# Structural operations applied lock-step to both kernels.  Each entry is
+# (tag, *args); ``apply_op`` interprets it against one kernel.
+_VAR_SUBSETS = st.sets(st.integers(0, N_VARS - 1), min_size=1, max_size=3)
+_PAIR_SUBSETS = st.sets(st.sampled_from(PAIRS), min_size=1, max_size=3)
+
+STRUCTURAL_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("exists"), _VAR_SUBSETS),
+        st.tuples(st.just("forall"), _VAR_SUBSETS),
+        st.tuples(st.just("and_exists"), EXPRESSIONS, _VAR_SUBSETS),
+        st.tuples(st.just("rename_fwd"), _PAIR_SUBSETS),
+        st.tuples(st.just("rel_pre"), EXPRESSIONS, _PAIR_SUBSETS),
+        st.tuples(st.just("rel_post"), EXPRESSIONS, _PAIR_SUBSETS),
+        st.tuples(
+            st.just("restrict"),
+            st.dictionaries(
+                st.integers(0, N_VARS - 1), st.booleans(), min_size=1, max_size=3
+            ),
+        ),
+        st.tuples(st.just("gc")),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def apply_op(bdd, f: int, op) -> int:
+    tag = op[0]
+    if tag == "exists":
+        return bdd.exists(sorted(op[1]), f)
+    if tag == "forall":
+        return bdd.forall(sorted(op[1]), f)
+    if tag == "and_exists":
+        return bdd.and_exists(f, build(bdd, op[1]), sorted(op[2]))
+    if tag == "rename_fwd":
+        # cur -> next over a subset of the interleaved pairs: always
+        # order-preserving, exactly like the engine's subset renames
+        return bdd.rename(f, {c: n for c, n in sorted(op[1])})
+    if tag == "rel_pre":
+        rel = build(bdd, op[1])
+        return bdd.rel_product_pre(rel, f, tuple(sorted(op[2])))
+    if tag == "rel_post":
+        rel = build(bdd, op[1])
+        return bdd.rel_product_post(rel, f, tuple(sorted(op[2])))
+    if tag == "restrict":
+        return bdd.restrict(f, op[1])
+    if tag == "gc":
+        with bdd.protect(f):
+            bdd.collect_garbage()
+        return f
+    raise AssertionError(tag)
+
+
+def assert_same_function(array, fa: int, ref, fr: int) -> None:
+    for bits in ALL_ASSIGNMENTS:
+        assert array.eval(fa, bits) == ref.eval(fr, bits)
+    # canonical size equality — catches unique-table corruption that a
+    # truth table over shared assignments cannot
+    assert array.size(fa) == ref.size(fr)
+    assert array.count_sat(fa, N_VARS) == ref.count_sat(fr, N_VARS)
+
+
+@given(EXPRESSIONS)
+@settings(max_examples=150, deadline=None)
+def test_expression_dags_agree(expr):
+    array = BDD(N_VARS)
+    ref = ReferenceBDD(N_VARS)
+    assert_same_function(array, build(array, expr), ref, build(ref, expr))
+
+
+def apply_both(array, fa, ref, fr, op):
+    """Apply one op to both kernels; a ValueError (e.g. a rename whose
+    target collides with an unmapped support variable) must be raised by
+    both or neither.  Returns the new (fa, fr) — unchanged on a
+    symmetric rejection."""
+    try:
+        fa2 = apply_op(array, fa, op)
+        a_raised = False
+    except ValueError:
+        a_raised = True
+    try:
+        fr2 = apply_op(ref, fr, op)
+        r_raised = False
+    except ValueError:
+        r_raised = True
+    assert a_raised == r_raised, f"kernels disagree on rejecting {op!r}"
+    return (fa, fr) if a_raised else (fa2, fr2)
+
+
+@given(EXPRESSIONS, STRUCTURAL_OPS)
+@settings(max_examples=150, deadline=None)
+def test_structural_ops_agree(expr, ops):
+    array = BDD(N_VARS)
+    ref = ReferenceBDD(N_VARS)
+    fa = build(array, expr)
+    fr = build(ref, expr)
+    for op in ops:
+        fa, fr = apply_both(array, fa, ref, fr, op)
+        assert_same_function(array, fa, ref, fr)
+
+
+@given(EXPRESSIONS, STRUCTURAL_OPS)
+@settings(max_examples=60, deadline=None)
+def test_small_budget_fallback_agrees(expr, ops):
+    """A tiny scalar budget forces every sizeable operation through the
+    batched BFS engines; the result must not depend on which path ran."""
+    array = BDD(N_VARS)
+    array.scalar_budget = 2
+    ref = ReferenceBDD(N_VARS)
+    fa = build(array, expr)
+    fr = build(ref, expr)
+    for op in ops:
+        fa, fr = apply_both(array, fa, ref, fr, op)
+        assert_same_function(array, fa, ref, fr)
+
+
+@given(EXPRESSIONS, STRUCTURAL_OPS)
+@settings(max_examples=60, deadline=None)
+def test_ops_agree_after_reorder(expr, ops):
+    """Same comparison with sifting forced in between.  Orders may end up
+    different per kernel (they sift different garbage populations), so
+    only semantics is compared here, via variable-indexed eval."""
+    array = BDD(N_VARS)
+    ref = ReferenceBDD(N_VARS)
+    for b in (array, ref):
+        b.set_reorder_blocks(PAIRS)
+    fa = build(array, expr)
+    fr = build(ref, expr)
+    with array.protect(fa):
+        array.reorder()
+    with ref.protect(fr):
+        ref.reorder()
+    for op in ops:
+        fa, fr = apply_both(array, fa, ref, fr, op)
+        for bits in ALL_ASSIGNMENTS:
+            assert array.eval(fa, bits) == ref.eval(fr, bits)
+
+
+@given(EXPRESSIONS)
+@settings(max_examples=60, deadline=None)
+def test_rename_rejection_agrees(expr):
+    """Both kernels must reject (or both accept) a mapping that moves a
+    variable across an unmapped one in the operand's support."""
+    array = BDD(N_VARS)
+    ref = ReferenceBDD(N_VARS)
+    fa = build(array, expr)
+    fr = build(ref, expr)
+    mapping = {0: 3}  # jumps vars 1 and 2; legal only if they are absent
+    outcomes = []
+    for bdd, f in ((array, fa), (ref, fr)):
+        try:
+            outcomes.append(("ok", None))
+            bdd.rename(f, mapping)
+        except ValueError:
+            outcomes[-1] = ("raised", None)
+    assert outcomes[0] == outcomes[1]
+
+
+def test_env_variable_selects_reference_kernel(monkeypatch):
+    from repro.bdd.mdd import make_kernel
+
+    monkeypatch.setenv("REPRO_BDD_KERNEL", "reference")
+    assert isinstance(make_kernel(4), ReferenceBDD)
+    monkeypatch.setenv("REPRO_BDD_KERNEL", "array")
+    assert isinstance(make_kernel(4), BDD)
+    monkeypatch.delenv("REPRO_BDD_KERNEL")
+    assert isinstance(make_kernel(4), BDD)
+    monkeypatch.setenv("REPRO_BDD_KERNEL", "zdd")
+    with pytest.raises(ValueError):
+        make_kernel(4)
+
+
+def test_symbolic_space_kernel_parameter():
+    from repro.protocols.coloring import coloring_space
+    from repro.symbolic.encode import SymbolicSpace
+
+    space = coloring_space(3, 3)
+    sym_ref = SymbolicSpace(space, kernel="reference")
+    sym_arr = SymbolicSpace(space, kernel="array")
+    assert isinstance(sym_ref.bdd, ReferenceBDD)
+    assert isinstance(sym_arr.bdd, BDD)
+    # the two kernels build identical state sets
+    assert sym_ref.count_states(sym_ref.domain_cur) == sym_arr.count_states(
+        sym_arr.domain_cur
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo links in the markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` file for markdown links and
+inline-code path references, resolves each relative target against the
+repo root (and against the containing file's directory), and exits
+non-zero listing every target that does not exist.  External links
+(``http(s)://``, ``mailto:``) and pure anchors (``#section``) are skipped;
+an anchor suffix on a relative link (``FILE.md#section``) is checked for
+the file part only.
+
+Run locally:
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links; target captured up to the closing paren
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _resolve(target: str, source: Path) -> bool:
+    """True iff ``target`` names an existing file or directory."""
+    path = target.split("#", 1)[0]
+    if not path:
+        return True  # pure anchor into the same document
+    candidates = [REPO / path, source.parent / path]
+    return any(c.exists() for c in candidates)
+
+
+def main() -> int:
+    broken: list[tuple[Path, int, str]] = []
+    checked = 0
+    for doc in _doc_files():
+        for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+            for match in _MD_LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_SKIP_PREFIXES):
+                    continue
+                checked += 1
+                if not _resolve(target, doc):
+                    broken.append((doc, lineno, target))
+    rel = lambda p: p.relative_to(REPO)
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s):")
+        for doc, lineno, target in broken:
+            print(f"  {rel(doc)}:{lineno}: {target}")
+        return 1
+    print(
+        f"docs links OK: {checked} intra-repo link(s) across "
+        f"{len(_doc_files())} file(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
