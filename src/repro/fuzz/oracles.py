@@ -59,6 +59,7 @@ from ..symbolic import (
     add_strong_convergence_symbolic,
     compute_ranks_symbolic,
     gentilini_sccs,
+    lockstep_sccs,
     xie_beerel_sccs,
 )
 from ..verify import (
@@ -297,7 +298,7 @@ def _explicit_scc_sets(instance: FuzzInstance) -> set[frozenset[int]]:
 
 
 def oracle_sccs(instance: FuzzInstance, ctx: OracleContext) -> list[Finding]:
-    """Cyclic SCCs of ``δp | ¬I``: Tarjan vs Gentilini vs Xie-Beerel."""
+    """Cyclic SCCs of ``δp | ¬I``: Tarjan vs Gentilini vs Xie-Beerel vs lockstep."""
     explicit = _explicit_scc_sets(instance)
     sp, inv = _sp(instance)
     sym = sp.sym
@@ -307,6 +308,7 @@ def oracle_sccs(instance: FuzzInstance, ctx: OracleContext) -> list[Finding]:
     for name, algorithm in (
         ("gentilini", gentilini_sccs),
         ("xie_beerel", xie_beerel_sccs),
+        ("lockstep", lockstep_sccs),
     ):
         sccs = algorithm(sym, relations, not_i)
         symbolic = {

@@ -9,8 +9,12 @@ from .engine import (
 from .image import (
     backward_closure,
     forward_closure,
+    post_and,
+    post_diff,
     postimage,
     postimage_union,
+    pre_and,
+    pre_diff,
     preimage,
     preimage_union,
     relation_links,
@@ -21,11 +25,20 @@ from .ranking import (
     compute_pim_groups_symbolic,
     compute_ranks_symbolic,
 )
-from .scc import gentilini_sccs, xie_beerel_sccs
+from .scc import (
+    SCC_ALGORITHMS,
+    SymbolicInternalError,
+    gentilini_sccs,
+    lockstep_sccs,
+    scc_algorithm_by_name,
+    xie_beerel_sccs,
+)
 
 __all__ = [
     "RELATION_MODES",
     "Partition",
+    "SCC_ALGORITHMS",
+    "SymbolicInternalError",
     "SymbolicProtocol",
     "SymbolicRanking",
     "SymbolicSpace",
@@ -37,11 +50,17 @@ __all__ = [
     "compute_ranks_symbolic",
     "forward_closure",
     "gentilini_sccs",
+    "lockstep_sccs",
     "make_partition",
+    "post_and",
+    "post_diff",
     "postimage",
     "postimage_union",
+    "pre_and",
+    "pre_diff",
     "preimage",
     "preimage_union",
     "relation_links",
+    "scc_algorithm_by_name",
     "xie_beerel_sccs",
 ]

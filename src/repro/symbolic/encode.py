@@ -184,19 +184,20 @@ class SymbolicSpace:
     def is_empty(self, f: int) -> bool:
         return self.bdd.and_(f, self.domain_cur) == ZERO
 
-    def pick_cube(self, f: int) -> int:
+    def pick_cube(self, f: int, *, assume_valid: bool = False) -> int:
         """One member state of a state-set BDD as a full current-bits cube
         (``ZERO`` when empty).  Unlike :meth:`pick_state` this never goes
         through the explicit state index, so it works on spaces far beyond
         the explicit limit (don't-care bits default to 0, which is always
-        a valid domain value)."""
-        g = self.bdd.and_(f, self.domain_cur)
-        model = self.bdd.pick(g)
-        if model is None:
-            return ZERO
-        return self.bdd.cube(
-            {b: model.get(b, False) for b in self.all_cur}
-        )
+        a valid domain value).
+
+        ``assume_valid=True`` skips the ``∧ domain_cur`` guard — correct
+        exactly when ``f ⊆ domain_cur`` already holds, which is true of
+        every set the SCC/ranking fixpoints manipulate (they start from
+        ``∧ domain_cur`` and only shrink).  The guard was the single
+        hottest BDD operation of the SCC workloads."""
+        g = f if assume_valid else self.bdd.and_(f, self.domain_cur)
+        return self.bdd.pick_cube_over(g, self.all_cur)
 
     def pick_state(self, f: int) -> int | None:
         """Any member state of a state-set BDD, as an explicit state index."""

@@ -35,7 +35,7 @@ from .encode import SymbolicProtocol
 from .image import backward_closure, forward_closure, relation_links
 from .partition import Partition
 from .ranking import SymbolicRanking, compute_ranks_symbolic
-from .scc import gentilini_sccs, xie_beerel_sccs
+from .scc import scc_algorithm_by_name
 
 
 @dataclass
@@ -321,11 +321,7 @@ def identify_resolve_cycles_symbolic(
         region = sym.bdd.and_(fwd, bwd)
         if region == ZERO:
             return set()
-        algorithm = (
-            gentilini_sccs
-            if state.scc_algorithm == "gentilini"
-            else xie_beerel_sccs
-        )
+        algorithm = scc_algorithm_by_name(state.scc_algorithm)
         with use_tracer(state.stats.tracer):
             sccs = algorithm(sym, relations, region)
         span["n_sccs"] = len(sccs)
@@ -555,9 +551,7 @@ def _preprocess_cycles_symbolic(
         for rel in state.relations
     ):
         return  # an empty relation has no cycles (common: empty input protocol)
-    algorithm = (
-        gentilini_sccs if state.scc_algorithm == "gentilini" else xie_beerel_sccs
-    )
+    algorithm = scc_algorithm_by_name(state.scc_algorithm)
     with state.stats.timer("scc"), use_tracer(state.stats.tracer):
         sccs = algorithm(sym, state.relations, state.not_i)
     if not sccs:
@@ -594,14 +588,19 @@ def add_strong_convergence_symbolic(
     schedule: Sequence[int] | None = None,
     options: HeuristicOptions | None = None,
     stats: SynthesisStats | None = None,
-    scc_algorithm: str = "gentilini",
+    scc_algorithm: str | None = None,
 ) -> SymbolicSynthesisResult:
     """The three-pass heuristic, fully symbolic.
 
     ``invariant`` is a BDD over ``sp.sym`` (build it with the case studies'
     ``*_invariant_bdd`` helpers or ``SymbolicSpace.from_predicate``).
+    ``scc_algorithm`` overrides ``options.scc_algorithm`` when given (a
+    :data:`repro.symbolic.scc.SCC_ALGORITHMS` name).
     """
     options = options or HeuristicOptions()
+    if scc_algorithm is None:
+        scc_algorithm = options.scc_algorithm
+    scc_algorithm_by_name(scc_algorithm)  # validate the name up front
     stats = stats if stats is not None else SynthesisStats()
     sp = sp if sp is not None else SymbolicProtocol(protocol)
     k = protocol.n_processes

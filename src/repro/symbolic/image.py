@@ -16,6 +16,14 @@ within one sequence:
 ``preimage_union``/``postimage_union`` compute the image under the union
 relation ``∨ T_j`` as the union of per-partition images — disjunction
 distributes over ∃, so no cross-partition conjunction is ever built.
+
+All partition clusters of one union image are handed to the kernel in a
+*single* fused call (``rel_product_pre_many``/``rel_product_post_many``)
+that sweeps every cluster through one two-phase BFS, and the callers'
+ubiquitous ``and_(pre(S), V)`` / ``diff(pre(S), S)`` post-processing is
+fused into that same sweep via the ``within``/``subtract`` keywords (and
+the :func:`pre_and`/:func:`pre_diff`/:func:`post_and`/:func:`post_diff`
+shorthands), so the unconstrained union is never materialised.
 """
 
 from __future__ import annotations
@@ -62,10 +70,29 @@ def postimage(sym: SymbolicSpace, relation: RelationLike, states: int) -> int:
     return sym.unprime(shifted)
 
 
+def _window(bdd, f: int, within: int | None, subtract: int | None) -> int:
+    """Apply the ``∧ within`` / ``∖ subtract`` trim to one image part."""
+    if within is not None:
+        f = bdd.and_(f, within)
+    if subtract is not None and f != ZERO:
+        f = bdd.diff(f, subtract)
+    return f
+
+
 def preimage_union(
-    sym: SymbolicSpace, relations: Sequence[RelationLike], states: int
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    *,
+    within: int | None = None,
+    subtract: int | None = None,
 ) -> int:
-    """Predecessors under a disjunctively partitioned relation."""
+    """Predecessors under a disjunctively partitioned relation.
+
+    Computes ``(∨_j pre(T_j, states)) ∧ within ∖ subtract`` with every
+    partition cluster fused into one kernel sweep and the window applied
+    per disjunct — the unconstrained union never exists as a BDD.
+    """
     if states == ZERO:
         return ZERO
     parts = [
@@ -75,26 +102,91 @@ def preimage_union(
         r for r in relations if not isinstance(r, Partition) and r != ZERO
     ]
     out = ZERO
+    if parts:
+        out = sym.bdd.rel_product_pre_many(
+            [(p.rel, p.cur_to_next) for p in parts],
+            states,
+            constrain=within,
+            subtract=subtract,
+        )
     if full:
         primed = sym.prime(states)
         for rel in full:
-            out = sym.bdd.or_(
-                out, sym.bdd.and_exists(rel, primed, sym.all_next)
-            )
-    for part in parts:
-        out = sym.bdd.or_(
-            out, sym.bdd.rel_product_pre(part.rel, states, part.cur_to_next)
-        )
+            img = sym.bdd.and_exists(rel, primed, sym.all_next)
+            out = sym.bdd.or_(out, _window(sym.bdd, img, within, subtract))
     return out
 
 
 def postimage_union(
-    sym: SymbolicSpace, relations: Sequence[RelationLike], states: int
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    *,
+    within: int | None = None,
+    subtract: int | None = None,
 ) -> int:
+    """Successors under a disjunctively partitioned relation (the
+    post twin of :func:`preimage_union`, same fusion semantics)."""
+    if states == ZERO:
+        return ZERO
+    parts = [
+        r for r in relations if isinstance(r, Partition) and r.rel != ZERO
+    ]
+    full = [
+        r for r in relations if not isinstance(r, Partition) and r != ZERO
+    ]
     out = ZERO
-    for rel in relations:
-        out = sym.bdd.or_(out, postimage(sym, rel, states))
+    if parts:
+        out = sym.bdd.rel_product_post_many(
+            [(p.rel, p.cur_to_next) for p in parts],
+            states,
+            constrain=within,
+            subtract=subtract,
+        )
+    for rel in full:
+        img = postimage(sym, rel, states)
+        out = sym.bdd.or_(out, _window(sym.bdd, img, within, subtract))
     return out
+
+
+def pre_and(
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    window: int,
+) -> int:
+    """``pre(∨T, states) ∧ window`` without the intermediate preimage."""
+    return preimage_union(sym, relations, states, within=window)
+
+
+def pre_diff(
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    minus: int,
+) -> int:
+    """``pre(∨T, states) ∖ minus`` without the intermediate preimage."""
+    return preimage_union(sym, relations, states, subtract=minus)
+
+
+def post_and(
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    window: int,
+) -> int:
+    """``post(∨T, states) ∧ window`` without the intermediate postimage."""
+    return postimage_union(sym, relations, states, within=window)
+
+
+def post_diff(
+    sym: SymbolicSpace,
+    relations: Sequence[RelationLike],
+    states: int,
+    minus: int,
+) -> int:
+    """``post(∨T, states) ∖ minus`` without the intermediate postimage."""
+    return postimage_union(sym, relations, states, subtract=minus)
 
 
 def relation_links(
@@ -129,10 +221,9 @@ def forward_closure(
     reached = start if within is None else sym.bdd.and_(start, within)
     frontier = reached
     while frontier != ZERO:
-        new = postimage_union(sym, relations, frontier)
-        if within is not None:
-            new = sym.bdd.and_(new, within)
-        new = sym.bdd.diff(new, reached)
+        new = postimage_union(
+            sym, relations, frontier, within=within, subtract=reached
+        )
         reached = sym.bdd.or_(reached, new)
         frontier = new
     return reached
@@ -148,10 +239,9 @@ def backward_closure(
     reached = start if within is None else sym.bdd.and_(start, within)
     frontier = reached
     while frontier != ZERO:
-        new = preimage_union(sym, relations, frontier)
-        if within is not None:
-            new = sym.bdd.and_(new, within)
-        new = sym.bdd.diff(new, reached)
+        new = preimage_union(
+            sym, relations, frontier, within=within, subtract=reached
+        )
         reached = sym.bdd.or_(reached, new)
         frontier = new
     return reached

@@ -83,10 +83,16 @@ def compute_ranks_symbolic(
         "symbolic.rank.backward_bfs", partition_count=len(relations)
     ) as span:
         while True:
-            frontier = sym.bdd.and_(
-                preimage_union(sym, relations, ranks[-1]), sym.domain_cur
+            # one fused multi-relation sweep per rank frontier: every
+            # partition cluster, the domain window and the explored-set
+            # subtraction run in a single kernel call
+            frontier = preimage_union(
+                sym,
+                relations,
+                ranks[-1],
+                within=sym.domain_cur,
+                subtract=explored,
             )
-            frontier = sym.bdd.diff(frontier, explored)
             if frontier == ZERO:
                 break
             ranks.append(frontier)

@@ -1,15 +1,23 @@
 """Symbolic SCC detection.
 
-Two implementations over BDD state sets:
+Three implementations over BDD state sets:
 
 * :func:`xie_beerel_sccs` — the classic forward/backward-set algorithm
   (quadratic number of symbolic steps, simple and obviously correct);
 * :func:`gentilini_sccs` — Gentilini, Piazza & Policriti's skeleton-based
   algorithm (linear number of symbolic steps) — the algorithm the paper's
-  ``Detect_SCC`` implements (Section V cites it explicitly).
+  ``Detect_SCC`` implements (Section V cites it explicitly);
+* :func:`lockstep_sccs` — Bloem–Gazi–Somenzi lockstep search
+  (``O(n log n)`` symbolic steps): forward and backward sets grow in
+  lockstep, the first to converge caps the other, and a trimming prepass
+  strips the acyclic fringe before each pick.
 
-Both return the *cyclic* SCCs only (>= 2 states; the group model admits no
-self-loops).  The two are differentially tested against the explicit Tarjan.
+All return the *cyclic* SCCs only (>= 2 states; the group model admits no
+self-loops) and are differentially tested against the explicit Tarjan.
+Every fixpoint iteration issues one fused kernel sweep
+(:func:`repro.symbolic.image.preimage_union` with ``within``/``subtract``)
+instead of a per-cluster loop of scalar products — see
+``docs/ARCHITECTURE.md`` on algorithm-layer batching.
 """
 
 from __future__ import annotations
@@ -23,18 +31,30 @@ from .encode import SymbolicSpace
 from .image import RelationLike, postimage_union, preimage_union
 
 
+class SymbolicInternalError(RuntimeError):
+    """An internal invariant of the symbolic algorithms failed.
+
+    Raised instead of ``assert`` so the check survives ``python -O``."""
+
+
 def _pre(sym: SymbolicSpace, relations: Sequence[RelationLike], states: int, v: int) -> int:
-    return sym.bdd.and_(preimage_union(sym, relations, states), v)
+    return preimage_union(sym, relations, states, within=v)
 
 
 def _post(sym: SymbolicSpace, relations: Sequence[RelationLike], states: int, v: int) -> int:
-    return sym.bdd.and_(postimage_union(sym, relations, states), v)
+    return postimage_union(sym, relations, states, within=v)
 
 
 def _pick_singleton(sym: SymbolicSpace, states: int) -> int:
-    """A one-state subset of ``states`` as a BDD cube."""
-    cube = sym.pick_cube(states)
-    assert cube != ZERO
+    """A one-state subset of ``states`` as a BDD cube.
+
+    Every caller maintains ``states ⊆ domain_cur``, so the pick skips the
+    domain guard (``assume_valid``)."""
+    cube = sym.pick_cube(states, assume_valid=True)
+    if cube == ZERO:
+        raise SymbolicInternalError(
+            "_pick_singleton called on an empty state set"
+        )
     return cube
 
 
@@ -45,7 +65,7 @@ def _scc_of(
     forward set (the inner loop of both algorithms)."""
     scc = node
     while True:
-        grow = sym.bdd.diff(_pre(sym, relations, scc, fw), scc)
+        grow = preimage_union(sym, relations, scc, within=fw, subtract=scc)
         if grow == ZERO:
             return scc
         scc = sym.bdd.or_(scc, grow)
@@ -67,7 +87,7 @@ def xie_beerel_sccs(
             node = _pick_singleton(sym, v)
             fw = _forward_set(sym, relations, node, v)
             scc = _scc_of(sym, relations, node, fw)
-            if sym.count_states(scc) >= 2:
+            if scc != node:  # scc ⊇ node, so inequality ⇔ ≥ 2 states
                 out.append(scc)
             work.append(sym.bdd.diff(fw, scc))
             work.append(sym.bdd.diff(v, fw))
@@ -81,10 +101,90 @@ def _forward_set(
     fw = sym.bdd.and_(start, v)
     frontier = fw
     while frontier != ZERO:
-        new = sym.bdd.diff(_post(sym, relations, frontier, v), fw)
+        new = postimage_union(sym, relations, frontier, within=v, subtract=fw)
         fw = sym.bdd.or_(fw, new)
         frontier = new
     return fw
+
+
+# ----------------------------------------------------------------------
+# Bloem-Gazi-Somenzi lockstep
+# ----------------------------------------------------------------------
+
+
+def _trim(sym: SymbolicSpace, relations: Sequence[RelationLike], v: int) -> int:
+    """Strip the acyclic fringe: iterate ``v ← v ∩ pre(v) ∩ post(v)``
+    until fixpoint.  States without both a predecessor and a successor in
+    ``v`` lie on no cycle, so no cyclic SCC is lost; each round is two
+    fused sweeps."""
+    while v != ZERO:
+        has_succ = preimage_union(sym, relations, v, within=v)
+        if has_succ == ZERO:
+            return ZERO
+        nxt = postimage_union(sym, relations, v, within=has_succ)
+        if nxt == v:
+            return v
+        v = nxt
+    return v
+
+
+def lockstep_sccs(
+    sym: SymbolicSpace, relations: Sequence[RelationLike], universe: int
+) -> list[int]:
+    """Bloem–Gazi–Somenzi lockstep SCC decomposition.
+
+    Forward and backward sets of a pivot grow in lockstep; the first to
+    converge is complete, and the other only needs to keep growing while
+    its frontier still intersects the converged set (once the frontier
+    leaves a forward-closed set it can never re-enter it).  The SCC is
+    ``F ∩ B``; recursion proceeds on ``converged ∖ SCC`` and
+    ``V ∖ converged`` — ``O(n log n)`` symbolic steps overall."""
+    tracer = current_tracer()
+    bdd = sym.bdd
+    out: list[int] = []
+    with tracer.span("scc.lockstep") as span:
+        work = [bdd.and_(universe, sym.domain_cur)]
+        while work:
+            v = work.pop()
+            if v == ZERO:
+                continue
+            v = _trim(sym, relations, v)
+            if v == ZERO:
+                continue
+            tracer.count("scc.lockstep_picks")
+            node = _pick_singleton(sym, v)
+            f = b = node
+            f_front = b_front = node
+            while f_front != ZERO and b_front != ZERO:
+                f_front = postimage_union(
+                    sym, relations, f_front, within=v, subtract=f
+                )
+                f = bdd.or_(f, f_front)
+                b_front = preimage_union(
+                    sym, relations, b_front, within=v, subtract=b
+                )
+                b = bdd.or_(b, b_front)
+            if f_front == ZERO:
+                conv = f
+                while bdd.and_(b_front, conv) != ZERO:
+                    b_front = preimage_union(
+                        sym, relations, b_front, within=v, subtract=b
+                    )
+                    b = bdd.or_(b, b_front)
+            else:
+                conv = b
+                while bdd.and_(f_front, conv) != ZERO:
+                    f_front = postimage_union(
+                        sym, relations, f_front, within=v, subtract=f
+                    )
+                    f = bdd.or_(f, f_front)
+            scc = bdd.and_(f, b)
+            if scc != node:  # scc ⊇ node, so inequality ⇔ ≥ 2 states
+                out.append(scc)
+            work.append(bdd.diff(conv, scc))
+            work.append(bdd.diff(v, conv))
+        span["n_sccs"] = len(out)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -110,15 +210,13 @@ def _skel_forward(
     while layer != ZERO:
         layers.append(layer)
         fw = sym.bdd.or_(fw, layer)
-        layer = sym.bdd.diff(_post(sym, relations, layer, v), fw)
+        layer = postimage_union(sym, relations, layer, within=v, subtract=fw)
     # walk the onion backwards picking one predecessor per layer
     new_n = _pick_singleton(sym, layers[-1])
     skel = new_n
     current = new_n
     for layer in reversed(layers[:-1]):
-        preds = sym.bdd.and_(
-            preimage_union(sym, relations, current), layer
-        )
+        preds = preimage_union(sym, relations, current, within=layer)
         current = _pick_singleton(sym, preds)
         skel = sym.bdd.or_(skel, current)
     return fw, skel, new_n
@@ -157,7 +255,7 @@ def _gentilini_loop(sym, relations, work, tracer) -> list[int]:
             n = _pick_singleton(sym, s if s != ZERO else v)
         fw, new_s, new_n = _skel_forward(sym, relations, v, n)
         scc = _scc_of(sym, relations, n, fw)
-        if sym.count_states(scc) >= 2:
+        if scc != n:  # scc ⊇ n (a singleton), so inequality ⇔ ≥ 2 states
             out.append(scc)
         # recursion 1: the forward set minus the found SCC, guided by the
         # remainder of the freshly built skeleton
@@ -175,10 +273,26 @@ def _gentilini_loop(sym, relations, work, tracer) -> list[int]:
         n2 = ZERO
         removed_on_skel = sym.bdd.and_(scc, s)
         if removed_on_skel != ZERO and s_rest != ZERO:
-            n2 = sym.bdd.and_(
-                preimage_union(sym, relations, removed_on_skel), s_rest
-            )
+            n2 = preimage_union(sym, relations, removed_on_skel, within=s_rest)
             if n2 != ZERO:
                 n2 = _pick_singleton(sym, n2)
         work.append(_Task(v=sym.bdd.diff(v, fw), s=s_rest, n=n2))
     return out
+
+
+#: name → implementation; the engine/portfolio configs select by name.
+SCC_ALGORITHMS = {
+    "xie_beerel": xie_beerel_sccs,
+    "gentilini": gentilini_sccs,
+    "lockstep": lockstep_sccs,
+}
+
+
+def scc_algorithm_by_name(name: str):
+    """Resolve an SCC algorithm name from :data:`SCC_ALGORITHMS`."""
+    try:
+        return SCC_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SCC algorithm {name!r}; known: {sorted(SCC_ALGORITHMS)}"
+        ) from None

@@ -187,7 +187,7 @@ class TestGarbageCollection:
         assert collected > 0
 
     def test_ops_stay_correct_after_gc(self):
-        """All memo caches are dropped at GC; results must not change."""
+        """Memo caches are pruned of dead entries at GC; results must not change."""
         bdd = BDD(N_VARS)
         f = bdd.xor(bdd.var(0), bdd.var(2))
         g = bdd.implies(bdd.var(1), bdd.var(3))

@@ -17,6 +17,7 @@ from repro.symbolic import (
     compute_ranks_symbolic,
     forward_closure,
     gentilini_sccs,
+    lockstep_sccs,
     postimage,
     preimage,
     xie_beerel_sccs,
@@ -107,7 +108,9 @@ class TestClosures:
 
 class TestSymbolicSccs:
     @pytest.mark.parametrize("seed", range(10))
-    @pytest.mark.parametrize("algorithm", [xie_beerel_sccs, gentilini_sccs])
+    @pytest.mark.parametrize(
+        "algorithm", [xie_beerel_sccs, gentilini_sccs, lockstep_sccs]
+    )
     def test_matches_explicit_sccs(self, seed, algorithm):
         rng, protocol, sp = setup_random(300 + seed, density=0.25)
         sym = sp.sym
@@ -132,6 +135,7 @@ class TestSymbolicSccs:
         # TR restricted to ¬I is acyclic (Section V)
         assert gentilini_sccs(sym, relations, not_i) == []
         assert xie_beerel_sccs(sym, relations, not_i) == []
+        assert lockstep_sccs(sym, relations, not_i) == []
 
 
 class TestSymbolicRanking:
