@@ -1,0 +1,159 @@
+"""Cluster portfolio scaling: one race fanned out over local TCP workers.
+
+The distributed runtime's pitch is that the portfolio race spans machines
+with no change to the algorithm: the coordinator leases configs to
+``stsyn worker`` endpoints instead of forked processes.  This benchmark
+pins that claim on the ring case studies — the full rotation-schedule
+portfolio of token rings up to k=6, raced over 1, 2 and 4 local TCP
+workers — genuine ``stsyn worker`` subprocesses (own interpreter, own
+GIL): real sockets, real frames, real parallelism, loopback latency.
+
+What must hold regardless of box noise:
+
+* every fleet size produces a successful, certificate-carrying winner and
+  settles the same number of outcomes;
+* every config that ran went over the wire (``transport.remote_dispatches``
+  covers the portfolio) with no degradation to local slots and no crashes.
+
+Wall-clock per fleet size is recorded as evidence, not asserted — on
+loopback with sub-second jobs the dispatch overhead can rival the compute,
+and a fleet larger than the recording box's core count (persisted as
+``cpus`` in the JSON) just time-slices one CPU across more losing configs.
+
+Emits ``BENCH_cluster.json`` (path via ``CLUSTER_BENCH_JSON``), committed
+at the repo root and refreshed by the CI chaos-smoke job::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_cluster_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+from repro.core.synthesizer import default_portfolio
+from repro.parallel import synthesize_parallel
+from repro.protocols import token_ring
+from repro.trace.report import summarize
+
+FIGURE = "Cluster: ring portfolio over 1/2/4 local TCP workers"
+
+BENCH_JSON = os.environ.get("CLUSTER_BENCH_JSON", "BENCH_cluster.json")
+
+#: (label, k, domain) — every ring up to the paper's k=6
+CASES = [
+    ("token-ring k=4 d=3", 4, 3),
+    ("token-ring k=5 d=4", 5, 4),
+    ("token-ring k=6 d=5", 6, 5),
+]
+
+FLEETS = (1, 2, 4)
+
+
+def _spawn_fleet(n):
+    """Launch n real ``stsyn worker`` subprocesses on ephemeral ports."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    procs, endpoints = [], []
+    for _ in range(n):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        match = re.search(r"listening on ([\d.]+:\d+)", proc.stdout.readline())
+        assert match, "worker did not report its address"
+        procs.append(proc)
+        endpoints.append(match.group(1))
+    return procs, endpoints
+
+
+def _stop_fleet(procs):
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def test_cluster_scaling(figure_report, tmp_path):
+    figure_report.register(
+        FIGURE,
+        columns=["case", "configs", "workers", "wall (s)",
+                 "remote dispatches", "winner"],
+        note="full rotation-schedule portfolio leased to real TCP worker "
+             "servers on loopback; dispatches go over the wire",
+    )
+    rows = []
+    for label, k, domain in CASES:
+        configs = default_portfolio(k)
+        settled_counts = set()
+        for fleet in FLEETS:
+            procs, endpoints = _spawn_fleet(fleet)
+            trace_dir = tmp_path / f"{label}-{fleet}"
+            t0 = time.perf_counter()
+            try:
+                winner, completed = synthesize_parallel(
+                    token_ring, (k, domain),
+                    configs=configs,
+                    worker_endpoints=endpoints,
+                    trace_dir=trace_dir,
+                    lease_timeout=30.0,
+                )
+                elapsed = time.perf_counter() - t0
+            finally:
+                _stop_fleet(procs)
+
+            assert winner.success, f"{label} over {fleet} workers lost"
+            assert winner.certificate is not None
+            assert not any(o.crashed for o in completed)
+            counters = summarize(
+                [trace_dir / "portfolio.jsonl"]
+            ).counters
+            dispatches = counters.get("transport.remote_dispatches", 0)
+            # every settled config went over the wire, none fell back
+            assert dispatches >= len(completed)
+            assert counters.get("transport.degraded_to_local", 0) == 0
+            assert counters.get("portfolio.worker_crashes", 0) == 0
+            settled_counts.add(len(completed))
+
+            rows.append(
+                {
+                    "case": label,
+                    "configs": len(configs),
+                    "workers": fleet,
+                    "wall_s": round(elapsed, 4),
+                    "remote_dispatches": dispatches,
+                    "outcomes": len(completed),
+                    "winner": winner.config.describe(),
+                }
+            )
+            figure_report.add_row(
+                FIGURE,
+                [label, len(configs), fleet, elapsed, dispatches,
+                 winner.config.describe()],
+            )
+        # the race is a race — losers may be cancelled before settling —
+        # but fleet size must not change what a settled outcome means
+        assert settled_counts, label
+
+    payload = {
+        "benchmark": "cluster-scaling",
+        "transport": "tcp (loopback stsyn-worker subprocess fleet)",
+        "fleets": list(FLEETS),
+        "cpus": os.cpu_count(),
+        "cases": rows,
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)

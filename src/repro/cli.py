@@ -159,13 +159,35 @@ def _cmd_synthesize(args) -> int:
         tracer.close()
 
 
+def _parse_workers(value):
+    """``--workers`` is either a process count (``4``) or a comma-separated
+    list of remote worker endpoints (``host1:9178,host2:9178``).  Returns
+    ``(n_workers, endpoints)`` with exactly one of the two set."""
+    if value is None:
+        return None, None
+    try:
+        return int(value), None
+    except ValueError:
+        pass
+    endpoints = [part.strip() for part in value.split(",") if part.strip()]
+    if not endpoints or not all(":" in part for part in endpoints):
+        raise SystemExit(
+            f"--workers must be a count or host:port[,host:port...], "
+            f"got {value!r}"
+        )
+    return None, endpoints
+
+
 def _synthesize_portfolio(args) -> int:
     """Multi-process portfolio run (``--workers`` / ``--cache-dir``).
 
     Shares the schedule-independent precompute across workers, memoises
     outcomes on disk when ``--cache-dir`` is given, and — with ``--trace``
     interpreted as a *directory* — writes per-worker traces plus the
-    parent's ``portfolio.jsonl``, merged into ``merged.jsonl``.
+    parent's ``portfolio.jsonl``, merged into ``merged.jsonl``.  With
+    ``--workers host:port,...`` the race runs on remote ``stsyn worker``
+    servers instead of local processes (lease-based failure detection,
+    degrading to local slots when remotes are lost).
     """
     import os
 
@@ -174,18 +196,21 @@ def _synthesize_portfolio(args) -> int:
     if args.resume and not args.cache_dir:
         raise SystemExit("--resume requires --cache-dir")
     builder, builder_args = _builder_spec(args)
+    n_workers, endpoints = _parse_workers(args.workers)
     trace_dir = args.trace or None
     t0 = time.perf_counter()
     winner, completed = synthesize_parallel(
         builder,
         builder_args,
-        n_workers=args.workers,
+        n_workers=n_workers,
         trace_dir=trace_dir,
         cache_dir=args.cache_dir,
         hard_deadline=args.hard_deadline,
         max_retries=args.max_retries,
         resume=args.resume,
         paranoid=args.paranoid,
+        worker_endpoints=endpoints,
+        lease_timeout=args.lease_timeout,
     )
     elapsed = time.perf_counter() - t0
     n_cached = sum(1 for o in completed if o.cached)
@@ -231,6 +256,24 @@ def _synthesize_portfolio(args) -> int:
     if trace_dir is not None:
         print(f"traces written to {os.path.join(trace_dir, 'merged.jsonl')}")
     return 0 if winner.success else 1
+
+
+def _cmd_worker(args) -> int:
+    """``stsyn worker --listen host:port`` — one node of a distributed race.
+
+    Serves one coordinator connection at a time: runs each shipped config
+    through the full heuristic, heartbeats while computing, and honours
+    cancel frames through the standard cooperative-cancellation path.  A
+    dropped coordinator cancels the running job and the server returns to
+    accepting, so a crashed sweep never wedges the fleet.
+    """
+    from .parallel.transport import run_worker_server
+
+    jobs = run_worker_server(
+        args.listen, max_jobs=args.max_jobs, log=lambda line: print(line, flush=True)
+    )
+    print(f"worker served {jobs} job(s)")
+    return 0
 
 
 def _cmd_trace_report(args) -> int:
@@ -451,11 +494,19 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p_syn.add_argument(
         "--workers",
-        type=int,
         default=None,
-        metavar="N",
-        help="race the portfolio across N worker processes with shared "
-        "precompute (explicit engine only)",
+        metavar="N|HOST:PORT,...",
+        help="race the portfolio across N local worker processes with "
+        "shared precompute, or across remote 'stsyn worker' endpoints "
+        "given as host:port[,host:port...] (explicit engine only)",
+    )
+    p_syn.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="remote workers only: re-dispatch a config whose worker has "
+        "not heartbeat for this long (default 10)",
     )
     p_syn.add_argument(
         "--cache-dir",
@@ -521,6 +572,27 @@ def make_parser() -> argparse.ArgumentParser:
         "check_solution even when they carry a valid certificate",
     )
     p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve portfolio jobs to remote coordinators over TCP "
+        "(pair with 'stsyn synthesize --workers host:port,...')",
+    )
+    p_worker.add_argument(
+        "--listen",
+        default="127.0.0.1:9178",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:9178; port 0 picks "
+        "a free port and prints it)",
+    )
+    p_worker.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N jobs (default: serve forever)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_trace = sub.add_parser(
         "trace-report",

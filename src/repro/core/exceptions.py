@@ -61,6 +61,46 @@ class PortfolioError(SynthesisError):
     """
 
 
+class TransportError(SynthesisError):
+    """A worker transport failed at the infrastructure level.
+
+    Raised by :mod:`repro.parallel.transport` for connection loss, torn or
+    oversized frames, unserialisable jobs and reconnect exhaustion.  Unlike
+    the heuristic's *answer* exceptions (:class:`NotClosedError`,
+    :class:`NoStabilizingVersionError`, ...) a transport error never means
+    the synthesis question was answered — the supervisor treats it like a
+    crash and requeues the config instead of re-raising.
+    """
+
+
+class LeaseExpired(TransportError):
+    """A dispatched config's lease ran out of heartbeats.
+
+    The worker holding the lease is presumed lost (network partition, dead
+    host, wedged process); the supervisor requeues the config on another
+    worker.  Carries the lease id so a late result from the original worker
+    can be recognised as stale.
+    """
+
+    def __init__(self, message: str, lease_id: str = ""):
+        super().__init__(message)
+        self.lease_id = lease_id
+
+
+class DuplicateResult(TransportError):
+    """A result arrived for a lease that is no longer active.
+
+    Happens when a partition heals after the config was re-dispatched: both
+    workers eventually answer.  The supervisor accepts a duplicate *winner*
+    only after its convergence certificate re-checks (idempotency via the
+    protocol fingerprint) and discards everything else.
+    """
+
+    def __init__(self, message: str, lease_id: str = ""):
+        super().__init__(message)
+        self.lease_id = lease_id
+
+
 class HeuristicFailure(SynthesisError):
     """All three passes completed but deadlock states remain.
 

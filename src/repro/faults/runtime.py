@@ -61,6 +61,30 @@ class FaultPlan:
     #: worker faults fire only while ``attempt < max_fires``
     max_fires: int = 1
 
+    # -- network knobs (TCP transport; see repro.parallel.transport) -----
+    #: ``"<frame kind>@<config substring>"`` — silently discard matching
+    #: outbound frames (``heartbeat``, ``result``, ``job``); one lost frame,
+    #: exactly what a flaky switch does
+    drop_frame: str | None = None
+    #: ``"<frame kind>@<config substring>"`` — sleep ``delay_frame_seconds``
+    #: before sending the matching frame (congestion / slow link)
+    delay_frame: str | None = None
+    delay_frame_seconds: float = 0.5
+    #: config-description substring — send the worker's result frame twice
+    #: (retransmission after a lost ACK); the coordinator must dedupe
+    duplicate_result: str | None = None
+    #: ``"<frame kind>@<config substring>"`` — on the first matching send,
+    #: black-hole *every* outbound frame for ``partition_seconds`` (a network
+    #: partition: the worker keeps computing, the coordinator sees silence,
+    #: the lease expires, and the late result arrives after the heal)
+    partition: str | None = None
+    partition_seconds: float = 2.0
+    #: config-description substring — suppress heartbeats and delay the
+    #: result by ``stale_lease_seconds``, so it lands after the lease
+    #: expired and exercises the duplicate/stale-result acceptance path
+    stale_lease: str | None = None
+    stale_lease_seconds: float = 2.0
+
     @classmethod
     def from_env(cls, environ=None) -> "FaultPlan | None":
         """Parse :data:`FAULT_PLAN_ENV` (None when unset/empty)."""
@@ -168,3 +192,90 @@ def should_drop_trace(filename: str) -> bool:
     return plan is not None and _spec_matches(
         plan.drop_trace_file, "trace.merge", filename
     )
+
+
+# ----------------------------------------------------------------------
+# network faults (worker-side hooks of repro.parallel.transport)
+# ----------------------------------------------------------------------
+
+#: monotonic instant until which this process drops every outbound frame
+_PARTITION_UNTIL: float = 0.0
+
+
+def _worker_fault_armed(plan: FaultPlan | None) -> bool:
+    return plan is not None and _CONTEXT["attempt"] < plan.max_fires
+
+
+def partition_active() -> bool:
+    """Is this process currently inside an injected network partition?"""
+    return time.monotonic() < _PARTITION_UNTIL
+
+
+def heal_partition() -> None:
+    """End any injected partition now.
+
+    A real worker process dies with its partition, but in-process
+    :class:`~repro.parallel.transport.WorkerServer` threads (tests, the
+    chaos drill) share this module's state across drills — each one must
+    heal the network before the next begins.
+    """
+    global _PARTITION_UNTIL
+    _PARTITION_UNTIL = 0.0
+
+
+def maybe_start_partition(frame_kind: str) -> None:
+    """Worker-side hook: begin a partition if the plan targets this frame.
+
+    Matched like every other knob — ``"<frame kind>@<config substring>"``
+    against the job this process is running.  Once fired, *all* outbound
+    frames (heartbeats and results alike) are dropped for
+    ``partition_seconds``; the coordinator sees the same silence a real
+    partition produces and must recover via the lease protocol.
+    """
+    global _PARTITION_UNTIL
+    plan = _PLAN
+    if not _worker_fault_armed(plan) or partition_active():
+        return
+    if _spec_matches(plan.partition, frame_kind, _CONTEXT["config"]):
+        _PARTITION_UNTIL = time.monotonic() + plan.partition_seconds
+
+
+def should_drop_frame(frame_kind: str) -> bool:
+    """Worker-side hook: discard this outbound frame?  Covers both the
+    one-shot ``drop_frame`` knob and an active injected partition."""
+    maybe_start_partition(frame_kind)
+    if partition_active():
+        return True
+    plan = _PLAN
+    return _worker_fault_armed(plan) and _spec_matches(
+        plan.drop_frame, frame_kind, _CONTEXT["config"]
+    )
+
+
+def frame_delay(frame_kind: str) -> float:
+    """Worker-side hook: seconds to sleep before sending this frame."""
+    plan = _PLAN
+    if _worker_fault_armed(plan) and _spec_matches(
+        plan.delay_frame, frame_kind, _CONTEXT["config"]
+    ):
+        return plan.delay_frame_seconds
+    return 0.0
+
+
+def should_duplicate_result() -> bool:
+    """Worker-side hook: send the result frame twice (lost-ACK retransmit)?"""
+    plan = _PLAN
+    return _worker_fault_armed(plan) and _spec_matches(
+        plan.duplicate_result, "result", _CONTEXT["config"]
+    )
+
+
+def stale_lease_delay() -> float:
+    """Worker-side hook: seconds to silently sit on the finished result
+    (heartbeats suppressed) so it arrives after the lease expired."""
+    plan = _PLAN
+    if _worker_fault_armed(plan) and _spec_matches(
+        plan.stale_lease, "result", _CONTEXT["config"]
+    ):
+        return plan.stale_lease_seconds
+    return 0.0

@@ -14,20 +14,34 @@ from .precompute import (
     precompute_portfolio,
 )
 from .scheduler import CancelToken, CostModel, order_portfolio
+from .storeio import StoreClaim, atomic_write_json, sweep_partials
+from .transport import (
+    LocalProcessTransport,
+    TcpTransport,
+    WorkerServer,
+    run_worker_server,
+)
 
 __all__ = [
     "CancelToken",
     "CostModel",
+    "LocalProcessTransport",
     "ParallelOutcome",
     "PortfolioJournal",
     "PortfolioPrecompute",
     "PrecomputeSpec",
     "SharedRankArray",
+    "StoreClaim",
     "SynthesisCache",
+    "TcpTransport",
+    "WorkerServer",
+    "atomic_write_json",
     "config_key",
     "merge_worker_traces",
     "order_portfolio",
     "precompute_portfolio",
     "protocol_fingerprint",
+    "run_worker_server",
+    "sweep_partials",
     "synthesize_parallel",
 ]

@@ -18,6 +18,15 @@ delete).  A hit reconstructs the :class:`~repro.parallel.ParallelOutcome`
 without spawning a single worker, so a warm re-run returns in near-constant
 time.  Cancelled/timed-out/crashed runs are never cached.
 
+The directory doubles as the cluster's **shared content-addressed store**:
+several coordinator hosts may read and write it concurrently (over NFS or
+a shared volume), so every write goes through
+:func:`repro.parallel.storeio.atomic_write_json` (writer-unique temp name,
+fsync, atomic rename), redundant writes are de-duplicated with ``O_EXCL``
+claim files (:class:`~repro.parallel.storeio.StoreClaim` — stale claims
+from dead hosts are broken, never honoured forever), and startup sweeps
+quarantine ``*.tmp.*`` partials left by writers that died mid-write.
+
 A torn or truncated entry (power loss mid-write, disk corruption, or an
 injected :mod:`repro.faults.runtime` fault) is **quarantined**: renamed to
 ``<key>.json.corrupt`` and treated as a miss, so the evidence survives for
@@ -34,6 +43,7 @@ from dataclasses import asdict
 
 from ..protocol.predicate import Predicate
 from ..protocol.protocol import Protocol
+from .storeio import StoreClaim, atomic_write_json, sweep_partials
 
 #: bump when the stored schema changes; stale entries are ignored
 CACHE_SCHEMA = 1
@@ -78,6 +88,13 @@ class SynthesisCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.claims = StoreClaim(self.cache_dir)
+        # startup hygiene for the shared store: writers that died mid-write
+        # leave temp partials and claim files behind; both are leases, not
+        # permanent state, and must never wedge the next sweep
+        self.claim_conflicts = 0
+        self.partials_swept = sweep_partials(self.cache_dir)
+        self.stale_claims_released = self.claims.sweep_stale()
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -173,11 +190,19 @@ class SynthesisCache:
             record["certificate"] = tamper_certificate_payload(
                 record["certificate"]
             )
-        path = self._path(config_key(fingerprint, outcome.config))
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(record, handle)
-        os.replace(tmp, path)  # atomic: concurrent sweeps never read half a file
+        key = config_key(fingerprint, outcome.config)
+        path = self._path(key)
+        # the O_EXCL claim keeps concurrent multi-host writers off the same
+        # key: the loser skips a byte-identical redundant write (the store is
+        # content-addressed, either copy is correct), and a claim from a
+        # writer that died mid-compute goes stale and is broken, not honoured
+        if not self.claims.acquire(key):
+            self.claim_conflicts += 1
+            return None
+        try:
+            atomic_write_json(path, record)
+        finally:
+            self.claims.release(key)
 
         if should_corrupt_cache(outcome.config.describe()):
             # fault drill: leave a torn half-written entry on disk

@@ -14,12 +14,21 @@ rather than failing the resume.  Keys are the same
 :func:`~repro.parallel.cache.config_key` content hashes the memo cache
 uses, so a journal never resurrects outcomes for a different protocol or
 option set.
+
+When the cache directory is a cluster-shared store, the journal stays
+safe under concurrent writers too: every line is one ``os.write`` to an
+``O_APPEND`` descriptor (POSIX appends of a single ``write`` never
+interleave), each line carries the ``owner`` tag of the coordinator that
+wrote it, and on load the *last* record per key wins — the same
+last-writer-wins discipline the content-addressed cache uses.
 """
 
 from __future__ import annotations
 
 import json
 import os
+
+from .storeio import writer_tag
 
 #: bump when the journaled record schema changes; old lines are ignored
 JOURNAL_SCHEMA = 1
@@ -43,12 +52,21 @@ class PortfolioJournal:
             pass
 
     def append(self, key: str, record: dict) -> None:
-        """Durably append one settled outcome (single write + flush + fsync)."""
-        line = json.dumps({"schema": JOURNAL_SCHEMA, "key": key, **record})
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Durably append one settled outcome.
+
+        One ``os.write`` of the whole line to an ``O_APPEND`` descriptor,
+        then fsync: atomic against concurrent appenders on the shared
+        store, durable against a kill the instant the call returns.
+        """
+        line = json.dumps(
+            {"schema": JOURNAL_SCHEMA, "key": key, "owner": writer_tag(), **record}
+        )
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> dict[str, dict]:
         """Keyed records of every settled config; malformed lines (a kill can

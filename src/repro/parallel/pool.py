@@ -7,11 +7,22 @@ cancelled.  One machine per schedule only pays off at scale if a single
 lost machine cannot take down the whole race, so the runtime is built for
 survivability (see ``docs/ARCHITECTURE.md``, "Fault tolerance"):
 
-* **supervised dispatch** — jobs travel to dedicated worker processes over
-  pipes (no shared ``Pool`` plumbing), so a worker killed by the OOM killer
-  or a segfault costs exactly its own config: the parent sees the pipe go
-  EOF, requeues the config with capped exponential backoff, spawns a
-  replacement worker and keeps the race going;
+* **supervised dispatch** — jobs travel to dedicated workers behind a
+  pluggable :mod:`repro.parallel.transport` (local ``Process``+``Pipe``
+  slots by default; remote ``stsyn worker`` endpoints over TCP with
+  ``worker_endpoints=...``), so a worker killed by the OOM killer or a
+  segfault costs exactly its own config: the parent sees the channel die,
+  requeues the config with capped exponential backoff, replaces the worker
+  and keeps the race going;
+* **leases** — a remote worker cannot signal death by pipe EOF (a network
+  partition delivers silence), so every dispatched config carries a lease:
+  the worker heartbeats while computing, missed heartbeats past
+  ``lease_timeout`` expire the lease and re-dispatch the config (same
+  capped backoff), and a *late* result from the expired lease is accepted
+  only if its convergence certificate independently re-checks
+  (``transport.duplicate_results`` / ``transport.duplicates_accepted``);
+  when remote capacity is lost the race degrades to local slots
+  (``transport.degraded_to_local``) rather than stalling;
 * **watchdog** — a per-config *hard* deadline (distinct from the
   cooperative ``soft_deadline`` that workers poll themselves): a worker
   wedged past it is terminated and replaced, its config requeued.  The
@@ -43,6 +54,7 @@ worker attempt streams its own JSONL trace and the parent writes
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing as mp
 import os
 import time
@@ -52,7 +64,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Callable, Sequence
 
-from ..core.exceptions import PortfolioError
+from ..core.exceptions import PortfolioError, TransportError
 from ..core.heuristic import HeuristicOptions
 from ..core.synthesizer import SynthesisConfig, default_portfolio
 from ..faults import runtime as fault_runtime
@@ -68,6 +80,14 @@ from .precompute import (
     precompute_portfolio,
 )
 from .scheduler import CancelToken, CostModel, order_portfolio
+from .transport import (
+    LocalProcessTransport,
+    Message,
+    TcpTransport,
+    WorkerChannel,
+    builder_ref,
+    outcome_from_payload,
+)
 
 #: builder: () -> (protocol, invariant); must be a picklable top-level callable
 Builder = Callable[[], tuple]
@@ -271,11 +291,13 @@ class _WorkerError:
 def _worker_loop(
     conn, event, soft_deadline, builder, builder_args, spec, fault_plan
 ) -> None:
-    """Entry point of one supervised worker process.
+    """Entry point of one supervised local worker process.
 
-    Receives job tuples over its pipe, runs them, sends outcomes back; a
-    ``None`` job is the shutdown sentinel.  Exceptions travel back wrapped
-    in :class:`_WorkerError` so the parent can re-raise them.
+    Receives job dicts over its pipe (the transport layer's job shape:
+    ``lease_id``/``config``/``index``/``attempt``/``trace_path``), runs
+    them and sends ``(lease_id, outcome)`` back; a ``None`` job is the
+    shutdown sentinel.  Exceptions travel back wrapped in
+    :class:`_WorkerError` so the parent can re-raise them.
     """
     _init_worker(event, soft_deadline, builder, builder_args, spec, fault_plan)
     while True:
@@ -286,11 +308,13 @@ def _worker_loop(
         if job is None:
             return
         try:
-            message = _worker(job)
+            message = _worker(
+                (job["config"], job["index"], job["trace_path"], job["attempt"])
+            )
         except Exception as exc:
             message = _WorkerError(exc)
         try:
-            conn.send(message)
+            conn.send((job["lease_id"], message))
         except (BrokenPipeError, OSError):
             return
 
@@ -386,15 +410,17 @@ class _Job:
 
 
 class _Slot:
-    """One supervised worker: its process, pipe and current assignment."""
+    """One supervised worker slot: its channel, lease and current assignment."""
 
-    __slots__ = ("proc", "conn", "job", "started")
+    __slots__ = ("channel", "job", "started", "last_beat", "lease_id")
 
-    def __init__(self, proc, conn):
-        self.proc = proc
-        self.conn = conn
+    def __init__(self, channel: WorkerChannel):
+        self.channel: WorkerChannel | None = channel
         self.job: _Job | None = None
         self.started = 0.0
+        #: last proof of life for the current lease (heartbeat or dispatch)
+        self.last_beat = 0.0
+        self.lease_id: str | None = None
 
 
 def _retry_delay(
@@ -411,19 +437,30 @@ def _retry_delay(
 class _Supervisor:
     """Supervised dispatch loop replacing the bare ``Pool.imap_unordered``.
 
-    Each job goes to a dedicated worker over a pipe; a dead worker is
-    detected by pipe EOF / liveness checks, its config is requeued with
-    backoff (up to ``max_retries``) and a replacement worker is spawned.  A
-    worker running one config past the hard deadline is terminated by the
-    watchdog and handled the same way.  When a winner verifies, losers get
-    ``cancel_grace`` seconds to exit cooperatively (keeping their traces)
-    before shutdown terminates whatever is left.
+    Each job goes to a dedicated worker channel obtained from a transport;
+    a dead channel (pipe EOF, dead process, socket error) requeues its
+    config with backoff (up to ``max_retries``) and the transport supplies
+    a replacement.  A worker running one config past the hard deadline is
+    killed by the watchdog and handled the same way.
+
+    Channels that heartbeat (remote TCP workers) additionally run the
+    **lease protocol**: a busy slot whose last heartbeat is older than
+    ``lease_timeout`` has its lease expired — the config is re-dispatched
+    with the same backoff, while the silent channel moves to the
+    ``suspects`` list and keeps being pumped.  A late result from an
+    expired lease (or a retransmitted duplicate frame) is counted as
+    ``transport.duplicate_results`` and accepted only when it claims
+    success *and* ``verify_duplicate`` independently re-establishes trust
+    (certificate check); everything else is discarded.
+
+    When a winner verifies, losers get ``cancel_grace`` seconds to exit
+    cooperatively (keeping their traces) before shutdown terminates
+    whatever is left.
     """
 
     def __init__(
         self,
-        ctx,
-        worker_args: tuple,
+        transport,
         n_workers: int,
         jobs: Sequence[_Job],
         *,
@@ -436,9 +473,10 @@ class _Supervisor:
         retry_backoff_cap: float,
         cancel_grace: float,
         on_result: Callable[[ParallelOutcome], None],
+        lease_timeout: float = 10.0,
+        verify_duplicate: Callable[[ParallelOutcome], bool] | None = None,
     ):
-        self.ctx = ctx
-        self.worker_args = worker_args
+        self.transport = transport
         self.n_workers = n_workers
         self.pending: deque[_Job] = deque(jobs)
         self.event = event
@@ -450,16 +488,30 @@ class _Supervisor:
         self.retry_backoff_cap = retry_backoff_cap
         self.cancel_grace = cancel_grace
         self.on_result = on_result
+        self.lease_timeout = lease_timeout
+        self.verify_duplicate = verify_duplicate
         self.slots: list[_Slot] = []
+        #: every lease ever granted (lease id -> job) — kept after settling
+        #: so late duplicate results can still be matched to their config
+        self.leases: dict[str, _Job] = {}
+        #: settled outcome per job index (result recorded or crashed out)
+        self.settled: dict[int, ParallelOutcome] = {}
+        #: expired-lease channels, still pumped for their late result
+        self.suspects: list[WorkerChannel] = []
         self.completed: list[ParallelOutcome] = []
         self.winner: ParallelOutcome | None = None
         self.error: BaseException | None = None
         self.grace_deadline = 0.0
+        self.suspect_deadline: float | None = None
+        self._lease_seq = 0
 
     # -- lifecycle -----------------------------------------------------
     def run(self) -> tuple[ParallelOutcome | None, list[ParallelOutcome]]:
         self.slots = [
-            self._spawn() for _ in range(min(self.n_workers, len(self.pending)))
+            _Slot(channel)
+            for channel in self.transport.open(
+                min(self.n_workers, len(self.pending))
+            )
         ]
         try:
             while not self._done():
@@ -478,24 +530,24 @@ class _Supervisor:
         busy = any(s.job is not None for s in self.slots)
         if self.winner is not None:
             return not busy or time.monotonic() >= self.grace_deadline
-        return not busy and not self.pending
+        if busy or self.pending:
+            self.suspect_deadline = None
+            return False
+        if self.suspects:
+            # everything settled without a winner, but an expired-lease
+            # worker may still deliver a verifiable late result: linger
+            # one more lease period before giving up on the suspects
+            now = time.monotonic()
+            if self.suspect_deadline is None:
+                self.suspect_deadline = now + max(
+                    self.lease_timeout, 2 * POLL_INTERVAL
+                )
+            return now >= self.suspect_deadline
+        return True
 
     @property
     def _racing(self) -> bool:
         return self.winner is None and self.error is None
-
-    def _spawn(self) -> _Slot:
-        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
-        proc = self.ctx.Process(
-            target=_worker_loop,
-            args=(child_conn, *self.worker_args),
-            daemon=True,
-        )
-        proc.start()
-        # the parent must not hold the child's pipe end open, or a dead
-        # worker would never surface as EOF
-        child_conn.close()
-        return _Slot(proc, parent_conn)
 
     # -- dispatch ------------------------------------------------------
     def _pop_eligible(self, now: float) -> _Job | None:
@@ -510,47 +562,152 @@ class _Supervisor:
             return
         now = time.monotonic()
         for slot in self.slots:
-            if slot.proc is None or slot.job is not None:
+            if slot.channel is None or slot.job is not None:
                 continue
             job = self._pop_eligible(now)
             if job is None:
                 return
+            self._lease_seq += 1
+            lease_id = f"lease-{self._lease_seq}"
             slot.job = job
+            slot.lease_id = lease_id
             slot.started = now
-            payload = (
-                job.config,
-                job.index,
-                self.trace_path_for(job.index, job.attempt),
-                job.attempt,
-            )
+            slot.last_beat = now
+            self.leases[lease_id] = job
+            remote = slot.channel.remote
+            payload = {
+                "lease_id": lease_id,
+                "config": job.config,
+                "index": job.index,
+                "attempt": job.attempt,
+                # a remote worker cannot write into this host's trace dir
+                "trace_path": (
+                    None if remote
+                    else self.trace_path_for(job.index, job.attempt)
+                ),
+            }
             try:
-                slot.conn.send(payload)
-            except (BrokenPipeError, OSError):
+                slot.channel.send_job(payload)
+            except TransportError:
                 self._fail(slot, kind="crash")
+                continue
+            if remote:
+                self.tracer.count("transport.remote_dispatches")
 
     # -- results -------------------------------------------------------
     def _collect(self) -> None:
-        by_conn = {
-            s.conn: s
+        slot_map = {
+            s.channel.wait_handle(): s
             for s in self.slots
-            if s.proc is not None and s.job is not None
+            if s.channel is not None and s.job is not None
         }
-        if not by_conn:
+        suspect_map = {c.wait_handle(): c for c in self.suspects}
+        handles = list(slot_map) + list(suspect_map)
+        if not handles:
             # only backoff-delayed retries (or nothing) remain runnable
             time.sleep(POLL_INTERVAL)
             return
-        for conn in mp_connection.wait(list(by_conn), timeout=POLL_INTERVAL):
-            slot = by_conn[conn]
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
+        for handle in mp_connection.wait(handles, timeout=POLL_INTERVAL):
+            slot = slot_map.get(handle)
+            if slot is not None:
+                try:
+                    messages = slot.channel.pump()
+                except TransportError:
+                    self._fail(slot, kind="crash")
+                    continue
+                for message in messages:
+                    self._on_message(slot, message)
+                    if self.error is not None:
+                        return
+            else:
+                channel = suspect_map[handle]
+                try:
+                    messages = channel.pump()
+                except TransportError:
+                    self._drop_suspect(channel)
+                    continue
+                for message in messages:
+                    self._on_stale(message)
+
+    def _decode(self, message: Message, job: _Job) -> ParallelOutcome:
+        if message.outcome is not None:
+            return message.outcome
+        return outcome_from_payload(job.config, message.payload or {})
+
+    def _on_message(self, slot: _Slot, message: Message) -> None:
+        if message.kind == "heartbeat":
+            if message.lease_id == slot.lease_id:
+                slot.last_beat = time.monotonic()
+            return
+        if message.lease_id != slot.lease_id:
+            # a frame for a lease this slot no longer holds — e.g. the
+            # second copy of a retransmitted result
+            self._on_stale(message)
+            return
+        job = slot.job
+        slot.job = None
+        slot.lease_id = None
+        if message.kind == "error":
+            exc = message.error
+            if isinstance(exc, TransportError):
+                # infrastructure refusal (busy/confused worker), not an
+                # answer: treat like a crash so the config is retried
+                slot.job = job
                 self._fail(slot, kind="crash")
-                continue
-            slot.job = None
-            if isinstance(message, _WorkerError):
-                self.error = message.exception
                 return
-            self._record(message)
+            self.error = exc
+            return
+        if job.index in self.settled:
+            # the config already settled via a duplicate/re-dispatch race
+            self.tracer.count("transport.duplicate_results")
+            return
+        outcome = self._decode(message, job)
+        self.settled[job.index] = outcome
+        self._record(outcome)
+
+    def _on_stale(self, message: Message) -> None:
+        """Adjudicate a result that arrived after its lease expired (or a
+        retransmitted duplicate): count it, and accept a claimed success
+        only after independent re-verification."""
+        if message.kind != "result":
+            return  # heartbeats of an expired lease: too late
+        job = self.leases.get(message.lease_id)
+        if job is None:
+            return
+        self.tracer.count("transport.duplicate_results")
+        self.tracer.event(
+            "transport.duplicate_result",
+            config=job.config.describe(),
+            lease=message.lease_id,
+        )
+        prior = self.settled.get(job.index)
+        if prior is not None and not (prior.crashed or prior.cancelled):
+            return  # the config already has a real answer: pure duplicate
+        if self.winner is not None and prior is not None:
+            return  # race already decided and this config settled: ignore
+        outcome = self._decode(message, job)
+        if (
+            outcome.success
+            and self.verify_duplicate is not None
+            and self.verify_duplicate(outcome)
+        ):
+            # the late worker's answer re-verified independently: accept
+            # it, upgrading a crashed-out settle from the expired lease
+            self.tracer.count("transport.duplicates_accepted")
+            if prior is not None and prior in self.completed:
+                self.completed.remove(prior)
+            self.settled[job.index] = outcome
+            # the re-dispatched copy (if still queued) is now redundant
+            self.pending = deque(
+                j for j in self.pending if j.index != job.index
+            )
+            self._record(outcome)
+        else:
+            self.tracer.event(
+                "transport.duplicate_discarded",
+                config=job.config.describe(),
+                success=outcome.success,
+            )
 
     def _record(self, outcome: ParallelOutcome) -> None:
         if outcome.cancelled and outcome.cancel_reason == "cancelled":
@@ -561,18 +718,32 @@ class _Supervisor:
         if outcome.success and self.winner is None:
             self.winner = outcome
             self.event.set()
+            # local losers see the shared event; remote losers need the
+            # cancel told to them over the wire
+            for slot in self.slots:
+                if (
+                    slot.channel is not None
+                    and slot.channel.remote
+                    and slot.job is not None
+                ):
+                    slot.channel.send_cancel()
             # grace window: losers exit cooperatively at their next
             # pass/rank boundary and keep their traces
             self.grace_deadline = time.monotonic() + self.cancel_grace
 
-    # -- crash isolation + watchdog ------------------------------------
+    # -- crash isolation, watchdog + lease expiry ----------------------
     def _check_liveness(self) -> None:
         now = time.monotonic()
         for slot in self.slots:
-            if slot.proc is None or slot.job is None:
+            if slot.channel is None or slot.job is None:
                 continue
-            if not slot.proc.is_alive():
+            if not slot.channel.alive():
                 self._fail(slot, kind="crash")
+            elif (
+                slot.channel.supports_heartbeat
+                and now - slot.last_beat > self.lease_timeout
+            ):
+                self._fail(slot, kind="lease")
             elif self._racing and self.hard_deadline is not None:
                 limit = (
                     self.hard_deadline + slot.job.config.options.stall_seconds
@@ -582,33 +753,40 @@ class _Supervisor:
 
     def _fail(self, slot: _Slot, *, kind: str) -> None:
         job, started = slot.job, slot.started
-        proc = slot.proc
+        channel = slot.channel
         slot.job = None
-        slot.proc = None
-        if kind == "watchdog":
+        slot.lease_id = None
+        slot.channel = None
+        if kind == "lease":
+            self.tracer.count("transport.lease_expiries")
+            self.tracer.event(
+                "transport.lease_expired",
+                config=job.config.describe(),
+                attempt=job.attempt,
+                worker=channel.worker_id,
+            )
+            # the worker may only be partitioned away, still computing:
+            # keep pumping its socket so a late result can be adjudicated
+            self.suspects.append(channel)
+        elif kind == "watchdog":
             self.tracer.count("portfolio.watchdog_kills")
             self.tracer.event(
                 "portfolio.watchdog_kill",
                 config=job.config.describe(),
                 attempt=job.attempt,
             )
-            proc.terminate()
+            channel.kill()
+            channel.close()
         else:
             self.tracer.count("portfolio.worker_crashes")
             self.tracer.event(
                 "portfolio.worker_crash",
                 config=job.config.describe(),
                 attempt=job.attempt,
-                exitcode=proc.exitcode,
+                exitcode=channel.exitcode(),
             )
-        proc.join(timeout=5.0)
-        if proc.is_alive():
-            proc.kill()
-            proc.join(timeout=5.0)
-        try:
-            slot.conn.close()
-        except OSError:
-            pass
+            channel.kill()
+            channel.close()
         if self._racing and job.attempt < self.max_retries:
             delay = _retry_delay(
                 job.attempt, job.index, self.retry_backoff,
@@ -629,45 +807,40 @@ class _Supervisor:
                 attempt=job.attempt + 1,
                 delay=round(delay, 3),
             )
-        else:
-            self._record(
-                ParallelOutcome(
-                    config=job.config,
-                    success=False,
-                    pss_groups=None,
-                    remaining_deadlocks=-1,
-                    timers={},
-                    crashed=True,
-                    retries=job.attempt,
-                    duration=time.monotonic() - started,
-                )
+        elif job.index not in self.settled:
+            crashed_out = ParallelOutcome(
+                config=job.config,
+                success=False,
+                pss_groups=None,
+                remaining_deadlocks=-1,
+                timers={},
+                crashed=True,
+                retries=job.attempt,
+                duration=time.monotonic() - started,
             )
+            self.settled[job.index] = crashed_out
+            self._record(crashed_out)
         if self._racing and self.pending:
-            self.slots[self.slots.index(slot)] = self._spawn()
+            slot.channel = self.transport.replace(channel, reason=kind)
 
     # -- teardown ------------------------------------------------------
+    def _drop_suspect(self, channel: WorkerChannel) -> None:
+        try:
+            channel.close()
+        finally:
+            if channel in self.suspects:
+                self.suspects.remove(channel)
+
     def _shutdown(self) -> None:
         for slot in self.slots:
-            if slot.proc is not None and slot.job is None:
-                try:
-                    slot.conn.send(None)  # shutdown sentinel
-                except (BrokenPipeError, OSError):
-                    pass
-        deadline = time.monotonic() + 1.0
+            if slot.channel is not None and slot.job is None:
+                slot.channel.send_shutdown()
         for slot in self.slots:
-            if slot.proc is None:
-                continue
-            slot.proc.join(timeout=max(0.05, deadline - time.monotonic()))
-            if slot.proc.is_alive():
-                slot.proc.terminate()
-                slot.proc.join(timeout=2.0)
-            if slot.proc.is_alive():
-                slot.proc.kill()
-                slot.proc.join(timeout=2.0)
-            try:
-                slot.conn.close()
-            except OSError:
-                pass
+            if slot.channel is not None:
+                slot.channel.close()
+        for channel in list(self.suspects):
+            self._drop_suspect(channel)
+        self.transport.close()
 
 
 # ----------------------------------------------------------------------
@@ -740,6 +913,8 @@ def synthesize_parallel(
     start_method: str | None = None,
     cancel_grace: float = 2.0,
     paranoid: bool = False,
+    worker_endpoints: Sequence[str] | None = None,
+    lease_timeout: float = 10.0,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
     """Race the portfolio across supervised worker processes.
 
@@ -779,6 +954,16 @@ def synthesize_parallel(
     writes ``worker_<index>[_r<attempt>].jsonl``, the parent writes
     ``portfolio.jsonl``, and everything surviving merges into
     ``merged.jsonl`` (stale traces from earlier runs are removed first).
+
+    Distributed mode: ``worker_endpoints=["host:port", ...]`` races the
+    portfolio across remote ``stsyn worker`` servers over TCP instead of
+    local processes (the builder must be an importable module-level
+    callable with JSON-serialisable args — remote workers re-import it).
+    Remote failure detection is lease-based: a worker silent for
+    ``lease_timeout`` seconds has its config re-dispatched with the same
+    capped backoff; a late duplicate result is accepted only after its
+    certificate re-checks.  Unreachable/lost endpoints degrade to local
+    worker processes, so the race completes even with every remote gone.
     """
     # local imports: repro.cert reaches back into repro.parallel.cache for
     # the protocol fingerprint, so importing it at module top would cycle
@@ -956,7 +1141,10 @@ def synthesize_parallel(
                 _set_fork_precompute(precompute)
                 stack.callback(_set_fork_precompute, None)
 
-            n_workers = n_workers or min(len(pending), mp.cpu_count())
+            if worker_endpoints:
+                n_workers = n_workers or len(worker_endpoints)
+            else:
+                n_workers = n_workers or min(len(pending), mp.cpu_count())
             tracer.event(
                 "portfolio.schedule",
                 n_configs=len(pending),
@@ -967,6 +1155,8 @@ def synthesize_parallel(
                 max_retries=max_retries,
                 resume=resume,
                 fault_plan=fault_plan is not None,
+                transport="tcp" if worker_endpoints else "local",
+                endpoints=list(worker_endpoints) if worker_endpoints else None,
                 order=[c.describe() for c in pending],
             )
 
@@ -992,9 +1182,32 @@ def synthesize_parallel(
                     )
 
             event = ctx.Event()
-            supervisor = _Supervisor(
+            local_transport = LocalProcessTransport(
                 ctx,
                 (event, soft_deadline, builder, builder_args, spec, fault_plan),
+                _worker_loop,
+            )
+            if worker_endpoints:
+                template = {
+                    "builder": builder_ref(builder, builder_args),
+                    "soft_deadline": soft_deadline,
+                    "heartbeat_interval": max(0.05, min(1.0, lease_timeout / 4)),
+                    "fault_plan": (
+                        dataclasses.asdict(fault_plan)
+                        if fault_plan is not None
+                        else None
+                    ),
+                }
+                transport = TcpTransport(
+                    list(worker_endpoints),
+                    template,
+                    tracer=tracer,
+                    local_fallback=local_transport,
+                )
+            else:
+                transport = local_transport
+            supervisor = _Supervisor(
+                transport,
                 n_workers,
                 [_Job(config, index) for index, config in enumerate(pending)],
                 event=event,
@@ -1006,6 +1219,8 @@ def synthesize_parallel(
                 retry_backoff_cap=retry_backoff_cap,
                 cancel_grace=cancel_grace,
                 on_result=on_result,
+                lease_timeout=lease_timeout,
+                verify_duplicate=verified,
             )
             winner, raced = supervisor.run()
             completed.extend(raced)
@@ -1017,6 +1232,15 @@ def synthesize_parallel(
             return winner, completed
         return _pick_best(completed), completed
     finally:
+        if cache is not None:
+            # shared-store hygiene counters, surfaced next to transport.*
+            for name, value in (
+                ("transport.store_partials_swept", cache.partials_swept),
+                ("transport.stale_claims_released", cache.stale_claims_released),
+                ("transport.claim_conflicts", cache.claim_conflicts),
+            ):
+                if value:
+                    tracer.counter_set(name, value)
         tracer.close()
         if trace_dir is not None:
             merge_worker_traces(trace_dir)

@@ -26,6 +26,8 @@ import os
 import time
 from typing import Sequence
 
+from .storeio import atomic_write_json
+
 
 class CancelToken:
     """Duck-typed cancellation token for ``add_strong_convergence(cancel=...)``.
@@ -107,17 +109,18 @@ class CostModel:
         """Merge into the on-disk file instead of last-writer-wins: two
         concurrent sweeps (or a sweep racing a resume) each keep their own
         observations, with this model's values winning per (fingerprint,
-        config) key."""
+        config) key.  The write itself goes through
+        :func:`~repro.parallel.storeio.atomic_write_json` — writer-unique
+        temp name plus atomic rename — so concurrent multi-host sweeps
+        sharing one store can never interleave bytes in a common temp file
+        or expose a half-written ``costs.json``."""
         if self.path is None:
             return
         merged = CostModel(self.path)._data  # reload what others wrote
         for fingerprint, entry in self._data.items():
             merged.setdefault(fingerprint, {}).update(entry)
         self._data = merged
-        tmp = self.path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(merged, handle, indent=0, sort_keys=True)
-        os.replace(tmp, self.path)
+        atomic_write_json(self.path, merged)
 
 
 def order_portfolio(

@@ -1,0 +1,184 @@
+"""Multi-writer-safe primitives for the shared on-disk store.
+
+The synthesis cache and the cost model used to assume one writer per
+directory; a cluster race points several coordinator hosts (and their
+sweeps) at the *same* content-addressed store, so every write path here is
+built for concurrency on a plain POSIX filesystem — no daemon, no locks
+held across processes, no fsync-then-pray:
+
+``atomic_write_json``
+    write-temp-then-``os.replace``.  The temp name embeds host, pid and a
+    random suffix, so two writers racing the same key never interleave
+    bytes in one temp file; whoever replaces last wins with a *complete*
+    document either way.
+
+``sweep_partials``
+    a writer killed between temp-write and rename leaves ``*.tmp.*``
+    litter.  On store startup, partials older than ``max_age`` are
+    quarantined to ``*.corrupt`` (evidence preserved, store kept clean);
+    young ones are left alone — they may belong to a live writer on
+    another host.
+
+``StoreClaim``
+    an ``O_CREAT | O_EXCL`` claim file is the portable "I am computing
+    this key" mutex.  Claims are *leases*, not locks: a claim older than
+    ``ttl`` belongs to a dead writer and is broken by the next claimant,
+    so a crashed host can never wedge the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+#: partials younger than this may belong to a live writer and are spared
+PARTIAL_MAX_AGE = 60.0
+
+#: a claim untouched for this long belongs to a dead writer and is broken
+CLAIM_TTL = 600.0
+
+
+def writer_tag() -> str:
+    """Host- and process-unique tag embedded in temp names and claims."""
+    return f"{socket.gethostname()}.{os.getpid()}"
+
+
+def atomic_write_json(path: str | os.PathLike, obj) -> None:
+    """Serialise ``obj`` to ``path`` atomically and concurrently safely.
+
+    The temp file lives in the target directory (same filesystem, so the
+    rename is atomic) under a writer-unique name; it is flushed and fsynced
+    before the rename so a torn final document cannot survive a crash.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{writer_tag()}.{os.urandom(4).hex()}"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(obj, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def sweep_partials(
+    directory: str | os.PathLike, max_age: float = PARTIAL_MAX_AGE
+) -> int:
+    """Quarantine stale ``*.tmp.*`` partials under ``directory``.
+
+    Returns how many were moved to ``*.corrupt``.  Files younger than
+    ``max_age`` seconds are skipped — they may be a live concurrent
+    writer's in-flight temp.
+    """
+    directory = os.fspath(directory)
+    now = time.time()
+    swept = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if ".tmp." not in name or name.endswith(".corrupt"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if now - os.path.getmtime(path) < max_age:
+                continue
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            continue
+        swept += 1
+    return swept
+
+
+class StoreClaim:
+    """``O_EXCL`` claim files: advisory per-key write leases for the store.
+
+    ``acquire(key)`` atomically creates ``<key>.claim`` recording who holds
+    it and when; a second claimant is refused until ``release`` — unless
+    the claim has gone stale (holder died), in which case it is broken and
+    re-acquired.  Claims only guard *redundant work and write races*; the
+    store stays correct without them because every payload write is atomic.
+    """
+
+    SUFFIX = ".claim"
+
+    def __init__(self, directory: str | os.PathLike, ttl: float = CLAIM_TTL):
+        self.directory = os.fspath(directory)
+        self.ttl = ttl
+        self.broken_stale = 0
+        self._held: set[str] = set()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + self.SUFFIX)
+
+    def acquire(self, key: str) -> bool:
+        """True when this process now holds the claim for ``key``."""
+        path = self._path(key)
+        payload = json.dumps(
+            {"owner": writer_tag(), "time": time.time()}
+        ).encode()
+        for _ in range(2):  # second round only after breaking a stale claim
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                if not self._break_if_stale(path):
+                    return False
+                continue
+            except OSError:
+                return False
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+            self._held.add(key)
+            return True
+        return False
+
+    def _break_if_stale(self, path: str) -> bool:
+        """Remove a claim whose holder stopped refreshing it; True if broken."""
+        try:
+            age = time.time() - os.path.getmtime(path)
+        except OSError:
+            return True  # vanished: the holder released it, retry acquire
+        if age < self.ttl:
+            return False
+        try:
+            os.remove(path)
+        except OSError:
+            return False
+        self.broken_stale += 1
+        return True
+
+    def release(self, key: str) -> None:
+        self._held.discard(key)
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            pass
+
+    def release_all(self) -> None:
+        for key in list(self._held):
+            self.release(key)
+
+    def sweep_stale(self) -> int:
+        """Release every stale claim in the directory (startup hygiene);
+        returns how many were broken."""
+        broken = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(self.SUFFIX):
+                continue
+            if self._break_if_stale(os.path.join(self.directory, name)):
+                broken += 1
+        return broken

@@ -191,6 +191,50 @@ def render_report(summary: TraceSummary) -> str:
         )
         tables.append(portfolio)
 
+    transport_counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("transport.")
+    }
+    if transport_counters:
+        transport = ResultTable(
+            "Transport",
+            ["counter", "value"],
+            note="distributed race: leases, duplicates, shared-store hygiene",
+        )
+        transport.add(
+            "remote dispatches",
+            transport_counters.get("transport.remote_dispatches", 0),
+        )
+        transport.add(
+            "reconnects", transport_counters.get("transport.reconnects", 0)
+        )
+        transport.add(
+            "lease expiries",
+            transport_counters.get("transport.lease_expiries", 0),
+        )
+        duplicates = transport_counters.get("transport.duplicate_results", 0)
+        accepted = transport_counters.get("transport.duplicates_accepted", 0)
+        transport.add("duplicate results", duplicates)
+        transport.add("duplicates accepted (cert re-check)", accepted)
+        transport.add(
+            "degraded to local slots",
+            transport_counters.get("transport.degraded_to_local", 0),
+        )
+        transport.add(
+            "store partials quarantined",
+            transport_counters.get("transport.store_partials_swept", 0),
+        )
+        transport.add(
+            "stale store claims released",
+            transport_counters.get("transport.stale_claims_released", 0),
+        )
+        transport.add(
+            "store claim conflicts",
+            transport_counters.get("transport.claim_conflicts", 0),
+        )
+        tables.append(transport)
+
     cert_counters = {
         name: value
         for name, value in summary.counters.items()
@@ -246,6 +290,7 @@ def render_report(summary: TraceSummary) -> str:
         if (
             name.startswith("bdd.")
             or name.startswith("portfolio.")
+            or name.startswith("transport.")
             or name.startswith("cert.")
             or name.startswith("fuzz.")
         ):

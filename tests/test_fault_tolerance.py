@@ -16,6 +16,7 @@ import pytest
 from repro.core.exceptions import PortfolioError
 from repro.core.heuristic import HeuristicOptions
 from repro.core.synthesizer import SynthesisConfig, default_portfolio
+from repro.faults import runtime as fault_runtime
 from repro.faults.runtime import FAULT_PLAN_ENV, FaultPlan, _spec_matches
 from repro.parallel import (
     PortfolioJournal,
@@ -71,6 +72,83 @@ class TestFaultPlan:
         assert _spec_matches("mode=batch", "pass.3", desc)  # bare: any site
         assert not _spec_matches("mode=sequential", "worker.start", desc)
         assert not _spec_matches(None, "worker.start", desc)
+
+    def test_network_knobs_env_round_trip(self, monkeypatch):
+        plan = FaultPlan(
+            drop_frame="result@mode=batch",
+            delay_frame="heartbeat@mode=batch",
+            delay_frame_seconds=0.5,
+            duplicate_result="mode=batch",
+            partition="heartbeat@mode=batch",
+            partition_seconds=4.0,
+            stale_lease="mode=batch",
+            stale_lease_seconds=1.5,
+            max_fires=2,
+        )
+        monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_env())
+        assert FaultPlan.from_env() == plan
+
+
+class TestNetworkKnobs:
+    """Worker-side transport hooks: spec matching, arming, partitions."""
+
+    DESC = "schedule=(1, 2, 3, 0) mode=batch"
+
+    @pytest.fixture(autouse=True)
+    def _clean_runtime(self):
+        yield
+        fault_runtime.install_fault_plan(None)
+        fault_runtime.set_fault_context("", 0)
+        fault_runtime.heal_partition()
+
+    def _arm(self, plan, attempt=0):
+        fault_runtime.install_fault_plan(plan)
+        fault_runtime.set_fault_context(self.DESC, attempt)
+
+    def test_drop_frame_matches_kind_and_config(self):
+        self._arm(FaultPlan(drop_frame="result@mode=batch"))
+        assert fault_runtime.should_drop_frame("result")
+        assert not fault_runtime.should_drop_frame("heartbeat")
+        self._arm(FaultPlan(drop_frame="result@mode=sequential"))
+        assert not fault_runtime.should_drop_frame("result")
+
+    def test_knobs_disarm_after_max_fires(self):
+        """A retried attempt must not re-trip one-shot network faults."""
+        plan = FaultPlan(
+            drop_frame="result@mode=batch",
+            duplicate_result="mode=batch",
+            stale_lease="mode=batch",
+            stale_lease_seconds=9.0,
+            max_fires=1,
+        )
+        self._arm(plan, attempt=0)
+        assert fault_runtime.should_drop_frame("result")
+        assert fault_runtime.should_duplicate_result()
+        assert fault_runtime.stale_lease_delay() == 9.0
+        self._arm(plan, attempt=1)  # retry: past max_fires, all quiet
+        assert not fault_runtime.should_drop_frame("result")
+        assert not fault_runtime.should_duplicate_result()
+        assert fault_runtime.stale_lease_delay() == 0.0
+
+    def test_frame_delay_only_for_matching_kind(self):
+        self._arm(FaultPlan(delay_frame="heartbeat@mode=batch",
+                            delay_frame_seconds=0.25))
+        assert fault_runtime.frame_delay("heartbeat") == 0.25
+        assert fault_runtime.frame_delay("result") == 0.0
+
+    def test_partition_black_holes_every_frame_once_tripped(self):
+        self._arm(FaultPlan(partition="heartbeat@mode=batch",
+                            partition_seconds=30.0))
+        assert not fault_runtime.partition_active()
+        # a result frame does not trip a heartbeat-targeted partition
+        assert not fault_runtime.should_drop_frame("result")
+        # the first heartbeat does — and then *everything* is dropped
+        assert fault_runtime.should_drop_frame("heartbeat")
+        assert fault_runtime.partition_active()
+        assert fault_runtime.should_drop_frame("result")
+        fault_runtime.heal_partition()
+        assert not fault_runtime.partition_active()
+        assert not fault_runtime.should_drop_frame("result")
 
 
 class TestCrashIsolation:
