@@ -1,0 +1,167 @@
+"""Service throughput: cold-vs-warm job latency and concurrent sustain.
+
+The service's pitch is twofold: an identical resubmission is answered
+from the certificate-backed store in milliseconds instead of re-running
+synthesis, and one server multiplexes many concurrent clients over a
+bounded fleet without falling over.  This benchmark pins both on a real
+``Service`` instance (the actual asyncio server on a loopback socket,
+exercised with plain ``http.client``):
+
+* **cold vs warm** — the same job submitted twice; the first races the
+  portfolio, the second is answered from the store after the independent
+  certificate re-check.  The warm/cold ratio is the store's value.
+* **sustained jobs/sec** — 1, 4 and 16 concurrent clients each pumping
+  submissions of a store-warm job: end-to-end HTTP round-trips through
+  admission, the fairness queue, store lookup, certificate re-check and
+  artifact write-back.  This measures *service* overhead, deliberately —
+  a synthesis-bound sweep would only benchmark the portfolio again
+  (``benchmarks/test_portfolio_scaling.py`` owns that).
+
+Wall-clock numbers are evidence, not assertions — the recording box's
+core count is persisted as ``cpus`` in the JSON and 16 clients on a small
+box just time-slice.  What must hold regardless of noise: every job
+succeeds, warm answers are store hits with the certificate re-checked,
+and the cache-hit ratio is what the submission pattern implies.
+
+Emits ``BENCH_service.json`` (path via ``SERVICE_BENCH_JSON``), committed
+at the repo root and refreshed by the CI service-smoke job::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_service_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+from repro.service import ServiceHandle
+
+FIGURE = "Service: cold/warm latency + sustained jobs/sec (1/4/16 clients)"
+
+BENCH_JSON = os.environ.get("SERVICE_BENCH_JSON", "BENCH_service.json")
+
+#: one pinned schedule: the job itself is small, so the measurement is
+#: dominated by the service path, not the portfolio fan-out
+JOB = {"protocol": "token-ring", "k": 3, "d": 3, "schedule": [0, 1, 2]}
+
+CLIENT_COUNTS = (1, 4, 16)
+
+#: submissions per client in the sustain phase
+JOBS_PER_CLIENT = 3
+
+
+def _request_json(port, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def _run_job(port, payload, timeout=120):
+    """Submit and poll to a terminal state; returns (job payload, wall s)."""
+    t0 = time.perf_counter()
+    status, job = _request_json(port, "POST", "/jobs", payload)
+    assert status == 202, job
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _status, job = _request_json(port, "GET", f"/jobs/{job['id']}")
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job, time.perf_counter() - t0
+        time.sleep(0.01)
+    raise AssertionError(f"job {job['id']} did not finish in {timeout}s")
+
+
+def test_service_throughput(figure_report, tmp_path):
+    figure_report.register(
+        FIGURE,
+        columns=["phase", "clients", "jobs", "wall (s)", "jobs/s",
+                 "store hits"],
+        note="real asyncio server on loopback; warm phases are answered "
+             "from the certificate-backed store after independent re-check",
+    )
+
+    with ServiceHandle(tmp_path, max_concurrent=4) as handle:
+        port = handle.port
+
+        # -- cold: the one genuine synthesis run -----------------------
+        cold_job, cold_s = _run_job(port, JOB)
+        assert cold_job["state"] == "done" and cold_job["success"]
+        assert cold_job["cache_hit"] is False
+        figure_report.add_row(FIGURE, ["cold", 1, 1, cold_s, 1.0 / cold_s, 0])
+
+        # -- warm: answered from the store, cert re-checked ------------
+        warm_job, warm_s = _run_job(port, JOB)
+        assert warm_job["cache_hit"] is True
+        assert warm_job["cert_verified"] is True
+        figure_report.add_row(FIGURE, ["warm", 1, 1, warm_s, 1.0 / warm_s, 1])
+
+        # -- sustained: concurrent clients over the warm store ---------
+        sustain_rows = []
+        for n_clients in CLIENT_COUNTS:
+            errors = []
+            hits_before = handle.metrics.get("service.cache_hits")
+
+            def client():
+                try:
+                    for _ in range(JOBS_PER_CLIENT):
+                        job, _wall = _run_job(port, JOB)
+                        assert job["state"] == "done", job
+                except Exception as exc:  # surfaced after the join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client) for _ in range(n_clients)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            elapsed = time.perf_counter() - t0
+            assert not errors, errors[0]
+            n_jobs = n_clients * JOBS_PER_CLIENT
+            hits = handle.metrics.get("service.cache_hits") - hits_before
+            # the store is warm: every sustained job is a verified hit
+            assert hits == n_jobs
+            sustain_rows.append(
+                {
+                    "clients": n_clients,
+                    "jobs": n_jobs,
+                    "wall_s": round(elapsed, 4),
+                    "jobs_per_s": round(n_jobs / elapsed, 2),
+                    "store_hits": hits,
+                }
+            )
+            figure_report.add_row(
+                FIGURE,
+                ["sustain", n_clients, n_jobs, elapsed, n_jobs / elapsed,
+                 hits],
+            )
+
+        counters = handle.metrics.snapshot()
+
+    total_hits = counters.get("service.cache_hits", 0)
+    total_runs = counters.get("service.synth_runs", 0)
+    payload = {
+        "benchmark": "service-throughput",
+        "transport": "http loopback (asyncio stsyn serve)",
+        "cpus": os.cpu_count(),
+        "job": JOB,
+        "cold_latency_s": round(cold_s, 4),
+        "warm_latency_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "sustained": sustain_rows,
+        "cache_hits": total_hits,
+        "synth_runs": total_runs,
+        "cache_hit_ratio": round(total_hits / (total_hits + total_runs), 4),
+    }
+    with open(BENCH_JSON, "w") as handle_:
+        json.dump(payload, handle_, indent=2)

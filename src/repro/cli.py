@@ -270,9 +270,38 @@ def _cmd_worker(args) -> int:
     from .parallel.transport import run_worker_server
 
     jobs = run_worker_server(
-        args.listen, max_jobs=args.max_jobs, log=lambda line: print(line, flush=True)
+        args.listen,
+        max_jobs=args.max_jobs,
+        drain_timeout=args.drain_timeout,
+        log=lambda line: print(line, flush=True),
     )
     print(f"worker served {jobs} job(s)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``stsyn serve`` — the synthesis service (see docs/ARCHITECTURE.md)."""
+    from .service import run_service
+
+    _n_workers, endpoints = (None, None)
+    if args.workers:
+        _n_workers, endpoints = _parse_workers(args.workers)
+        if endpoints is None:
+            raise SystemExit(
+                "--workers takes remote endpoints (host:port,...); "
+                "local fleet width is --max-concurrent"
+            )
+    run_service(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_queued=args.max_queued,
+        worker_endpoints=endpoints,
+        lease_timeout=args.lease_timeout,
+        soft_deadline=args.soft_deadline,
+        log=lambda line: print(line, flush=True),
+    )
     return 0
 
 
@@ -281,11 +310,33 @@ def _cmd_trace_report(args) -> int:
 
     from .trace import trace_report
 
+    if args.follow:
+        if len(args.paths) != 1:
+            print("--follow takes exactly one trace file", file=sys.stderr)
+            return 2
+        return _follow_trace(args.paths[0])
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
         print(f"no such trace file: {', '.join(missing)}", file=sys.stderr)
         return 2
     print(trace_report(args.paths))
+    return 0
+
+
+def _follow_trace(path: str) -> int:
+    """``stsyn trace-report --follow``: tail a live JSONL trace.
+
+    Shares the torn-last-line guard with the service's streaming endpoint
+    (:mod:`repro.trace.tail`): a line the writer is mid-flushing is held
+    back until its newline arrives, never printed half-parsed.
+    """
+    from .trace import follow_jsonl, format_record
+
+    try:
+        for record in follow_jsonl(path):
+            print(format_record(record), flush=True)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -592,13 +643,89 @@ def make_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit after serving N jobs (default: serve forever)",
     )
+    p_worker.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT: stop accepting, finish the in-flight job "
+        "for up to this long (then cancel it cooperatively), send final "
+        "heartbeats and exit 0 (default 30)",
+    )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="synthesis-as-a-service: HTTP job API with streaming traces "
+        "and a certificate-backed result store",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=9180,
+        help="listen port (default 9180; 0 picks a free port and prints it)",
+    )
+    p_serve.add_argument(
+        "--data-dir",
+        default="stsyn-service",
+        metavar="DIR",
+        help="service state: job artifacts under DIR/jobs, the "
+        "content-addressed result store under DIR/store (default "
+        "./stsyn-service)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote 'stsyn worker' endpoints to race jobs on "
+        "(default: local worker processes)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        metavar="N",
+        help="jobs racing at once; the rest wait queued (default 2)",
+    )
+    p_serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound; beyond it submissions get 429 "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="remote workers only: re-dispatch a config whose worker has "
+        "not heartbeat for this long (default 10)",
+    )
+    p_serve.add_argument(
+        "--soft-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job cooperative budget passed to every race",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser(
         "trace-report",
         help="summarize JSONL trace files (spans, counters, BDD stats)",
     )
     p_trace.add_argument("paths", nargs="+", help="trace files to aggregate")
+    p_trace.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail one live JSONL trace, printing records as the writer "
+        "flushes them (torn last lines are held back, never half-printed)",
+    )
     p_trace.set_defaults(func=_cmd_trace_report)
 
     p_ver = sub.add_parser("verify", help="check stabilization of the input")

@@ -85,6 +85,21 @@ class FaultPlan:
     stale_lease: str | None = None
     stale_lease_seconds: float = 2.0
 
+    # -- service knobs (stsyn serve; see repro.service) ------------------
+    #: ``"job.submit@<job description substring>"`` — refuse the matching
+    #: submission with 503 at admission (an overloaded or degraded
+    #: control plane); clients must see a clean error, not a hang
+    reject_job: str | None = None
+    #: ``"job.admit@<job description substring>"`` — sleep
+    #: ``slow_admit_seconds`` between admission and dispatch (a saturated
+    #: orchestrator); status must report "queued" throughout
+    slow_admit: str | None = None
+    slow_admit_seconds: float = 0.5
+    #: ``"trace.stream@<job description substring>"`` — sever the matching
+    #: trace stream mid-flight (a proxy timeout / dropped client); the job
+    #: itself must be unaffected and the stream re-attachable
+    drop_stream: str | None = None
+
     @classmethod
     def from_env(cls, environ=None) -> "FaultPlan | None":
         """Parse :data:`FAULT_PLAN_ENV` (None when unset/empty)."""
@@ -183,6 +198,41 @@ def should_corrupt_cert(site: str, needle: str) -> bool:
     plan = _PLAN
     return plan is not None and _spec_matches(
         plan.corrupt_certificate, site, needle
+    )
+
+
+def should_reject_job(job_description: str) -> bool:
+    """Service-side hook: refuse this submission at admission (503)?
+
+    Matched at site ``job.submit`` against the job's description
+    (``"<tenant>/<protocol>"``).  Unlike the worker knobs this is not
+    attempt-gated — the service retries nothing; the *client* decides.
+    """
+    plan = _PLAN
+    return plan is not None and _spec_matches(
+        plan.reject_job, "job.submit", job_description
+    )
+
+
+def admit_delay(job_description: str) -> float:
+    """Service-side hook: seconds to hold this job between admission and
+    dispatch (site ``job.admit``) — the slow-admit drill."""
+    plan = _PLAN
+    if plan is not None and _spec_matches(
+        plan.slow_admit, "job.admit", job_description
+    ):
+        return plan.slow_admit_seconds
+    return 0.0
+
+
+def should_drop_stream(job_description: str) -> bool:
+    """Service-side hook: sever this trace stream mid-flight (site
+    ``trace.stream``)?  Fires once per armed plan via ``max_fires``-free
+    matching — the stream endpoint counts ``service.stream_drops`` and the
+    client simply reconnects."""
+    plan = _PLAN
+    return plan is not None and _spec_matches(
+        plan.drop_stream, "trace.stream", job_description
     )
 
 

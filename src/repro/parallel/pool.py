@@ -915,6 +915,7 @@ def synthesize_parallel(
     paranoid: bool = False,
     worker_endpoints: Sequence[str] | None = None,
     lease_timeout: float = 10.0,
+    cancel_event=None,
 ) -> tuple[ParallelOutcome, list[ParallelOutcome]]:
     """Race the portfolio across supervised worker processes.
 
@@ -964,6 +965,14 @@ def synthesize_parallel(
     capped backoff; a late duplicate result is accepted only after its
     certificate re-checks.  Unreachable/lost endpoints degrade to local
     worker processes, so the race completes even with every remote gone.
+
+    ``cancel_event`` (a ``multiprocessing.Event``) lets an external owner —
+    the ``stsyn serve`` orchestrator cancelling a job — abort the whole
+    race cooperatively: setting it rides the same pass/rank-boundary
+    polling the winner-found signal uses, so workers stop at their next
+    checkpoint.  A race aborted this way with no winner raises
+    :class:`~repro.core.exceptions.PortfolioError` (every run was
+    race-cancelled), which the owner maps to "cancelled".
     """
     # local imports: repro.cert reaches back into repro.parallel.cache for
     # the protocol fingerprint, so importing it at module top would cycle
@@ -1181,7 +1190,7 @@ def synthesize_parallel(
                         _journal_record(outcome),
                     )
 
-            event = ctx.Event()
+            event = cancel_event if cancel_event is not None else ctx.Event()
             local_transport = LocalProcessTransport(
                 ctx,
                 (event, soft_deadline, builder, builder_args, spec, fault_plan),

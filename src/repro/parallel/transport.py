@@ -740,15 +740,19 @@ class WorkerServer:
         port: int = 0,
         *,
         max_jobs: int | None = None,
+        drain_timeout: float = 30.0,
         log: Callable[[str], None] | None = None,
     ):
         self.host = host
         self.port = port
         self.max_jobs = max_jobs
+        self.drain_timeout = drain_timeout
         self.log = log or (lambda line: None)
         self.jobs_done = 0
         self._listener: socket.socket | None = None
         self._stop = threading.Event()
+        self._drain = threading.Event()
+        self._drain_deadline: float | None = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> tuple[str, int]:
@@ -766,11 +770,32 @@ class WorkerServer:
     def shutdown(self) -> None:
         self._stop.set()
 
+    def request_drain(self) -> None:
+        """Begin a graceful drain (SIGTERM path): stop accepting new
+        coordinators, let the in-flight job finish — heartbeating all the
+        while — up to ``drain_timeout`` seconds, deliver its result, then
+        exit cleanly.  Today's alternative is a select loop dying mid-job
+        and the coordinator paying a full lease timeout to notice."""
+        if self._drain.is_set():
+            return
+        self._drain_deadline = time.monotonic() + max(0.0, self.drain_timeout)
+        self._drain.set()
+        self.log(
+            f"drain requested: finishing in-flight work "
+            f"(up to {self.drain_timeout:.0f}s), accepting no new jobs"
+        )
+
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
     def serve_forever(self) -> None:
         if self._listener is None:
             self.start()
         try:
             while not self._stop.is_set():
+                if self._drain.is_set():
+                    return  # no active coordinator: drained, exit now
                 if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                     return
                 try:
@@ -840,6 +865,20 @@ class WorkerServer:
                     for frame in frames:
                         kind = frame.get("t")
                         if kind == "job":
+                            if self._drain.is_set():
+                                # draining: refuse, so the coordinator
+                                # re-dispatches elsewhere instead of paying
+                                # a lease timeout on a doomed assignment
+                                ship(
+                                    {
+                                        "t": "error",
+                                        "lease_id": frame.get("lease_id", ""),
+                                        "exc_type": "TransportError",
+                                        "message": "worker is draining",
+                                    },
+                                    "error",
+                                )
+                                continue
                             if active is not None and active.thread.is_alive():
                                 ship(
                                     {
@@ -864,22 +903,42 @@ class WorkerServer:
                 now = time.monotonic()
                 if active is not None and active.thread.is_alive():
                     if now - last_beat >= heartbeat_interval:
+                        # final heartbeats keep flowing during a drain, so
+                        # the coordinator's lease stays fresh while the
+                        # in-flight job wraps up
                         ship(
                             {"t": "heartbeat", "lease_id": active.lease_id},
                             "heartbeat",
                         )
                         last_beat = now
+                    if (
+                        self._drain.is_set()
+                        and self._drain_deadline is not None
+                        and now >= self._drain_deadline
+                    ):
+                        # drain budget exhausted: cancel cooperatively; the
+                        # job returns a cancelled outcome at its next
+                        # pass/rank boundary and is delivered below.  A job
+                        # that ignores the token (hang drill) is abandoned
+                        # another grace period later by the finally clause.
+                        active.cancel.set()
+                        if now >= self._drain_deadline + 5.0:
+                            return
                 elif active is not None:
                     # job finished: deliver its outcome (or error)
                     active.thread.join()
                     self._deliver(active, ship)
                     self.jobs_done += 1
                     active = None
+                    if self._drain.is_set():
+                        return  # drained: in-flight work delivered, exit
                     if (
                         self.max_jobs is not None
                         and self.jobs_done >= self.max_jobs
                     ):
                         return
+                elif self._drain.is_set():
+                    return  # idle and draining: nothing to wait for
         except TransportError:
             return
         finally:
@@ -971,14 +1030,39 @@ def run_worker_server(
     listen: str,
     *,
     max_jobs: int | None = None,
+    drain_timeout: float = 30.0,
     log: Callable[[str], None] | None = None,
 ) -> int:
-    """Entry point of ``stsyn worker --listen host:port``; returns jobs done."""
+    """Entry point of ``stsyn worker --listen host:port``; returns jobs done.
+
+    SIGTERM/SIGINT trigger a graceful drain: stop accepting, finish the
+    in-flight job (heartbeats included) up to ``drain_timeout`` seconds,
+    deliver its result, exit 0.  A second signal forces an immediate stop.
+    """
+    import signal
+
     host, port = parse_endpoint(listen)
-    server = WorkerServer(host, port, max_jobs=max_jobs, log=log)
+    server = WorkerServer(
+        host, port, max_jobs=max_jobs, drain_timeout=drain_timeout, log=log
+    )
+
+    def _on_signal(signum, frame):
+        if server.draining:
+            server.log("second signal: stopping immediately")
+            server.shutdown()
+        else:
+            server.request_drain()
+
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _on_signal)
+    except ValueError:
+        pass  # not the main thread (embedded in tests): no signal hooks
     server.start()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    if server.draining:
+        server.log("drained cleanly")
     return server.jobs_done

@@ -1,0 +1,260 @@
+"""Minimal asyncio HTTP/1.1 layer for the synthesis service — stdlib only.
+
+``stsyn serve`` deliberately avoids web frameworks: the job API is a
+handful of JSON routes plus one streaming endpoint, and the repo's "no new
+hard deps" rule holds for the service layer too.  This module owns the
+wire mechanics so :mod:`repro.service.server` can be pure routing:
+
+* request parsing with hard limits — header block capped at
+  :data:`MAX_HEADER_BYTES`, body at a caller-chosen cap (the service
+  default is :data:`MAX_BODY_BYTES`) — so a malformed or hostile request
+  costs a 4xx response, never memory or a crash;
+* plain responses (JSON bodies, ``Content-Length``, ``Connection:
+  close`` — one request per connection keeps the server trivial and is
+  what ``curl`` does anyway);
+* streaming responses: HTTP/1.1 chunked transfer framing, with
+  Server-Sent-Events (``text/event-stream``) or raw NDJSON payloads —
+  the trace-streaming endpoint picks per the client's ``Accept`` header.
+
+Every parse failure raises :class:`HttpError`, which the server renders as
+a JSON error body with the right status code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: refuse request lines + headers beyond this (one TCP segment is plenty)
+MAX_HEADER_BYTES = 16 * 1024
+
+#: default request-body cap; a job submission is a few KiB of JSON or
+#: ``.stsyn`` source, so 1 MiB is already generous
+MAX_BODY_BYTES = 1024 * 1024
+
+#: the subset of reason phrases the service actually emits
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses; rendered as a JSON error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object; :class:`HttpError` 400 otherwise."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def accepts(self, content_type: str) -> bool:
+        return content_type in self.headers.get("accept", "")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_body_bytes: int = MAX_BODY_BYTES,
+    header_timeout: float = 10.0,
+) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF before any bytes.
+
+    Raises :class:`HttpError` for anything malformed or over a limit —
+    oversized header block (431), oversized or lying ``Content-Length``
+    (413/400), torn bodies (400) — and ``asyncio.TimeoutError`` when the
+    client goes silent mid-header.
+    """
+    try:
+        header_block = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=header_timeout
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request headers exceed the size limit")
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(431, "request headers exceed the size limit")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length > max_body_bytes:
+            # drain (and discard, chunk by chunk) what the client is
+            # already sending, so it can finish writing and read the 413
+            # instead of dying on a broken pipe
+            remaining = length
+            try:
+                while remaining > 0:
+                    chunk = await asyncio.wait_for(
+                        reader.read(min(remaining, 64 * 1024)),
+                        timeout=header_timeout,
+                    )
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            except asyncio.TimeoutError:
+                pass
+            raise HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+            )
+        try:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=header_timeout
+            )
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    elif "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+
+
+def _status_line(status: int) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    return f"HTTP/1.1 {status} {reason}\r\n".encode()
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """One complete response; the connection closes afterwards."""
+    headers = [
+        _status_line(status),
+        f"Content-Type: {content_type}\r\n".encode(),
+        f"Content-Length: {len(body)}\r\n".encode(),
+        b"Connection: close\r\n",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}\r\n".encode())
+    writer.write(b"".join(headers) + b"\r\n" + body)
+    await writer.drain()
+
+
+async def send_json(
+    writer: asyncio.StreamWriter, status: int, payload: dict
+) -> None:
+    body = (json.dumps(payload, indent=2, default=str) + "\n").encode()
+    await send_response(writer, status, body)
+
+
+async def send_error(
+    writer: asyncio.StreamWriter, status: int, message: str
+) -> None:
+    await send_json(writer, status, {"error": message, "status": status})
+
+
+class ChunkedStream:
+    """A chunked HTTP/1.1 response the handler feeds incrementally.
+
+    ``sse=True`` wraps every payload as a Server-Sent-Events ``data:``
+    frame; otherwise payloads go out verbatim (NDJSON lines for the trace
+    endpoint).  ``close`` sends the zero-length terminating chunk so the
+    client knows the stream ended cleanly — a severed stream (the
+    ``drop_stream`` fault drill) omits it, which clients observe as a
+    truncated chunked body.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, *, sse: bool = False):
+        self.writer = writer
+        self.sse = sse
+        self._started = False
+
+    async def start(self, status: int = 200) -> None:
+        content_type = (
+            "text/event-stream" if self.sse else "application/x-ndjson"
+        )
+        self.writer.write(
+            _status_line(status)
+            + f"Content-Type: {content_type}\r\n".encode()
+            + b"Transfer-Encoding: chunked\r\n"
+            + b"Cache-Control: no-store\r\n"
+            + b"Connection: close\r\n\r\n"
+        )
+        await self.writer.drain()
+        self._started = True
+
+    async def send(self, payload: str) -> None:
+        if self.sse:
+            data = f"data: {payload}\n\n".encode()
+        else:
+            data = payload.encode() + b"\n"
+        self.writer.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        await self.writer.drain()
+
+    async def close(self) -> None:
+        if self._started:
+            self.writer.write(b"0\r\n\r\n")
+            await self.writer.drain()

@@ -1,0 +1,117 @@
+"""Certificate-backed result store for the synthesis service.
+
+The service's answer cache is the same content-addressed directory the
+portfolio runtime memoises into (:mod:`repro.parallel.cache`): one JSON
+entry per ``protocol_fingerprint × schedule × options`` key.  Before a job
+is dispatched to the fleet, :class:`ResultStore.lookup` sweeps the job's
+portfolio for a stored **successful** outcome and — crucially — never
+trusts it as-is:
+
+* an entry carrying a convergence certificate is re-checked with the
+  independent certificate checker (``check_certificate`` with the stored
+  PSS groups as ``expected_pss``) — milliseconds, no synthesis, no BFS;
+* an entry without a certificate falls back to the full
+  ``check_solution`` re-verification;
+* an entry that fails either check is **quarantined** (renamed to
+  ``*.corrupt``, evidence preserved) and the job falls through to a fresh
+  synthesis run — a tampered or torn store can cost time, never a wrong
+  answer.
+
+Fresh runs pass the same directory as ``cache_dir`` to
+``synthesize_parallel``, so every completed job repopulates the store and
+the next identical submission is answered in milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..cert import CertificateError, ConvergenceCertificate, check_certificate
+from ..parallel.cache import SynthesisCache, protocol_fingerprint
+from ..parallel.pool import ParallelOutcome
+
+
+@dataclass
+class StoreAnswer:
+    """A store hit that survived independent re-verification."""
+
+    outcome: ParallelOutcome
+    #: True when trust came from the certificate checker (vs check_solution)
+    cert_verified: bool
+
+
+class ResultStore:
+    """The service-level view over the shared synthesis memo directory."""
+
+    def __init__(self, store_dir: str | os.PathLike):
+        self.store_dir = os.fspath(store_dir)
+        self.cache = SynthesisCache(self.store_dir)
+        #: verified answers served without running synthesis
+        self.hits = 0
+        #: entries that failed re-verification and were moved aside
+        self.quarantined = 0
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, protocol, invariant) -> str:
+        return protocol_fingerprint(protocol, invariant)
+
+    def lookup(
+        self, protocol, invariant, configs, *, tracer=None
+    ) -> StoreAnswer | None:
+        """First stored, re-verified success across the job's portfolio.
+
+        Failed-synthesis entries are not answers for the service (another
+        schedule might succeed), so only successful entries short-circuit
+        the fleet.  A successful entry that fails re-verification is
+        quarantined and the scan continues.
+        """
+        fingerprint = self.fingerprint(protocol, invariant)
+        for config in configs:
+            hit = self.cache.get(fingerprint, config)
+            if hit is None or not hit.success:
+                continue
+            verdict = self._verify(protocol, invariant, hit, tracer=tracer)
+            if verdict is None:
+                self.cache.quarantine(fingerprint, config)
+                self.quarantined += 1
+                if tracer is not None:
+                    tracer.event(
+                        "service.store_quarantined",
+                        config=config.describe(),
+                    )
+                continue
+            self.hits += 1
+            return verdict
+        return None
+
+    # ------------------------------------------------------------------
+    def _verify(
+        self, protocol, invariant, outcome: ParallelOutcome, *, tracer=None
+    ) -> StoreAnswer | None:
+        """Re-establish trust in one stored success; ``None`` = reject."""
+        if outcome.pss_groups is None:
+            return None
+        pss_groups = [set(map(tuple, g)) for g in outcome.pss_groups]
+        if outcome.certificate is not None:
+            try:
+                cert = ConvergenceCertificate.from_payload(outcome.certificate)
+                check_certificate(
+                    protocol, invariant, cert, expected_pss=pss_groups
+                )
+            except CertificateError as exc:
+                if tracer is not None:
+                    tracer.event(
+                        "service.cert_check_failed",
+                        config=outcome.config.describe(),
+                        error=str(exc),
+                    )
+                return None
+            return StoreAnswer(outcome=outcome, cert_verified=True)
+        # no certificate: the full (slower) re-verification path
+        from ..verify.stabilization import check_solution
+
+        rebuilt = protocol.with_groups(pss_groups)
+        if not check_solution(protocol, rebuilt, invariant).ok:
+            return None
+        return StoreAnswer(outcome=outcome, cert_verified=False)

@@ -14,6 +14,7 @@ from .report import (
     summarize,
     trace_report,
 )
+from .tail import TailBuffer, follow_jsonl, format_record, parse_record
 from .tracer import (
     NULL_TRACER,
     NullTracer,
@@ -27,11 +28,15 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "SpanAgg",
+    "TailBuffer",
     "TraceSummary",
     "Tracer",
     "current_tracer",
+    "follow_jsonl",
+    "format_record",
     "iter_events",
     "merge_traces",
+    "parse_record",
     "record_bdd_counters",
     "render_report",
     "summarize",

@@ -254,6 +254,49 @@ def render_report(summary: TraceSummary) -> str:
         certs.add("check pass rate (%)", safe_percent(passed, passed + failed))
         tables.append(certs)
 
+    service_counters = {
+        name: value
+        for name, value in summary.counters.items()
+        if name.startswith("service.")
+    }
+    if service_counters:
+        service = ResultTable(
+            "Service",
+            ["counter", "value"],
+            note="stsyn serve: job admission, cache-backed answers, streams",
+        )
+        service.add(
+            "jobs submitted", service_counters.get("service.jobs_submitted", 0)
+        )
+        service.add(
+            "jobs rejected (backpressure/faults)",
+            service_counters.get("service.jobs_rejected", 0),
+        )
+        hits = service_counters.get("service.cache_hits", 0)
+        runs = service_counters.get("service.synth_runs", 0)
+        service.add("answered from store (cert re-check)", hits)
+        service.add("fresh synthesis runs", runs)
+        service.add("store answer rate (%)", safe_percent(hits, hits + runs))
+        service.add(
+            "store entries quarantined",
+            service_counters.get("service.store_quarantined", 0),
+        )
+        service.add(
+            "jobs cancelled", service_counters.get("service.jobs_cancelled", 0)
+        )
+        service.add(
+            "jobs failed", service_counters.get("service.jobs_failed", 0)
+        )
+        service.add(
+            "trace streams served",
+            service_counters.get("service.trace_streams", 0),
+        )
+        service.add(
+            "streams dropped (fault drill)",
+            service_counters.get("service.stream_drops", 0),
+        )
+        tables.append(service)
+
     fuzz_counters = {
         name: value
         for name, value in summary.counters.items()
@@ -292,6 +335,7 @@ def render_report(summary: TraceSummary) -> str:
             or name.startswith("portfolio.")
             or name.startswith("transport.")
             or name.startswith("cert.")
+            or name.startswith("service.")
             or name.startswith("fuzz.")
         ):
             continue

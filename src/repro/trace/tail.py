@@ -1,0 +1,175 @@
+"""Live tailing of line-flushed JSONL trace files.
+
+Every :class:`~repro.trace.tracer.Tracer` flushes each record as one
+``\\n``-terminated line, so a trace being written by a running synthesis
+job is readable concurrently — the only hazard is the *partial last line*
+a reader can observe between the writer's ``write`` and the terminating
+newline (or after a writer died mid-line).  Both live consumers — the
+``stsyn serve`` streaming endpoint and ``stsyn trace-report --follow`` —
+share the guard here:
+
+:class:`TailBuffer`
+    incremental splitter that only ever surfaces *complete* lines;
+    whatever trails the last newline stays buffered until more bytes
+    arrive (and is optionally flushed at end-of-stream).
+
+:func:`follow_jsonl`
+    blocking generator over a growing file: yields each parsed JSON
+    record as it lands, polls for growth, survives the file not existing
+    yet, and stops when ``stop`` fires or the file has been idle past
+    ``idle_timeout`` with ``stop_at_idle`` set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Iterator
+
+
+class TailBuffer:
+    """Byte-feed line splitter that never surfaces a torn line.
+
+    ``feed(data)`` returns the decoded *complete* lines contained in the
+    buffer so far; bytes after the last newline are retained.  A record
+    that never gets its newline (writer killed mid-``write``) can be
+    recovered with ``flush()`` once the stream is known to be finished —
+    callers that cannot know (live streaming) simply drop it, which is
+    exactly the "guard against partial last lines" contract.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[str]:
+        self._buf.extend(data)
+        if b"\n" not in self._buf:
+            return []
+        complete, _, rest = bytes(self._buf).rpartition(b"\n")
+        self._buf = bytearray(rest)
+        return [
+            line.decode("utf-8", errors="replace")
+            for line in complete.split(b"\n")
+            if line.strip()
+        ]
+
+    def flush(self) -> str | None:
+        """The trailing unterminated fragment, if any (buffer is cleared)."""
+        rest = bytes(self._buf).decode("utf-8", errors="replace").strip()
+        self._buf = bytearray()
+        return rest or None
+
+    @property
+    def pending(self) -> int:
+        """Bytes held back waiting for their newline."""
+        return len(self._buf)
+
+
+def parse_record(line: str) -> dict | None:
+    """One JSONL line → record dict, or ``None`` for junk.
+
+    Malformed lines (a writer killed mid-line that *did* get flushed, disk
+    corruption) are skipped, mirroring
+    :func:`repro.trace.report.iter_events`.
+    """
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def follow_jsonl(
+    path: str | os.PathLike,
+    *,
+    poll_interval: float = 0.2,
+    stop: Callable[[], bool] | None = None,
+    idle_timeout: float | None = None,
+    wait_for_file: bool = True,
+) -> Iterator[dict]:
+    """Yield records of a growing JSONL file as the writer appends them.
+
+    Polls ``path`` every ``poll_interval`` seconds.  Termination:
+
+    * ``stop()`` returning True ends the follow at the next poll — after a
+      final drain, so records written just before the stop are delivered;
+    * with ``idle_timeout`` set, the follow ends once the file has grown
+      nothing for that long (a finished writer leaves no other signal);
+    * a file that disappears mid-follow (rotated away) ends the follow.
+
+    A file that does not exist yet is waited for (``wait_for_file=True``)
+    rather than an error — the job may not have opened its trace yet.
+    """
+    path = os.fspath(path)
+    buffer = TailBuffer()
+    position = 0
+    last_growth = time.monotonic()
+    handle = None
+    try:
+        while True:
+            stopping = stop is not None and stop()
+            if handle is None:
+                try:
+                    handle = open(path, "rb")
+                except OSError:
+                    if stopping or not wait_for_file:
+                        return
+                    if (
+                        idle_timeout is not None
+                        and time.monotonic() - last_growth > idle_timeout
+                    ):
+                        return
+                    time.sleep(poll_interval)
+                    continue
+            handle.seek(position)
+            data = handle.read()
+            if data:
+                position += len(data)
+                last_growth = time.monotonic()
+                for line in buffer.feed(data):
+                    record = parse_record(line)
+                    if record is not None:
+                        yield record
+            elif stopping:
+                # final drain done: a terminated line race lost to the
+                # stop signal would have been read above
+                return
+            elif not os.path.exists(path):
+                return
+            elif (
+                idle_timeout is not None
+                and time.monotonic() - last_growth > idle_timeout
+            ):
+                return
+            else:
+                time.sleep(poll_interval)
+            if stopping and not data:
+                return
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def format_record(record: dict) -> str:
+    """One human-readable line per trace record (``trace-report --follow``)."""
+    kind = record.get("type")
+    if kind == "span":
+        dur_ms = 1000.0 * float(record.get("dur", 0.0))
+        return f"[span ] {record.get('name')}  {dur_ms:.1f} ms"
+    if kind == "event":
+        attrs = record.get("attrs") or {}
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        return f"[event] {record.get('name')}" + (f"  {detail}" if detail else "")
+    if kind == "counters":
+        values = record.get("values") or {}
+        return f"[count] {len(values)} counter(s): " + " ".join(
+            f"{k}={v}" for k, v in sorted(values.items())
+        )
+    if kind == "meta":
+        ident = {
+            k: v for k, v in record.items() if k not in ("type", "t0")
+        }
+        detail = " ".join(f"{k}={v}" for k, v in ident.items())
+        return f"[meta ] {detail}"
+    return f"[?    ] {json.dumps(record, default=str)}"
